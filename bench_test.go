@@ -1,0 +1,204 @@
+package treadmarks_test
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (E0–E5 in DESIGN.md). These report *virtual* times — the simulated
+// testbed's clock — as custom metrics (vus = virtual microseconds,
+// vms = virtual milliseconds); wall-clock ns/op only measures how fast
+// the simulator itself runs.
+//
+// Regenerate everything at once with:
+//
+//	go test -bench=. -benchmem
+//
+// or print the full tables with cmd/figures.
+
+import (
+	"strings"
+	"testing"
+
+	treadmarks "repro"
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+	"repro/internal/ubench"
+)
+
+// BenchmarkE0_LatencyBandwidth reproduces Section 3.1: GM / FAST/GM /
+// UDP/GM latency and bandwidth.
+func BenchmarkE0_LatencyBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Netperf()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Latency.Micros(), r.Layer+"_lat_vus")
+				b.ReportMetric(r.Bandwidth/1e6, r.Layer+"_MBps")
+			}
+		}
+	}
+}
+
+// benchUbench runs one microbenchmark pair (Figure 3 bars).
+func benchUbench(b *testing.B, fn func(cfg tmk.Config) (ubench.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		udp, err := fn(treadmarks.DefaultConfig(4, treadmarks.UDPGM))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast, err := fn(treadmarks.DefaultConfig(4, treadmarks.FastGM))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(udp.Per.Micros(), "udp_vus")
+			b.ReportMetric(fast.Per.Micros(), "fast_vus")
+			b.ReportMetric(float64(udp.Per)/float64(fast.Per), "factor")
+		}
+	}
+}
+
+// BenchmarkE1_Fig3_* reproduce the Figure 3 microbenchmarks.
+
+func BenchmarkE1_Fig3_Barrier4(b *testing.B) {
+	benchUbench(b, func(cfg tmk.Config) (ubench.Result, error) { return ubench.Barrier(cfg, 10) })
+}
+
+func BenchmarkE1_Fig3_Barrier16(b *testing.B) {
+	benchUbench(b, func(cfg tmk.Config) (ubench.Result, error) {
+		cfg.Procs = 16
+		return ubench.Barrier(cfg, 10)
+	})
+}
+
+func BenchmarkE1_Fig3_LockDirect(b *testing.B) {
+	benchUbench(b, func(cfg tmk.Config) (ubench.Result, error) { return ubench.LockDirect(cfg, 10) })
+}
+
+func BenchmarkE1_Fig3_LockIndirect(b *testing.B) {
+	benchUbench(b, func(cfg tmk.Config) (ubench.Result, error) { return ubench.LockIndirect(cfg, 10) })
+}
+
+func BenchmarkE1_Fig3_Page(b *testing.B) {
+	benchUbench(b, func(cfg tmk.Config) (ubench.Result, error) { return ubench.Page(cfg, 64) })
+}
+
+func BenchmarkE1_Fig3_DiffSmall(b *testing.B) {
+	benchUbench(b, func(cfg tmk.Config) (ubench.Result, error) { return ubench.Diff(cfg, 32, false) })
+}
+
+func BenchmarkE1_Fig3_DiffLarge(b *testing.B) {
+	benchUbench(b, func(cfg tmk.Config) (ubench.Result, error) { return ubench.Diff(cfg, 32, true) })
+}
+
+// benchApp runs one Figure 4 cell (app × nodes × both transports).
+func benchApp(b *testing.B, app apps.App, nodes int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		udp, err := harness.RunApp(app, nodes, treadmarks.UDPGM, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast, err := harness.RunApp(app, nodes, treadmarks.FastGM, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(udp.ExecTime.Millis(), "udp_vms")
+			b.ReportMetric(fast.ExecTime.Millis(), "fast_vms")
+			b.ReportMetric(float64(udp.ExecTime)/float64(fast.ExecTime), "factor")
+		}
+	}
+}
+
+// BenchmarkE2_Fig4_* reproduce the Figure 4 system-size sweep at its
+// 16-node endpoint (run cmd/figures -fig 4 for the full 4/8/16 series).
+
+func BenchmarkE2_Fig4_Jacobi16(b *testing.B) { benchApp(b, apps.ByName("jacobi"), 16) }
+
+func BenchmarkE2_Fig4_SOR16(b *testing.B) { benchApp(b, apps.ByName("sor"), 16) }
+
+func BenchmarkE2_Fig4_TSP16(b *testing.B) { benchApp(b, apps.ByName("tsp"), 16) }
+
+func BenchmarkE2_Fig4_FFT16(b *testing.B) { benchApp(b, apps.ByName("3dfft"), 16) }
+
+// BenchmarkE3_Fig5_* reproduce the Table 1 / Figure 5 size sweeps: the
+// smallest and largest rung of each app's ladder on 16 nodes (run
+// cmd/figures -fig 5 for all four rungs × four series).
+
+func benchLadderEnds(b *testing.B, name string) {
+	b.Helper()
+	ladder := harness.SizeLadder(name)
+	for i := 0; i < b.N; i++ {
+		for _, app := range []apps.App{ladder[0], ladder[len(ladder)-1]} {
+			udp, err := harness.RunApp(app, 16, treadmarks.UDPGM, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fast, err := harness.RunApp(app, 16, treadmarks.FastGM, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(udp.ExecTime)/float64(fast.ExecTime), "factor_"+strings.ReplaceAll(app.Size(), " ", ""))
+			}
+		}
+	}
+}
+
+func BenchmarkE3_Fig5_Jacobi(b *testing.B) { benchLadderEnds(b, "jacobi") }
+
+func BenchmarkE3_Fig5_SOR(b *testing.B) { benchLadderEnds(b, "sor") }
+
+func BenchmarkE3_Fig5_TSP(b *testing.B) { benchLadderEnds(b, "tsp") }
+
+func BenchmarkE3_Fig5_FFT(b *testing.B) { benchLadderEnds(b, "3dfft") }
+
+// BenchmarkE4_AsyncSchemes reproduces the Section 2.2.4 design
+// comparison: interrupt vs polling thread vs timer.
+func BenchmarkE4_AsyncSchemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.AsyncSchemes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Jacobi.Millis(), r.Scheme.String()+"_jacobi_vms")
+				b.ReportMetric(r.LockIndirect.Micros(), r.Scheme.String()+"_lock_vus")
+			}
+		}
+	}
+}
+
+// BenchmarkE5_Rendezvous reproduces the Section 2.2.2 trade-off: pinned
+// memory vs transfer overhead.
+func BenchmarkE5_Rendezvous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.RendezvousAblation(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.Exec.Millis(), r.Mode+"_vms")
+				b.ReportMetric(float64(r.PinnedMax)/1e6, r.Mode+"_pinnedMB")
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the simulator itself (events/s of
+// wall time) so harness runtimes can be budgeted.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	app := &apps.Jacobi{N: 64, Iters: 2, CostPerPoint: 30 * sim.Nanosecond}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunApp(app, 4, treadmarks.FastGM, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (experiments E0–E5 in DESIGN.md).
+//
+// Usage:
+//
+//	figures [-fig 0|3|4|5|e4|e5|all] [-nodes 4,8,16] [-big16]
+//
+// -big16 runs the Figure 5 sweep on 16 nodes (the paper's size); without
+// it the sweep runs on 8 nodes, which regenerates the same shapes faster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 0, 3, 4, 5, e4, e5, e6, all")
+	nodesFlag := flag.String("nodes", "4,8,16", "node counts for the Figure 4 sweep")
+	big16 := flag.Bool("big16", true, "run the Figure 5 sweep on 16 nodes (paper size)")
+	flag.Parse()
+
+	var nodes []int
+	for _, s := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -nodes: %v\n", err)
+			os.Exit(2)
+		}
+		nodes = append(nodes, n)
+	}
+	fig5Nodes := 8
+	if *big16 {
+		fig5Nodes = 16
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("0") {
+		rows, err := harness.Netperf()
+		exitOn(err)
+		harness.PrintNetperf(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("3") {
+		rows, err := harness.Figure3([]int{2, 4, 8, 16})
+		exitOn(err)
+		harness.PrintFigure3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("4") {
+		rows, err := harness.Figure4(nodes)
+		exitOn(err)
+		harness.PrintFigure4(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("5") {
+		rows, err := harness.Figure5(fig5Nodes)
+		exitOn(err)
+		harness.PrintFigure5(os.Stdout, rows, fig5Nodes)
+		fmt.Println()
+	}
+	if want("e4") {
+		rows, err := harness.AsyncSchemes()
+		exitOn(err)
+		harness.PrintAsyncSchemes(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("e5") {
+		rows, err := harness.RendezvousAblation(8)
+		exitOn(err)
+		harness.PrintRendezvous(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("e6") {
+		rows, err := harness.Scaling([]int{4, 8, 16, 32, 64})
+		exitOn(err)
+		harness.PrintScaling(os.Stdout, rows)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

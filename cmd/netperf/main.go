@@ -1,0 +1,20 @@
+// Command netperf reproduces the paper's Section 3.1 numbers: 1-byte
+// one-way latency and streaming bandwidth of raw GM, the FAST/GM
+// substrate, and the UDP/GM baseline.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	rows, err := harness.Netperf()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	harness.PrintNetperf(os.Stdout, rows)
+}

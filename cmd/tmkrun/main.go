@@ -1,0 +1,69 @@
+// Command tmkrun executes one of the paper's applications on a chosen
+// transport and node count, printing the virtual execution time and the
+// DSM/transport statistics; with -verify the result is checked against
+// the sequential reference first.
+//
+// Usage:
+//
+//	tmkrun -app jacobi -nodes 16 -transport fastgm [-size 2] [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/tmk"
+)
+
+func main() {
+	appName := flag.String("app", "jacobi", "application: jacobi, sor, tsp, 3dfft")
+	nodes := flag.Int("nodes", 8, "number of DSM processes (= nodes)")
+	transport := flag.String("transport", "fastgm", "substrate: fastgm or udpgm")
+	sizeIdx := flag.Int("size", -1, "size ladder index 0..3 (-1 = default size)")
+	verify := flag.Bool("verify", false, "check the result against the sequential reference")
+	rendezvous := flag.Bool("rendezvous", false, "enable the FAST/GM rendezvous protocol")
+	flag.Parse()
+
+	var app apps.App
+	if *sizeIdx >= 0 {
+		ladder := harness.SizeLadder(*appName)
+		if ladder == nil || *sizeIdx >= len(ladder) {
+			fmt.Fprintf(os.Stderr, "no size %d for app %q\n", *sizeIdx, *appName)
+			os.Exit(2)
+		}
+		app = ladder[*sizeIdx]
+	} else {
+		app = apps.ByName(*appName)
+	}
+	if app == nil {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+	kind := tmk.TransportKind(*transport)
+	if kind != tmk.TransportFastGM && kind != tmk.TransportUDPGM {
+		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
+		os.Exit(2)
+	}
+
+	mutate := func(cfg *tmk.Config) { cfg.Fast.Rendezvous = *rendezvous }
+	run := harness.RunApp
+	if *verify {
+		run = harness.VerifiedRun
+	}
+	res, err := run(app, *nodes, kind, mutate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s %s on %d nodes over %s\n", app.Name(), app.Size(), *nodes, kind)
+	fmt.Printf("  execution time: %v\n", res.ExecTime)
+	fmt.Printf("  dsm:       %v\n", &res.Stats)
+	fmt.Printf("  transport: %v\n", &res.Transport)
+	fmt.Printf("  max pinned: %.2f MB\n", float64(res.MaxPinnedBytes)/1e6)
+	if *verify {
+		fmt.Println("  verification: OK (matches sequential reference)")
+	}
+}

@@ -1,0 +1,34 @@
+// Command ubench runs the TreadMarks microbenchmarks (paper Figure 3):
+// Barrier, Lock direct/indirect, Page, and Diff small/large, on both
+// UDP/GM and FAST/GM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	nodesFlag := flag.String("barrier-nodes", "2,4,8,16", "node counts for the Barrier microbenchmark")
+	flag.Parse()
+	var nodes []int
+	for _, s := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -barrier-nodes: %v\n", err)
+			os.Exit(2)
+		}
+		nodes = append(nodes, n)
+	}
+	rows, err := harness.Figure3(nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	harness.PrintFigure3(os.Stdout, rows)
+}

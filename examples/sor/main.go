@@ -1,0 +1,33 @@
+// SOR example: red-black successive over-relaxation — the paper's most
+// lock-intensive application — swept across system sizes on both
+// transports, reproducing the Figure 4 SOR curve shape (UDP/GM barely
+// scales; FAST/GM does).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	treadmarks "repro"
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+func main() {
+	app := &apps.SOR{M: 256, N: 128, Iters: 8, Omega: 1.25, CostPerPoint: 35 * sim.Nanosecond}
+	fmt.Printf("SOR %s, %d iterations\n", app.Size(), app.Iters)
+	fmt.Printf("%6s %14s %14s %8s\n", "nodes", "UDP/GM", "FAST/GM", "factor")
+	for _, nodes := range []int{1, 2, 4, 8} {
+		var times [2]treadmarks.Time
+		for i, kind := range []treadmarks.TransportKind{treadmarks.UDPGM, treadmarks.FastGM} {
+			cfg := treadmarks.DefaultConfig(nodes, kind)
+			res, err := treadmarks.Run(cfg, app.Run)
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[i] = res.ExecTime
+		}
+		fmt.Printf("%6d %14v %14v %8.2f\n", nodes, times[0], times[1],
+			float64(times[0])/float64(times[1]))
+	}
+}

@@ -1,0 +1,84 @@
+package gm
+
+import (
+	"fmt"
+
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// The GM mapper owns reserved port 0 on every node. At boot it probes
+// the fabric, assigns every NIC a GM node ID, and distributes the route
+// table — which is why applications get at most seven usable ports (the
+// constraint behind the paper's two-port substrate design).
+//
+// On the paper's single-crossbar fabric the routes are trivial (one
+// switch crossing between any pair), but the mapping phase still costs
+// boot time proportional to the cluster size, which Map models.
+
+// Route describes the path between two nodes on the fabric.
+type Route struct {
+	Src, Dst myrinet.NodeID
+	Hops     int // switch crossings
+}
+
+// Mapper is the per-system mapping service.
+type Mapper struct {
+	sys    *System
+	mapped bool
+	routes map[[2]myrinet.NodeID]Route
+}
+
+// Mapper returns the system's mapping service.
+func (sys *System) Mapper() *Mapper {
+	if sys.mapper == nil {
+		sys.mapper = &Mapper{sys: sys, routes: make(map[[2]myrinet.NodeID]Route)}
+	}
+	return sys.mapper
+}
+
+// MapCost is the modelled per-node probe cost of the mapping phase.
+const MapCost = 150 * sim.Microsecond
+
+// Map probes the fabric and builds the route table, charging the boot
+// process the mapping time. Idempotent.
+func (m *Mapper) Map(p *sim.Proc) {
+	if m.mapped {
+		return
+	}
+	n := m.sys.Nodes()
+	p.Advance(sim.Time(n) * MapCost)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			hops := 1 // single crossbar: one switch crossing
+			if i == j {
+				hops = 0
+			}
+			m.routes[[2]myrinet.NodeID{myrinet.NodeID(i), myrinet.NodeID(j)}] = Route{
+				Src: myrinet.NodeID(i), Dst: myrinet.NodeID(j), Hops: hops,
+			}
+		}
+	}
+	m.mapped = true
+}
+
+// Mapped reports whether the mapping phase has run.
+func (m *Mapper) Mapped() bool { return m.mapped }
+
+// Route returns the route between two nodes; Map must have run.
+func (m *Mapper) Route(src, dst myrinet.NodeID) (Route, error) {
+	if !m.mapped {
+		return Route{}, fmt.Errorf("gm: mapper has not run")
+	}
+	r, ok := m.routes[[2]myrinet.NodeID{src, dst}]
+	if !ok {
+		return Route{}, fmt.Errorf("gm: no route %d→%d", src, dst)
+	}
+	return r, nil
+}
+
+// NodeName returns the GM host name for a node ID (the mapper's naming
+// scheme on the testbed).
+func (m *Mapper) NodeName(id myrinet.NodeID) string {
+	return fmt.Sprintf("myri%d", int(id))
+}

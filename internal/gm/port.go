@@ -1,0 +1,372 @@
+package gm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// SendStatus is the outcome reported to a send callback.
+type SendStatus int
+
+// Send outcomes.
+const (
+	SendOK SendStatus = iota
+	// SendTimedOut: the receiver never provided a matching receive buffer
+	// within the resend timeout. The sending port is disabled.
+	SendTimedOut
+	// SendPortDisabled: the send was aborted because the port was
+	// disabled by an earlier failure before this send completed.
+	SendPortDisabled
+)
+
+func (st SendStatus) String() string {
+	switch st {
+	case SendOK:
+		return "ok"
+	case SendTimedOut:
+		return "timed out"
+	case SendPortDisabled:
+		return "port disabled"
+	default:
+		return fmt.Sprintf("SendStatus(%d)", int(st))
+	}
+}
+
+// SendCallback fires when GM finishes with a send (ack received or
+// failure determined). It runs at the callback's virtual time in whatever
+// context the simulator is in; it must not block.
+type SendCallback func(status SendStatus)
+
+// Errors returned by Send.
+var (
+	ErrNoSendTokens = errors.New("gm: no send tokens available")
+	ErrPortDisabled = errors.New("gm: port disabled; resume required")
+	ErrNotPinned    = errors.New("gm: send buffer not in registered memory")
+)
+
+// Recv is one received message as surfaced by a poll.
+type Recv struct {
+	From     myrinet.NodeID
+	FromPort int
+	Class    int
+	Data     []byte  // length = message length; aliases Buffer storage
+	Buffer   *Buffer // the preposted buffer the message landed in
+}
+
+type parkedMsg struct {
+	src     myrinet.NodeID
+	pm      *partialMsg
+	timeout *sim.Event
+}
+
+// PortStats counts port-level activity.
+type PortStats struct {
+	Sent          int64
+	SendBytes     int64
+	Received      int64
+	RecvBytes     int64
+	Parked        int64 // messages that arrived with no matching buffer
+	Timeouts      int64 // parked messages that expired (sender notified)
+	Interrupts    int64
+	TokenStalls   int64 // Send calls rejected for lack of tokens
+	BuffersPosted int64
+}
+
+// Port is one GM communication endpoint on a node.
+type Port struct {
+	node    *Node
+	id      int
+	tokens  int
+	enabled bool
+
+	rxQ    []*Recv
+	rxCond *sim.Cond
+
+	posted map[int][]*Buffer    // class → preposted receive buffers
+	parked map[int][]*parkedMsg // class → arrivals awaiting a buffer
+
+	intrProc    *sim.Proc
+	intrEnabled bool
+
+	sink func(*Recv)
+
+	stats PortStats
+}
+
+// SetSink installs a scheduler-context delivery function that intercepts
+// every accepted message instead of queuing it for Poll/WaitRecv. This
+// models a kernel-owned port (the Sockets-GM path): the "kernel" consumes
+// arrivals immediately and recycles the receive buffers itself.
+func (p *Port) SetSink(fn func(*Recv)) { p.sink = fn }
+
+// ID returns the port number.
+func (p *Port) ID() int { return p.id }
+
+// Node returns the owning node.
+func (p *Port) Node() *Node { return p.node }
+
+// Enabled reports whether the port can send.
+func (p *Port) Enabled() bool { return p.enabled }
+
+// Tokens returns the number of available send tokens.
+func (p *Port) Tokens() int { return p.tokens }
+
+// Stats returns a copy of the port's counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// Resume re-enables a port disabled by a send timeout. GM must probe the
+// network to do this, which is expensive.
+func (p *Port) Resume(proc *sim.Proc) {
+	if p.enabled {
+		return
+	}
+	proc.Advance(p.node.sys.params.ResumeCost)
+	p.enabled = true
+}
+
+// ForceResume re-enables the port with no process charged. Kernel-owned
+// ports use this after scheduling the probe delay on the event clock.
+func (p *Port) ForceResume() { p.enabled = true }
+
+// ProvideReceiveBuffer preposts b for messages of b's size class. If a
+// message of that class is already parked waiting, it is accepted
+// immediately (and its sender's pending timeout cancelled).
+func (p *Port) ProvideReceiveBuffer(b *Buffer) {
+	if !b.mem.registered {
+		panic("gm: receive buffer not in registered memory")
+	}
+	p.stats.BuffersPosted++
+	if waiting := p.parked[b.class]; len(waiting) > 0 {
+		w := waiting[0]
+		p.parked[b.class] = waiting[:copy(waiting, waiting[1:])]
+		w.timeout.Cancel()
+		p.accept(w.src, w.pm, b)
+		return
+	}
+	p.posted[b.class] = append(p.posted[b.class], b)
+}
+
+// PostedBuffers reports how many buffers of the given class are preposted.
+func (p *Port) PostedBuffers(class int) int { return len(p.posted[class]) }
+
+// Send transmits n bytes from registered buffer b to (dst, dstPort). The
+// calling process is charged the host-side send overhead; cb fires when
+// the message is accepted at the receiver (SendOK) or the transfer fails.
+// The data is copied out of b before Send returns, so b may be reused as
+// soon as cb fires (GM's contract).
+func (p *Port) Send(proc *sim.Proc, dst myrinet.NodeID, dstPort int, b *Buffer, n int, cb SendCallback) error {
+	return p.send(proc, dst, dstPort, b, n, cb)
+}
+
+// SendFromKernel is Send issued from kernel context: no process is
+// charged the host send overhead (the syscall path already accounted for
+// it, or the send happens from a completion handler on the event clock).
+func (p *Port) SendFromKernel(dst myrinet.NodeID, dstPort int, b *Buffer, n int, cb SendCallback) error {
+	return p.send(nil, dst, dstPort, b, n, cb)
+}
+
+func (p *Port) send(proc *sim.Proc, dst myrinet.NodeID, dstPort int, b *Buffer, n int, cb SendCallback) error {
+	params := p.node.sys.params
+	if !p.enabled {
+		return ErrPortDisabled
+	}
+	if b == nil || !b.mem.registered {
+		return ErrNotPinned
+	}
+	if n < 0 || n > len(b.data) {
+		return fmt.Errorf("gm: send length %d outside buffer capacity %d", n, len(b.data))
+	}
+	if p.tokens <= 0 {
+		p.stats.TokenStalls++
+		return ErrNoSendTokens
+	}
+	p.tokens--
+	if proc != nil {
+		proc.Advance(params.SendOverhead)
+	}
+
+	class := params.ClassFor(n)
+	p.stats.Sent++
+	p.stats.SendBytes += int64(n)
+
+	rec := &sendRecord{port: p, cb: cb}
+	p.node.nextMsgID++
+	msgID := p.node.nextMsgID
+	meta := msgMeta{class: class, srcPort: p.id, sendRec: rec}
+
+	frags := p.node.sys.fabric.FragmentSizes(n)
+	off := 0
+	for i, fl := range frags {
+		p.node.nic.SendPacket(&myrinet.Packet{
+			Src:      p.node.id,
+			Dst:      dst,
+			DstPort:  dstPort,
+			MsgID:    msgID,
+			Frag:     i,
+			NumFrags: len(frags),
+			MsgLen:   n,
+			Payload:  b.data[off : off+fl],
+			Meta:     meta,
+		})
+		off += fl
+	}
+	// The resend timeout is armed at the sender: if the receiver never
+	// accepts (closed port or no buffer), this fires.
+	rec.timeout = p.node.sys.s.After(params.ResendTimeout, func() {
+		rec.fail(SendTimedOut)
+	})
+	return nil
+}
+
+// complete finishes a send successfully: token returned, callback fired.
+func (r *sendRecord) complete() {
+	if r.completed {
+		return
+	}
+	r.completed = true
+	if r.timeout != nil {
+		r.timeout.Cancel()
+	}
+	r.port.tokens++
+	if r.cb != nil {
+		r.cb(SendOK)
+	}
+}
+
+// fail finishes a send unsuccessfully and disables the sending port.
+func (r *sendRecord) fail(st SendStatus) {
+	if r.completed {
+		return
+	}
+	r.completed = true
+	if r.timeout != nil {
+		r.timeout.Cancel()
+	}
+	r.port.tokens++
+	r.port.stats.Timeouts++
+	r.port.enabled = false
+	if r.cb != nil {
+		r.cb(st)
+	}
+}
+
+// arrive is called in scheduler context when a complete message reaches
+// this port. It matches a preposted buffer of the exact class or parks.
+func (p *Port) arrive(src myrinet.NodeID, pm *partialMsg) {
+	class := pm.meta.class
+	if bufs := p.posted[class]; len(bufs) > 0 {
+		b := bufs[0]
+		p.posted[class] = bufs[:copy(bufs, bufs[1:])]
+		p.accept(src, pm, b)
+		return
+	}
+	p.stats.Parked++
+	park := &parkedMsg{src: src, pm: pm}
+	// The receiver-side park expires with the sender's timeout; keep a
+	// local event so the parked entry is reclaimed.
+	park.timeout = p.node.sys.s.After(p.node.sys.params.ResendTimeout, func() {
+		p.unpark(park)
+	})
+	p.parked[class] = append(p.parked[class], park)
+}
+
+func (p *Port) unpark(park *parkedMsg) {
+	class := park.pm.meta.class
+	q := p.parked[class]
+	for i, w := range q {
+		if w == park {
+			p.parked[class] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// accept copies the message into a buffer, queues the receive event, and
+// acknowledges the sender.
+func (p *Port) accept(src myrinet.NodeID, pm *partialMsg, b *Buffer) {
+	copy(b.data, pm.data)
+	rv := &Recv{
+		From:     src,
+		FromPort: pm.meta.srcPort,
+		Class:    pm.meta.class,
+		Data:     b.data[:len(pm.data)],
+		Buffer:   b,
+	}
+	p.stats.Received++
+	p.stats.RecvBytes += int64(len(pm.data))
+
+	// Ack the sender after the NIC-level ack latency.
+	if rec := pm.meta.sendRec; rec != nil {
+		p.node.sys.s.After(p.node.sys.params.AckLatency, rec.complete)
+	}
+
+	if p.sink != nil {
+		p.sink(rv)
+		return
+	}
+	p.rxQ = append(p.rxQ, rv)
+	p.rxCond.Broadcast()
+	if p.intrEnabled && p.intrProc != nil {
+		p.stats.Interrupts++
+		p.intrProc.Interrupt(p)
+	}
+}
+
+// Poll checks the receive queue once, charging the appropriate poll cost.
+// It returns nil when no message is pending.
+func (p *Port) Poll(proc *sim.Proc) *Recv {
+	params := p.node.sys.params
+	if len(p.rxQ) == 0 {
+		proc.Advance(params.EmptyPollOverhead)
+		return nil
+	}
+	proc.Advance(params.PollOverhead + params.RecvDispatch)
+	rv := p.rxQ[0]
+	p.rxQ = p.rxQ[:copy(p.rxQ, p.rxQ[1:])]
+	return rv
+}
+
+// TryPeek reports whether a message is pending, with no cost. Used by
+// transports to decide whether to enter a blocking wait.
+func (p *Port) TryPeek() bool { return len(p.rxQ) > 0 }
+
+// WaitRecv blocks (modelling a gm_receive polling loop: the CPU spins but
+// virtual time passes only until the next arrival) until a message is
+// available, then returns it with the poll cost charged.
+func (p *Port) WaitRecv(proc *sim.Proc) *Recv {
+	for len(p.rxQ) == 0 {
+		proc.WaitOn(p.rxCond)
+	}
+	return p.Poll(proc)
+}
+
+// WaitRecvUntil is WaitRecv with a deadline; it returns nil if the
+// deadline passes first.
+func (p *Port) WaitRecvUntil(proc *sim.Proc, deadline sim.Time) *Recv {
+	for len(p.rxQ) == 0 {
+		if proc.Now() >= deadline {
+			return nil
+		}
+		proc.WaitOnUntil(p.rxCond, deadline)
+	}
+	return p.Poll(proc)
+}
+
+// EnableInterrupt turns on the paper's NIC-firmware modification for this
+// port: every accepted message raises a host interrupt delivered to proc
+// (payload: the *Port). The process's interrupt handler typically drains
+// the port with Poll.
+func (p *Port) EnableInterrupt(proc *sim.Proc) {
+	p.intrProc = proc
+	p.intrEnabled = true
+}
+
+// DisableInterrupt reverts the port to pure polling.
+func (p *Port) DisableInterrupt() { p.intrEnabled = false }
+
+// InterruptCost returns the modelled NIC interrupt dispatch cost; the
+// interrupt handler charges this on entry.
+func (p *Port) InterruptCost() sim.Time { return p.node.sys.params.InterruptOverhead }

@@ -1,0 +1,164 @@
+package gm
+
+import (
+	"fmt"
+
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// NumPorts is the number of GM ports per node. Port 0 is reserved for the
+// mapper, leaving seven usable ports — the constraint that forces the
+// paper's substrate to multiplex all peers over two ports.
+const NumPorts = 8
+
+// MapperPort is the reserved port.
+const MapperPort = 0
+
+// System is the GM installation across the fabric: one endpoint per node.
+type System struct {
+	s      *sim.Simulator
+	fabric *myrinet.Fabric
+	params Params
+	nodes  []*Node
+	mapper *Mapper
+}
+
+// NewSystem attaches a GM endpoint to every NIC on the fabric.
+func NewSystem(s *sim.Simulator, fabric *myrinet.Fabric, params Params) *System {
+	sys := &System{s: s, fabric: fabric, params: params}
+	for i := 0; i < fabric.Nodes(); i++ {
+		n := &Node{sys: sys, id: myrinet.NodeID(i), nic: fabric.NIC(myrinet.NodeID(i))}
+		n.reassembly = make(map[reassemblyKey]*partialMsg)
+		sys.nodes = append(sys.nodes, n)
+		n.nic.SetHandler(n.handlePacket)
+	}
+	return sys
+}
+
+// Params returns the GM cost model in use.
+func (sys *System) Params() Params { return sys.params }
+
+// Nodes returns the node count.
+func (sys *System) Nodes() int { return len(sys.nodes) }
+
+// Node returns the GM endpoint for a node ID.
+func (sys *System) Node(id myrinet.NodeID) *Node { return sys.nodes[id] }
+
+// Node is one host's GM endpoint.
+type Node struct {
+	sys            *System
+	id             myrinet.NodeID
+	nic            *myrinet.NIC
+	ports          [NumPorts]*Port
+	nextMsgID      uint64
+	pinnedBytes    int64
+	maxPinnedBytes int64
+	reassembly     map[reassemblyKey]*partialMsg
+}
+
+type reassemblyKey struct {
+	src   myrinet.NodeID
+	msgID uint64
+}
+
+type partialMsg struct {
+	data     []byte
+	received int
+	dstPort  int
+	meta     msgMeta
+}
+
+// ID returns the node's GM node ID (as assigned by the mapper).
+func (n *Node) ID() myrinet.NodeID { return n.id }
+
+// System returns the owning GM system.
+func (n *Node) System() *System { return n.sys }
+
+// OpenPort opens a GM port on the node. Port 0 is reserved for the
+// mapper; opening it, an out-of-range port, or an already-open port is an
+// error.
+func (n *Node) OpenPort(id int) (*Port, error) {
+	if id <= MapperPort || id >= NumPorts {
+		return nil, fmt.Errorf("gm: port %d out of range (1..%d usable)", id, NumPorts-1)
+	}
+	if n.ports[id] != nil {
+		return nil, fmt.Errorf("gm: port %d already open on node %d", id, n.id)
+	}
+	p := &Port{
+		node:    n,
+		id:      id,
+		tokens:  n.sys.params.SendTokens,
+		enabled: true,
+		rxCond:  sim.NewCond(fmt.Sprintf("gm:n%d:p%d:rx", n.id, id)),
+		posted:  make(map[int][]*Buffer),
+		parked:  make(map[int][]*parkedMsg),
+	}
+	n.ports[id] = p
+	return p, nil
+}
+
+// Port returns the open port with the given id, or nil.
+func (n *Node) Port(id int) *Port {
+	if id < 0 || id >= NumPorts {
+		return nil
+	}
+	return n.ports[id]
+}
+
+// handlePacket reassembles fragments and hands complete messages to the
+// destination port. Runs in scheduler context at packet delivery time.
+func (n *Node) handlePacket(pkt *myrinet.Packet) {
+	key := reassemblyKey{src: pkt.Src, msgID: pkt.MsgID}
+	pm := n.reassembly[key]
+	if pm == nil {
+		pm = &partialMsg{
+			data:    make([]byte, pkt.MsgLen),
+			dstPort: pkt.DstPort,
+		}
+		if meta, ok := pkt.Meta.(msgMeta); ok {
+			pm.meta = meta
+		}
+		n.reassembly[key] = pm
+	}
+	off := pkt.Frag * n.sys.fabric.Params().MTU
+	copy(pm.data[off:], pkt.Payload)
+	pm.received++
+	if pm.received < pkt.NumFrags {
+		return
+	}
+	delete(n.reassembly, key)
+	n.deliverMessage(pkt.Src, pm)
+}
+
+// deliverMessage routes a reassembled message to its port's buffer pool.
+func (n *Node) deliverMessage(src myrinet.NodeID, pm *partialMsg) {
+	port := n.Port(pm.dstPort)
+	if port == nil {
+		// No such port open: behaves like a never-satisfied buffer wait;
+		// the sender's resend timer will eventually fire.
+		n.sys.parkUnroutable(src, pm)
+		return
+	}
+	port.arrive(src, pm)
+}
+
+// parkUnroutable handles messages to closed ports: nothing will ever
+// accept them, so the sender's timeout logic (armed at send time) handles
+// notification. The message is simply dropped here.
+func (sys *System) parkUnroutable(src myrinet.NodeID, pm *partialMsg) {}
+
+type msgMeta struct {
+	class   int
+	srcPort int
+	// sendRec links the receiver's accept/timeout back to the sender's
+	// callback and token accounting.
+	sendRec *sendRecord
+}
+
+type sendRecord struct {
+	port      *Port // sending port
+	cb        SendCallback
+	timeout   *sim.Event
+	completed bool
+}

@@ -1,0 +1,105 @@
+// Package harness drives the paper's experiments end to end (E0–E5 in
+// DESIGN.md) and prints the rows/series of every table and figure in the
+// evaluation section: the Section 3.1 latency/bandwidth numbers, the
+// Figure 3 microbenchmarks, the Figure 4 system-size sweep, the Table 1 /
+// Figure 5 application-size sweep, and the two ablations (asynchronous-
+// message schemes and the rendezvous protocol).
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+// Transports under comparison, in paper order (baseline first).
+var Transports = []tmk.TransportKind{tmk.TransportUDPGM, tmk.TransportFastGM}
+
+// RunApp executes one application on n processes over the given
+// transport; mutate (optional) tweaks the configuration first.
+func RunApp(app apps.App, n int, kind tmk.TransportKind, mutate func(*tmk.Config)) (*tmk.Result, error) {
+	cfg := tmk.DefaultConfig(n, kind)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return tmk.Run(cfg, app.Run)
+}
+
+// VerifiedRun is RunApp plus a rank-0 check against the sequential
+// reference; it fails loudly rather than report timings for wrong answers.
+func VerifiedRun(app apps.App, n int, kind tmk.TransportKind, mutate func(*tmk.Config)) (*tmk.Result, error) {
+	cfg := tmk.DefaultConfig(n, kind)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	var verr error
+	res, err := tmk.NewCluster(cfg).Run(func(tp *tmk.Proc) {
+		app.Run(tp)
+		tp.Barrier(2_000_000)
+		if tp.Rank() == 0 {
+			verr = app.Verify(tp)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if verr != nil {
+		return nil, fmt.Errorf("harness: %s verification: %w", app.Name(), verr)
+	}
+	return res, nil
+}
+
+// SizeLadder returns the Table 1 application-size ladder (reconstructed
+// and scaled; see DESIGN.md §2) for an app name, smallest to largest.
+func SizeLadder(name string) []apps.App {
+	switch name {
+	case "jacobi":
+		return []apps.App{
+			&apps.Jacobi{N: 256, Iters: 10, CostPerPoint: 120 * sim.Nanosecond},
+			&apps.Jacobi{N: 384, Iters: 10, CostPerPoint: 120 * sim.Nanosecond},
+			&apps.Jacobi{N: 512, Iters: 10, CostPerPoint: 120 * sim.Nanosecond},
+			&apps.Jacobi{N: 640, Iters: 10, CostPerPoint: 120 * sim.Nanosecond},
+		}
+	case "sor":
+		return []apps.App{
+			&apps.SOR{M: 256, N: 128, Iters: 10, Omega: 1.25, CostPerPoint: 140 * sim.Nanosecond},
+			&apps.SOR{M: 384, N: 192, Iters: 10, Omega: 1.25, CostPerPoint: 140 * sim.Nanosecond},
+			&apps.SOR{M: 512, N: 256, Iters: 10, Omega: 1.25, CostPerPoint: 140 * sim.Nanosecond},
+			&apps.SOR{M: 640, N: 320, Iters: 10, Omega: 1.25, CostPerPoint: 140 * sim.Nanosecond},
+		}
+	case "tsp":
+		return []apps.App{
+			&apps.TSP{Cities: 10, PrefixDepth: 3, CostPerNode: 40 * sim.Nanosecond},
+			&apps.TSP{Cities: 11, PrefixDepth: 3, CostPerNode: 40 * sim.Nanosecond},
+			&apps.TSP{Cities: 12, PrefixDepth: 3, CostPerNode: 40 * sim.Nanosecond},
+			&apps.TSP{Cities: 13, PrefixDepth: 3, CostPerNode: 40 * sim.Nanosecond},
+		}
+	case "3dfft":
+		return []apps.App{
+			&apps.FFT3D{Z: 8, Iters: 3, CostPerButterfly: 180 * sim.Nanosecond},
+			&apps.FFT3D{Z: 16, Iters: 3, CostPerButterfly: 180 * sim.Nanosecond},
+			&apps.FFT3D{Z: 32, Iters: 3, CostPerButterfly: 180 * sim.Nanosecond},
+			&apps.FFT3D{Z: 64, Iters: 3, CostPerButterfly: 180 * sim.Nanosecond},
+		}
+	default:
+		return nil
+	}
+}
+
+// AppNames lists the paper's applications in its order.
+var AppNames = []string{"jacobi", "sor", "3dfft", "tsp"}
+
+// factor formats a baseline/improved ratio.
+func factor(udp, fast sim.Time) string {
+	if fast <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(udp)/float64(fast))
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

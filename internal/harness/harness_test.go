@@ -1,0 +1,165 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+func TestNetperfShape(t *testing.T) {
+	rows, err := harness.Netperf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]harness.NetRow{}
+	for _, r := range rows {
+		byName[r.Layer] = r
+	}
+	gm, fast, udp := byName["GM"], byName["FAST/GM"], byName["UDP/GM"]
+	// Paper §3.1: GM 8.99µs, FAST/GM 9.4µs, UDP/GM ≈35µs.
+	if gm.Latency < sim.Micro(8) || gm.Latency > sim.Micro(10) {
+		t.Errorf("GM latency = %v, want ≈8.99µs", gm.Latency)
+	}
+	if fast.Latency <= gm.Latency {
+		t.Errorf("FAST latency %v not above raw GM %v", fast.Latency, gm.Latency)
+	}
+	if fast.Latency > sim.Micro(14) {
+		t.Errorf("FAST latency = %v, want ≈9.4µs–13µs", fast.Latency)
+	}
+	if udp.Latency < sim.Micro(28) || udp.Latency > sim.Micro(45) {
+		t.Errorf("UDP latency = %v, want ≈35µs", udp.Latency)
+	}
+	// Bandwidth: GM ≈235 MB/s; FAST within ~15%; UDP clearly below.
+	if gm.Bandwidth < 215e6 || gm.Bandwidth > 250e6 {
+		t.Errorf("GM bandwidth = %.1f MB/s, want ≈235", gm.Bandwidth/1e6)
+	}
+	if fast.Bandwidth >= gm.Bandwidth {
+		t.Errorf("FAST bandwidth %.1f ≥ raw GM %.1f", fast.Bandwidth/1e6, gm.Bandwidth/1e6)
+	}
+	if udp.Bandwidth >= fast.Bandwidth {
+		t.Errorf("UDP bandwidth %.1f ≥ FAST %.1f", udp.Bandwidth/1e6, fast.Bandwidth/1e6)
+	}
+	var buf bytes.Buffer
+	harness.PrintNetperf(&buf, rows)
+	if !strings.Contains(buf.String(), "GM") {
+		t.Error("printer produced nothing")
+	}
+}
+
+func TestSizeLadders(t *testing.T) {
+	for _, name := range harness.AppNames {
+		ladder := harness.SizeLadder(name)
+		if len(ladder) != 4 {
+			t.Errorf("%s ladder has %d rungs", name, len(ladder))
+		}
+		seen := map[string]bool{}
+		for _, app := range ladder {
+			if app.Name() != name {
+				t.Errorf("ladder rung name %q under %q", app.Name(), name)
+			}
+			if seen[app.Size()] {
+				t.Errorf("%s duplicate size %s", name, app.Size())
+			}
+			seen[app.Size()] = true
+		}
+	}
+	if harness.SizeLadder("nope") != nil {
+		t.Error("unknown ladder not nil")
+	}
+}
+
+func TestVerifiedRunCatchesApps(t *testing.T) {
+	app := harness.SizeLadder("jacobi")[0]
+	res, err := harness.VerifiedRun(app, 4, tmk.TransportFastGM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecTime <= 0 {
+		t.Error("no time elapsed")
+	}
+}
+
+func TestRendezvousAblationShape(t *testing.T) {
+	rows, err := harness.RendezvousAblation(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	full, rv := rows[0], rows[1]
+	if rv.PinnedMax >= full.PinnedMax {
+		t.Errorf("rendezvous pinned %d ≥ full %d", rv.PinnedMax, full.PinnedMax)
+	}
+	if rv.Exec <= full.Exec {
+		t.Errorf("rendezvous exec %v ≤ full %v (should pay overhead)", rv.Exec, full.Exec)
+	}
+	if rv.Rendezvous == 0 || full.Rendezvous != 0 {
+		t.Errorf("RTS counts: full=%d rv=%d", full.Rendezvous, rv.Rendezvous)
+	}
+	var buf bytes.Buffer
+	harness.PrintRendezvous(&buf, rows)
+	if !strings.Contains(buf.String(), "rendezvous") {
+		t.Error("printer output missing rows")
+	}
+}
+
+func TestAsyncSchemesShape(t *testing.T) {
+	rows, err := harness.AsyncSchemes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	interrupt, polling, timer := rows[0], rows[1], rows[2]
+	// The timer scheme's request service latency is bounded below by the
+	// tick, so its synchronization costs dwarf the other two.
+	if timer.LockIndirect <= interrupt.LockIndirect {
+		t.Errorf("timer lock %v ≤ interrupt %v", timer.LockIndirect, interrupt.LockIndirect)
+	}
+	if timer.Jacobi <= interrupt.Jacobi {
+		t.Errorf("timer jacobi %v ≤ interrupt %v", timer.Jacobi, interrupt.Jacobi)
+	}
+	if polling.Jacobi <= interrupt.Jacobi {
+		t.Errorf("polling jacobi %v ≤ interrupt %v (stolen cycles must show)", polling.Jacobi, interrupt.Jacobi)
+	}
+	// The polling thread answers requests faster than the interrupt but
+	// taxes the application's compute; both effects must be visible.
+	if polling.LockIndirect >= interrupt.LockIndirect {
+		t.Errorf("polling lock %v ≥ interrupt %v", polling.LockIndirect, interrupt.LockIndirect)
+	}
+	var buf bytes.Buffer
+	harness.PrintAsyncSchemes(&buf, rows)
+	if !strings.Contains(buf.String(), "interrupt") {
+		t.Error("printer output missing schemes")
+	}
+}
+
+func TestFigure3SmallSubset(t *testing.T) {
+	rows, err := harness.Figure3([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 barrier rows + lock direct/indirect + page + diff small/large.
+	if len(rows) != 7 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Fast >= r.UDP {
+			t.Errorf("%s: FAST %v not faster than UDP %v", r.Bench, r.Fast, r.UDP)
+		}
+	}
+	var buf bytes.Buffer
+	harness.PrintFigure3(&buf, rows)
+	if !strings.Contains(buf.String(), "Barrier (2)") {
+		t.Error("printer output incomplete")
+	}
+}

@@ -1,0 +1,415 @@
+// Package msg defines the TreadMarks wire protocol: the request and reply
+// messages exchanged by the lazy-release-consistency engine, with a
+// compact deterministic binary encoding. Encoded sizes are what the GM
+// substrate's size classes and the UDP baseline's copy costs see, so the
+// encoding is genuinely packed rather than a Go-serialization convenience.
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+// Protocol message kinds. Requests arrive asynchronously (SIGIO / NIC
+// interrupt); replies are awaited synchronously — the split that drives
+// the paper's two-port design.
+const (
+	KInvalid Kind = iota
+	// KLockAcquire: requester → lock manager. Carries the requester's
+	// vector clock so the eventual granter can compute missing intervals.
+	KLockAcquire
+	// KLockForward: manager → last holder, passing the original requester.
+	KLockForward
+	// KLockGrant: granter → requester, carrying consistency intervals.
+	KLockGrant
+	// KBarrierArrive: client → barrier manager with the client's new
+	// intervals since the last barrier.
+	KBarrierArrive
+	// KBarrierRelease: manager → clients with the merged interval set.
+	KBarrierRelease
+	// KDiffReq: faulting process → writer, requesting diffs for pages.
+	KDiffReq
+	// KDiffReply: writer → faulting process with encoded diffs.
+	KDiffReply
+	// KPageReq: faulting process → page owner for a full page copy.
+	KPageReq
+	// KPageReply: owner → faulting process, page contents + coverage.
+	KPageReply
+	// KDistribute: proc 0 → all, announcing a shared region (Tmk_distribute).
+	KDistribute
+	// KAck: generic empty acknowledgement.
+	KAck
+	// KExit: orderly shutdown notification.
+	KExit
+	// KPing/KPong: micro-benchmark round-trip probes (netperf, E0).
+	KPing
+	KPong
+)
+
+var kindNames = [...]string{
+	"invalid", "lock-acquire", "lock-forward", "lock-grant",
+	"barrier-arrive", "barrier-release", "diff-req", "diff-reply",
+	"page-req", "page-reply", "distribute", "ack", "exit",
+	"ping", "pong",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsRequest reports whether the kind travels on the asynchronous request
+// path (true) or the synchronous reply path (false).
+func (k Kind) IsRequest() bool {
+	switch k {
+	case KLockAcquire, KLockForward, KBarrierArrive, KDiffReq, KPageReq, KDistribute, KExit, KPing:
+		return true
+	default:
+		return false
+	}
+}
+
+// Interval is one consistency interval: all modifications proc Proc made
+// between its timestamps TS-1 and TS, summarized as write notices (the
+// pages dirtied). VC is the writer's full vector clock when the interval
+// closed (with VC[Proc] == TS); receivers use it to apply diffs in a
+// linear extension of the happens-before order.
+type Interval struct {
+	Proc  int32
+	TS    int32
+	VC    []int32
+	Pages []int32 // write notices: page IDs dirtied in the interval
+}
+
+// DiffRange asks writer Proc for its diffs of page Page with timestamps
+// in (FromTS, ToTS].
+type DiffRange struct {
+	Page   int32
+	Proc   int32
+	FromTS int32
+	ToTS   int32
+}
+
+// Diff carries one encoded page diff created by Proc at interval TS.
+type Diff struct {
+	Page int32
+	Proc int32
+	TS   int32
+	Data []byte // run-length word encoding (see tmk/diff.go)
+}
+
+// ProcTS is a (process, timestamp) pair; a page reply's coverage vector.
+type ProcTS struct {
+	Proc int32
+	TS   int32
+}
+
+// RegionInfo describes a shared region announced by Tmk_distribute.
+type RegionInfo struct {
+	ID        int32
+	StartPage int32
+	Pages     int32
+	Bytes     int64
+}
+
+// Message is one protocol message. Fields beyond the header are used
+// per-kind; unused fields must be zero so encoding stays minimal.
+type Message struct {
+	Kind    Kind
+	Seq     uint32 // per-sender sequence, for reply matching and dup filtering
+	From    int32  // sending process
+	ReplyTo int32  // process the reply must go to (survives forwarding)
+
+	Lock    int32
+	Barrier int32
+	Episode int32
+	Page    int32
+
+	Region    RegionInfo
+	VC        []int32
+	Intervals []Interval
+	DiffReqs  []DiffRange
+	Diffs     []Diff
+	PageData  []byte
+	Covered   []ProcTS
+}
+
+// ErrTruncated reports a decode of a short or corrupt buffer.
+var ErrTruncated = errors.New("msg: truncated or corrupt message")
+
+// field presence bits, so empty slices cost nothing on the wire.
+const (
+	fVC uint8 = 1 << iota
+	fIntervals
+	fDiffReqs
+	fDiffs
+	fPageData
+	fCovered
+	fRegion
+)
+
+type writer struct{ b []byte }
+
+func (w *writer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *writer) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *writer) i32(v int32)  { w.u32(uint32(v)) }
+func (w *writer) bytes(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *reader) need(n int) bool {
+	if r.err || r.off+n > len(r.b) {
+		r.err = true
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i32() int32 { return int32(r.u32()) }
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if n < 0 || !r.need(n) {
+		r.err = true
+		return nil
+	}
+	// Copy out: decoded messages must own their memory, because callers
+	// (the transports) recycle the receive buffer immediately after
+	// decoding — aliasing it would let the next arrival corrupt this
+	// message's diffs or page contents.
+	v := append([]byte(nil), r.b[r.off:r.off+n]...)
+	r.off += n
+	return v
+}
+
+// Encode serializes m.
+func (m *Message) Encode() []byte {
+	w := &writer{b: make([]byte, 0, 64)}
+	w.u8(uint8(m.Kind))
+	var flags uint8
+	if len(m.VC) > 0 {
+		flags |= fVC
+	}
+	if len(m.Intervals) > 0 {
+		flags |= fIntervals
+	}
+	if len(m.DiffReqs) > 0 {
+		flags |= fDiffReqs
+	}
+	if len(m.Diffs) > 0 {
+		flags |= fDiffs
+	}
+	if len(m.PageData) > 0 {
+		flags |= fPageData
+	}
+	if len(m.Covered) > 0 {
+		flags |= fCovered
+	}
+	if m.Region != (RegionInfo{}) {
+		flags |= fRegion
+	}
+	w.u8(flags)
+	w.u32(m.Seq)
+	w.u16(uint16(m.From))
+	w.u16(uint16(m.ReplyTo))
+	w.i32(m.Lock)
+	w.i32(m.Barrier)
+	w.i32(m.Episode)
+	w.i32(m.Page)
+
+	if flags&fRegion != 0 {
+		w.i32(m.Region.ID)
+		w.i32(m.Region.StartPage)
+		w.i32(m.Region.Pages)
+		w.u64(uint64(m.Region.Bytes))
+	}
+	if flags&fVC != 0 {
+		w.u16(uint16(len(m.VC)))
+		for _, v := range m.VC {
+			w.i32(v)
+		}
+	}
+	if flags&fIntervals != 0 {
+		w.u16(uint16(len(m.Intervals)))
+		for _, iv := range m.Intervals {
+			w.u16(uint16(iv.Proc))
+			w.i32(iv.TS)
+			w.u16(uint16(len(iv.VC)))
+			for _, v := range iv.VC {
+				w.i32(v)
+			}
+			w.u32(uint32(len(iv.Pages)))
+			for _, pg := range iv.Pages {
+				w.i32(pg)
+			}
+		}
+	}
+	if flags&fDiffReqs != 0 {
+		w.u16(uint16(len(m.DiffReqs)))
+		for _, dr := range m.DiffReqs {
+			w.i32(dr.Page)
+			w.u16(uint16(dr.Proc))
+			w.i32(dr.FromTS)
+			w.i32(dr.ToTS)
+		}
+	}
+	if flags&fDiffs != 0 {
+		w.u16(uint16(len(m.Diffs)))
+		for _, d := range m.Diffs {
+			w.i32(d.Page)
+			w.u16(uint16(d.Proc))
+			w.i32(d.TS)
+			w.bytes(d.Data)
+		}
+	}
+	if flags&fPageData != 0 {
+		w.bytes(m.PageData)
+	}
+	if flags&fCovered != 0 {
+		w.u16(uint16(len(m.Covered)))
+		for _, c := range m.Covered {
+			w.u16(uint16(c.Proc))
+			w.i32(c.TS)
+		}
+	}
+	return w.b
+}
+
+// Decode parses a message previously produced by Encode.
+func Decode(b []byte) (*Message, error) {
+	r := &reader{b: b}
+	m := &Message{}
+	m.Kind = Kind(r.u8())
+	flags := r.u8()
+	m.Seq = r.u32()
+	m.From = int32(int16(r.u16()))
+	m.ReplyTo = int32(int16(r.u16()))
+	m.Lock = r.i32()
+	m.Barrier = r.i32()
+	m.Episode = r.i32()
+	m.Page = r.i32()
+
+	if flags&fRegion != 0 {
+		m.Region.ID = r.i32()
+		m.Region.StartPage = r.i32()
+		m.Region.Pages = r.i32()
+		m.Region.Bytes = int64(r.u64())
+	}
+	if flags&fVC != 0 {
+		n := int(r.u16())
+		m.VC = make([]int32, 0, n)
+		for i := 0; i < n && !r.err; i++ {
+			m.VC = append(m.VC, r.i32())
+		}
+	}
+	if flags&fIntervals != 0 {
+		n := int(r.u16())
+		m.Intervals = make([]Interval, 0, n)
+		for i := 0; i < n && !r.err; i++ {
+			iv := Interval{Proc: int32(int16(r.u16())), TS: r.i32()}
+			nv := int(r.u16())
+			if nv > 0 {
+				iv.VC = make([]int32, 0, nv)
+				for j := 0; j < nv && !r.err; j++ {
+					iv.VC = append(iv.VC, r.i32())
+				}
+			}
+			np := int(r.u32())
+			if np > len(b) { // sanity bound against corrupt counts
+				r.err = true
+				break
+			}
+			iv.Pages = make([]int32, 0, np)
+			for j := 0; j < np && !r.err; j++ {
+				iv.Pages = append(iv.Pages, r.i32())
+			}
+			m.Intervals = append(m.Intervals, iv)
+		}
+	}
+	if flags&fDiffReqs != 0 {
+		n := int(r.u16())
+		m.DiffReqs = make([]DiffRange, 0, n)
+		for i := 0; i < n && !r.err; i++ {
+			m.DiffReqs = append(m.DiffReqs, DiffRange{
+				Page: r.i32(), Proc: int32(int16(r.u16())), FromTS: r.i32(), ToTS: r.i32(),
+			})
+		}
+	}
+	if flags&fDiffs != 0 {
+		n := int(r.u16())
+		m.Diffs = make([]Diff, 0, n)
+		for i := 0; i < n && !r.err; i++ {
+			d := Diff{Page: r.i32(), Proc: int32(int16(r.u16())), TS: r.i32()}
+			d.Data = r.bytes()
+			m.Diffs = append(m.Diffs, d)
+		}
+	}
+	if flags&fPageData != 0 {
+		m.PageData = r.bytes()
+	}
+	if flags&fCovered != 0 {
+		n := int(r.u16())
+		m.Covered = make([]ProcTS, 0, n)
+		for i := 0; i < n && !r.err; i++ {
+			m.Covered = append(m.Covered, ProcTS{Proc: int32(int16(r.u16())), TS: r.i32()})
+		}
+	}
+	if r.err {
+		return nil, ErrTruncated
+	}
+	return m, nil
+}
+
+// EncodedSize returns the wire size without building the buffer twice.
+func (m *Message) EncodedSize() int { return len(m.Encode()) }

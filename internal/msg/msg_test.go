@@ -1,0 +1,307 @@
+package msg
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if KLockAcquire.String() != "lock-acquire" {
+		t.Error(KLockAcquire.String())
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Error(Kind(200).String())
+	}
+}
+
+func TestIsRequest(t *testing.T) {
+	reqs := []Kind{KLockAcquire, KLockForward, KBarrierArrive, KDiffReq, KPageReq, KDistribute, KExit}
+	reps := []Kind{KLockGrant, KBarrierRelease, KDiffReply, KPageReply, KAck}
+	for _, k := range reqs {
+		if !k.IsRequest() {
+			t.Errorf("%v should be a request", k)
+		}
+	}
+	for _, k := range reps {
+		if k.IsRequest() {
+			t.Errorf("%v should be a reply", k)
+		}
+	}
+}
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	b := m.Encode()
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v (len=%d)", err, len(b))
+	}
+	return got
+}
+
+func msgsEqual(a, b *Message) bool {
+	norm := func(m *Message) Message {
+		c := *m
+		if len(c.VC) == 0 {
+			c.VC = nil
+		}
+		if len(c.Intervals) == 0 {
+			c.Intervals = nil
+		}
+		for i := range c.Intervals {
+			if len(c.Intervals[i].Pages) == 0 {
+				c.Intervals[i].Pages = nil
+			}
+			if len(c.Intervals[i].VC) == 0 {
+				c.Intervals[i].VC = nil
+			}
+		}
+		if len(c.DiffReqs) == 0 {
+			c.DiffReqs = nil
+		}
+		if len(c.Diffs) == 0 {
+			c.Diffs = nil
+		}
+		for i := range c.Diffs {
+			if len(c.Diffs[i].Data) == 0 {
+				c.Diffs[i].Data = nil
+			}
+		}
+		if len(c.PageData) == 0 {
+			c.PageData = nil
+		}
+		if len(c.Covered) == 0 {
+			c.Covered = nil
+		}
+		return c
+	}
+	na, nb := norm(a), norm(b)
+	return reflect.DeepEqual(na, nb)
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	m := &Message{Kind: KLockAcquire, Seq: 42, From: 3, ReplyTo: 3, Lock: 7, VC: []int32{1, 2, 3, 4}}
+	got := roundTrip(t, m)
+	if !msgsEqual(m, got) {
+		t.Errorf("round trip mismatch:\n  in: %+v\n out: %+v", m, got)
+	}
+}
+
+func TestRoundTripAllFields(t *testing.T) {
+	m := &Message{
+		Kind:    KBarrierRelease,
+		Seq:     99,
+		From:    0,
+		ReplyTo: 5,
+		Lock:    -1,
+		Barrier: 2,
+		Episode: 17,
+		Page:    321,
+		Region:  RegionInfo{ID: 4, StartPage: 100, Pages: 16, Bytes: 65536},
+		VC:      []int32{9, 8, 7},
+		Intervals: []Interval{
+			{Proc: 1, TS: 5, Pages: []int32{10, 11, 12}},
+			{Proc: 2, TS: 9, Pages: nil},
+		},
+		DiffReqs: []DiffRange{{Page: 10, Proc: 1, FromTS: 2, ToTS: 5}},
+		Diffs: []Diff{
+			{Page: 10, Proc: 1, TS: 3, Data: []byte{1, 2, 3, 4, 5}},
+			{Page: 11, Proc: 1, TS: 4, Data: nil},
+		},
+		PageData: bytes.Repeat([]byte{0xAA}, 4096),
+		Covered:  []ProcTS{{Proc: 0, TS: 1}, {Proc: 3, TS: 12}},
+	}
+	got := roundTrip(t, m)
+	if !msgsEqual(m, got) {
+		t.Errorf("round trip mismatch:\n  in: %+v\n out: %+v", m, got)
+	}
+}
+
+func TestSmallRequestIsSmall(t *testing.T) {
+	// The paper preposts many small buffers because "most asynchronous
+	// requests are small, typically of the order of eight bytes". Our
+	// encoded bare requests must stay tiny (≤ 32 bytes → GM class ≤ 5).
+	m := &Message{Kind: KPageReq, Seq: 1, From: 2, ReplyTo: 2, Page: 77, Lock: -1}
+	if n := m.EncodedSize(); n > 32 {
+		t.Errorf("bare page request encodes to %d bytes, want ≤ 32", n)
+	}
+}
+
+func TestPageReplySizeDominatedByPage(t *testing.T) {
+	m := &Message{Kind: KPageReply, Seq: 1, From: 2, PageData: make([]byte, 4096)}
+	n := m.EncodedSize()
+	if n < 4096 || n > 4096+64 {
+		t.Errorf("page reply = %d bytes, want 4096 + small header", n)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	m := &Message{Kind: KBarrierArrive, Seq: 5, From: 1, VC: []int32{1, 2, 3},
+		Intervals: []Interval{{Proc: 1, TS: 2, Pages: []int32{5}}}}
+	b := m.Encode()
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Decode(b[:cut]); err == nil {
+			// Some prefixes can decode "successfully" only if all flagged
+			// fields happen to be complete; with flags set this must fail.
+			t.Errorf("Decode of %d/%d-byte prefix succeeded", cut, len(b))
+		}
+	}
+}
+
+func TestDecodeCorruptCountRejected(t *testing.T) {
+	m := &Message{Kind: KDiffReply, Seq: 5, From: 1, Diffs: []Diff{{Page: 1, Proc: 0, TS: 1, Data: []byte{1}}}}
+	b := m.Encode()
+	// Blow up the diff data length field (last u32 before data).
+	b[len(b)-5] = 0xFF
+	b[len(b)-4] = 0xFF
+	if _, err := Decode(b); err == nil {
+		t.Error("corrupt length accepted")
+	}
+}
+
+func randMessage(rng *rand.Rand) *Message {
+	m := &Message{
+		Kind:    Kind(rng.Intn(int(KExit)) + 1),
+		Seq:     rng.Uint32(),
+		From:    int32(rng.Intn(256)),
+		ReplyTo: int32(rng.Intn(256)),
+		Lock:    int32(rng.Intn(1000) - 1),
+		Barrier: int32(rng.Intn(100)),
+		Episode: int32(rng.Intn(1 << 20)),
+		Page:    int32(rng.Intn(1 << 20)),
+	}
+	if rng.Intn(2) == 0 {
+		m.VC = make([]int32, rng.Intn(32))
+		for i := range m.VC {
+			m.VC[i] = rng.Int31()
+		}
+	}
+	if rng.Intn(2) == 0 {
+		m.Intervals = make([]Interval, rng.Intn(5))
+		for i := range m.Intervals {
+			iv := Interval{Proc: int32(rng.Intn(64)), TS: rng.Int31()}
+			if rng.Intn(2) == 0 {
+				iv.VC = make([]int32, rng.Intn(16))
+				for j := range iv.VC {
+					iv.VC[j] = rng.Int31()
+				}
+			}
+			iv.Pages = make([]int32, rng.Intn(10))
+			for j := range iv.Pages {
+				iv.Pages[j] = rng.Int31n(1 << 20)
+			}
+			m.Intervals[i] = iv
+		}
+	}
+	if rng.Intn(2) == 0 {
+		m.DiffReqs = make([]DiffRange, rng.Intn(6))
+		for i := range m.DiffReqs {
+			m.DiffReqs[i] = DiffRange{Page: rng.Int31n(1 << 20), Proc: int32(rng.Intn(64)),
+				FromTS: rng.Int31(), ToTS: rng.Int31()}
+		}
+	}
+	if rng.Intn(2) == 0 {
+		m.Diffs = make([]Diff, rng.Intn(4))
+		for i := range m.Diffs {
+			d := Diff{Page: rng.Int31n(1 << 20), Proc: int32(rng.Intn(64)), TS: rng.Int31()}
+			d.Data = make([]byte, rng.Intn(200))
+			rng.Read(d.Data)
+			m.Diffs[i] = d
+		}
+	}
+	if rng.Intn(3) == 0 {
+		m.PageData = make([]byte, rng.Intn(5000))
+		rng.Read(m.PageData)
+	}
+	if rng.Intn(2) == 0 {
+		m.Covered = make([]ProcTS, rng.Intn(8))
+		for i := range m.Covered {
+			m.Covered[i] = ProcTS{Proc: int32(rng.Intn(64)), TS: rng.Int31()}
+		}
+	}
+	if rng.Intn(4) == 0 {
+		m.Region = RegionInfo{ID: rng.Int31n(100), StartPage: rng.Int31n(1 << 20),
+			Pages: rng.Int31n(1 << 16), Bytes: rng.Int63n(1 << 30)}
+	}
+	return m
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		m := randMessage(rng)
+		b := m.Encode()
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("iteration %d: Decode: %v", i, err)
+		}
+		if !msgsEqual(m, got) {
+			t.Fatalf("iteration %d: mismatch\n  in: %+v\n out: %+v", i, m, got)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randMessage(r)
+		return bytes.Equal(m.Encode(), m.Encode())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodedSizeMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		m := randMessage(rng)
+		if m.EncodedSize() != len(m.Encode()) {
+			t.Fatal("EncodedSize disagrees with Encode")
+		}
+	}
+}
+
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	// Corrupt or adversarial input must yield an error, never a panic or
+	// a huge allocation.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		b := make([]byte, rng.Intn(300))
+		rng.Read(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on %x: %v", b, r)
+				}
+			}()
+			_, _ = Decode(b)
+		}()
+	}
+}
+
+func TestDecodeFlippedBitsNeverPanic(t *testing.T) {
+	m := &Message{Kind: KBarrierRelease, Seq: 7, From: 1,
+		Intervals: []Interval{{Proc: 2, TS: 9, VC: []int32{1, 2, 3}, Pages: []int32{4, 5}}},
+		Diffs:     []Diff{{Page: 4, Proc: 2, TS: 9, Data: []byte{1, 2, 3, 4}}}}
+	base := m.Encode()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		b := append([]byte(nil), base...)
+		for k := 1 + rng.Intn(4); k > 0; k-- {
+			b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on flipped input: %v", r)
+				}
+			}()
+			_, _ = Decode(b)
+		}()
+	}
+}

@@ -1,0 +1,292 @@
+package myrinet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newTestFabric(t *testing.T, nodes int) (*sim.Simulator, *Fabric) {
+	t.Helper()
+	s := sim.New(1)
+	f := NewFabric(s, DefaultParams(), nodes)
+	return s, f
+}
+
+func TestSmallPacketLatency(t *testing.T) {
+	s, f := newTestFabric(t, 2)
+	var deliveredAt sim.Time
+	f.NIC(1).SetHandler(func(pkt *Packet) { deliveredAt = s.Now() })
+	f.NIC(0).SendPacket(&Packet{Src: 0, Dst: 1, Payload: []byte{0xAB}, NumFrags: 1})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Fabric-only latency must sit well under the 8.99 µs GM end-to-end
+	// target (GM adds host-side send and poll costs on top).
+	if deliveredAt < sim.Micro(3) || deliveredAt > sim.Micro(8) {
+		t.Errorf("1-byte fabric latency = %v, want within [3µs, 8µs]", deliveredAt)
+	}
+}
+
+func TestPayloadIntegrityAndMetadata(t *testing.T) {
+	s, f := newTestFabric(t, 4)
+	payload := make([]byte, 2048)
+	rand.New(rand.NewSource(7)).Read(payload)
+	var got *Packet
+	f.NIC(3).SetHandler(func(pkt *Packet) { got = pkt })
+	sent := &Packet{Src: 0, Dst: 3, DstPort: 5, MsgID: 99, Frag: 2, NumFrags: 3, MsgLen: 9000, Payload: payload, Meta: "class-11"}
+	f.NIC(0).SendPacket(sent)
+	// Mutating the sender's buffer after SendPacket must not corrupt the
+	// in-flight copy.
+	payload[0] ^= 0xFF
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	payload[0] ^= 0xFF
+	if !bytes.Equal(got.Payload, payload) {
+		t.Error("payload corrupted in flight")
+	}
+	if got.DstPort != 5 || got.MsgID != 99 || got.Frag != 2 || got.NumFrags != 3 || got.MsgLen != 9000 || got.Meta != "class-11" {
+		t.Errorf("metadata mangled: %+v", got)
+	}
+}
+
+func TestStreamingBandwidth(t *testing.T) {
+	s, f := newTestFabric(t, 2)
+	p := f.Params()
+	const packets = 256
+	var lastAt sim.Time
+	var rcvd int
+	f.NIC(1).SetHandler(func(pkt *Packet) { rcvd++; lastAt = s.Now() })
+	buf := make([]byte, p.MTU)
+	for i := 0; i < packets; i++ {
+		f.NIC(0).SendPacket(&Packet{Src: 0, Dst: 1, Payload: buf, Frag: i, NumFrags: packets})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rcvd != packets {
+		t.Fatalf("received %d packets, want %d", rcvd, packets)
+	}
+	bw := float64(packets*p.MTU) / lastAt.Seconds()
+	// Paper: raw GM ≈ 235 MB/s on the 2 Gb/s fabric.
+	if bw < 220e6 || bw > 250e6 {
+		t.Errorf("streaming bandwidth = %.1f MB/s, want ≈235 MB/s", bw/1e6)
+	}
+}
+
+func TestFIFODeliveryPerPair(t *testing.T) {
+	s, f := newTestFabric(t, 2)
+	var seen []int
+	f.NIC(1).SetHandler(func(pkt *Packet) { seen = append(seen, pkt.Frag) })
+	for i := 0; i < 50; i++ {
+		f.NIC(0).SendPacket(&Packet{Src: 0, Dst: 1, Frag: i, NumFrags: 50, Payload: make([]byte, 64+i)})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("out-of-order delivery: %v", seen)
+		}
+	}
+}
+
+func TestOutputPortContention(t *testing.T) {
+	// Two senders streaming to one receiver must each see roughly half
+	// the single-stream bandwidth (the receiver's link serializes).
+	s, f := newTestFabric(t, 3)
+	p := f.Params()
+	const packets = 128
+	var lastAt sim.Time
+	rcvd := 0
+	f.NIC(2).SetHandler(func(pkt *Packet) { rcvd++; lastAt = s.Now() })
+	buf := make([]byte, p.MTU)
+	for i := 0; i < packets; i++ {
+		f.NIC(0).SendPacket(&Packet{Src: 0, Dst: 2, Payload: buf})
+		f.NIC(1).SendPacket(&Packet{Src: 1, Dst: 2, Payload: buf})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rcvd != 2*packets {
+		t.Fatalf("received %d, want %d", rcvd, 2*packets)
+	}
+	aggregate := float64(2*packets*p.MTU) / lastAt.Seconds()
+	// Aggregate through one rx link can't exceed the link rate, and the
+	// rx link (no arbitration gap) should saturate near it.
+	if aggregate > p.LinkBandwidth*1.02 {
+		t.Errorf("aggregate %.1f MB/s exceeds link rate %.1f MB/s", aggregate/1e6, p.LinkBandwidth/1e6)
+	}
+	if aggregate < p.LinkBandwidth*0.85 {
+		t.Errorf("aggregate %.1f MB/s did not approach link rate %.1f MB/s", aggregate/1e6, p.LinkBandwidth/1e6)
+	}
+}
+
+func TestDisjointPairsDoNotContend(t *testing.T) {
+	// 0→1 and 2→3 share only the switch, which is a crossbar: streams
+	// must not slow each other down.
+	timeFor := func(pairs [][2]NodeID) sim.Time {
+		s := sim.New(1)
+		f := NewFabric(s, DefaultParams(), 4)
+		var last sim.Time
+		for i := 0; i < 4; i++ {
+			f.NIC(NodeID(i)).SetHandler(func(pkt *Packet) { last = s.Now() })
+		}
+		buf := make([]byte, f.Params().MTU)
+		for i := 0; i < 64; i++ {
+			for _, pr := range pairs {
+				f.NIC(pr[0]).SendPacket(&Packet{Src: pr[0], Dst: pr[1], Payload: buf})
+			}
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	solo := timeFor([][2]NodeID{{0, 1}})
+	dual := timeFor([][2]NodeID{{0, 1}, {2, 3}})
+	// Allow a tiny tolerance for same-time event ordering.
+	if dual > solo+solo/50 {
+		t.Errorf("disjoint pairs contended: solo=%v dual=%v", solo, dual)
+	}
+}
+
+func TestSendToUnknownNodePanics(t *testing.T) {
+	s, f := newTestFabric(t, 2)
+	_ = s
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown destination")
+		}
+	}()
+	f.NIC(0).SendPacket(&Packet{Src: 0, Dst: 9, Payload: []byte{1}})
+}
+
+func TestOversizePacketPanics(t *testing.T) {
+	s, f := newTestFabric(t, 2)
+	_ = s
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for oversize payload")
+		}
+	}()
+	f.NIC(0).SendPacket(&Packet{Src: 0, Dst: 1, Payload: make([]byte, f.Params().MTU+1)})
+}
+
+func TestFragmentSizes(t *testing.T) {
+	_, f := newTestFabric(t, 2)
+	mtu := f.Params().MTU
+	cases := []struct {
+		len  int
+		want []int
+	}{
+		{0, []int{0}},
+		{1, []int{1}},
+		{mtu, []int{mtu}},
+		{mtu + 1, []int{mtu, 1}},
+		{3*mtu + 7, []int{mtu, mtu, mtu, 7}},
+	}
+	for _, c := range cases {
+		got := f.FragmentSizes(c.len)
+		if len(got) != len(c.want) {
+			t.Errorf("FragmentSizes(%d) = %v, want %v", c.len, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("FragmentSizes(%d) = %v, want %v", c.len, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestFragmentSizesProperty(t *testing.T) {
+	_, f := newTestFabric(t, 2)
+	mtu := f.Params().MTU
+	prop := func(raw uint32) bool {
+		msgLen := int(raw % (1 << 20))
+		frags := f.FragmentSizes(msgLen)
+		sum := 0
+		for i, fl := range frags {
+			if fl > mtu || fl < 0 {
+				return false
+			}
+			if fl == 0 && msgLen != 0 {
+				return false
+			}
+			// Only the last fragment may be short (for nonzero lengths).
+			if i < len(frags)-1 && fl != mtu {
+				return false
+			}
+			sum += fl
+		}
+		return sum == msgLen || (msgLen == 0 && sum == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTxDoneBeforeDelivery(t *testing.T) {
+	s, f := newTestFabric(t, 2)
+	var deliveredAt sim.Time
+	f.NIC(1).SetHandler(func(pkt *Packet) { deliveredAt = s.Now() })
+	txDone := f.NIC(0).SendPacket(&Packet{Src: 0, Dst: 1, Payload: make([]byte, 1024)})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if txDone <= 0 || txDone >= deliveredAt {
+		t.Errorf("txDone = %v, delivery = %v; want 0 < txDone < delivery", txDone, deliveredAt)
+	}
+}
+
+func TestNICStats(t *testing.T) {
+	s, f := newTestFabric(t, 2)
+	f.NIC(1).SetHandler(func(pkt *Packet) {})
+	f.NIC(0).SendPacket(&Packet{Src: 0, Dst: 1, Payload: make([]byte, 100)})
+	f.NIC(0).SendPacket(&Packet{Src: 0, Dst: 1, Payload: make([]byte, 200)})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st0, st1 := f.NIC(0).Stats(), f.NIC(1).Stats()
+	if st0.PacketsSent != 2 || st0.BytesSent != 300 {
+		t.Errorf("sender stats = %+v", st0)
+	}
+	if st0.WireBytes != 300+2*int64(f.Params().PacketHeader) {
+		t.Errorf("wire bytes = %d", st0.WireBytes)
+	}
+	if st1.PacketsRecvd != 2 || st1.BytesRecvd != 300 {
+		t.Errorf("receiver stats = %+v", st1)
+	}
+}
+
+func TestLatencyScalesWithMessageSize(t *testing.T) {
+	lat := func(n int) sim.Time {
+		s := sim.New(1)
+		f := NewFabric(s, DefaultParams(), 2)
+		var at sim.Time
+		f.NIC(1).SetHandler(func(pkt *Packet) { at = s.Now() })
+		f.NIC(0).SendPacket(&Packet{Src: 0, Dst: 1, Payload: make([]byte, n)})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	l1, l4k := lat(1), lat(4096)
+	if l4k <= l1 {
+		t.Errorf("latency(4096)=%v not > latency(1)=%v", l4k, l1)
+	}
+	// 4 KB at ~250 MB/s adds ≈16 µs of serialization on two links plus
+	// DMA; it must be noticeably larger but still bounded.
+	if l4k-l1 < sim.Micro(20) || l4k-l1 > sim.Micro(80) {
+		t.Errorf("latency delta = %v, want tens of µs", l4k-l1)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events fire in (time, sequence) order;
+// the sequence number makes ties deterministic (FIFO among equal times).
+type Event struct {
+	t         Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Time returns the virtual time at which the event fires (or was to fire).
+func (e *Event) Time() Time { return e.t }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (e *Event) Cancel() bool {
+	if e.cancelled || e.index == -2 {
+		return false
+	}
+	e.cancelled = true
+	return true
+}
+
+// Cancelled reports whether Cancel was called before the event fired.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// eventQueue is a min-heap of events ordered by (t, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -2 // popped
+	*q = old[:n-1]
+	return e
+}
+
+func (q *eventQueue) push(e *Event) { heap.Push(q, e) }
+
+func (q *eventQueue) pop() *Event { return heap.Pop(q).(*Event) }
+
+// peek returns the earliest pending (non-cancelled) event without removing
+// it, discarding cancelled entries along the way.
+func (q *eventQueue) peek() *Event {
+	for q.Len() > 0 {
+		e := (*q)[0]
+		if !e.cancelled {
+			return e
+		}
+		q.pop()
+	}
+	return nil
+}

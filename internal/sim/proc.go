@@ -1,0 +1,260 @@
+package sim
+
+import "fmt"
+
+type procState uint8
+
+const (
+	stateBlocked procState = iota
+	stateWaking            // wake scheduled, dispatch pending
+	stateRunning
+	stateDone
+)
+
+// Proc is a simulated process (one TreadMarks process, a kernel helper,
+// a benchmark driver, …). All Proc methods must be called from within the
+// process's own execution context, i.e. from the function passed to Spawn
+// or from an interrupt handler running on behalf of this process.
+type Proc struct {
+	s      *Simulator
+	name   string
+	id     int
+	clock  Time
+	resume chan struct{}
+	state  procState
+	where  string // what the proc is blocked on, for deadlock reports
+
+	irqQ       []any
+	irqMasked  bool
+	inHandler  bool
+	irqHandler func(*Proc, any)
+
+	waitingOn *Cond
+	waitWoken bool // set by Cond broadcast/signal, distinguishes real wakes
+
+	computeScale float64 // multiplier applied to Advance, 0 = 1.0
+}
+
+// SetComputeScale makes every subsequent Advance cost scale×d instead of
+// d. Used to model background CPU theft (e.g. a dedicated polling thread
+// competing with the application for cycles). Scale must be ≥ 1.
+func (p *Proc) SetComputeScale(scale float64) {
+	if scale < 1 {
+		panic("sim: compute scale < 1")
+	}
+	p.computeScale = scale
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's spawn index.
+func (p *Proc) ID() int { return p.id }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Simulator { return p.s }
+
+// Now returns the process's virtual clock (equal to the simulator clock
+// whenever the process is running).
+func (p *Proc) Now() Time { return p.clock }
+
+// block yields to the scheduler until some waker dispatches this process.
+func (p *Proc) block(where string) {
+	p.where = where
+	p.state = stateBlocked
+	p.s.yielded <- struct{}{}
+	<-p.resume
+	// dispatch set state/clock already.
+}
+
+// wake arranges for a blocked process to resume at the current simulator
+// time. Safe to call from scheduler context or from another process's
+// context. Calling wake on a non-blocked process is a no-op.
+func (p *Proc) wake() {
+	if p.state != stateBlocked {
+		return
+	}
+	p.state = stateWaking
+	p.s.At(p.s.now, func() { p.s.dispatch(p) })
+}
+
+// Advance charges d of computation to the process's clock. If interrupts
+// are delivered while the computation is in progress, the handler runs at
+// the interrupt's virtual time and the remaining computation resumes
+// afterwards — exactly the cost structure of a CPU taking a device
+// interrupt or a signal in the middle of application compute.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	if p.computeScale > 1 {
+		d = Time(float64(d) * p.computeScale)
+	}
+	p.serviceInterrupts()
+	for d > 0 {
+		start := p.clock
+		ev := p.s.At(start+d, p.wake)
+		p.block("advance")
+		ev.Cancel()
+		elapsed := p.clock - start
+		if elapsed > d {
+			elapsed = d
+		}
+		d -= elapsed
+		p.serviceInterrupts()
+	}
+}
+
+// Yield lets any same-time events (message deliveries, other runnable
+// processes) execute before continuing. Equivalent to Advance(0) except it
+// always round-trips through the scheduler once.
+func (p *Proc) Yield() {
+	ev := p.s.At(p.clock, p.wake)
+	p.block("yield")
+	ev.Cancel()
+	p.serviceInterrupts()
+}
+
+// SetInterruptHandler installs the function invoked (in this process's
+// context) for every delivered interrupt. Handlers run with further
+// interrupts implicitly masked; interrupts arriving meanwhile queue.
+func (p *Proc) SetInterruptHandler(h func(*Proc, any)) { p.irqHandler = h }
+
+// DisableInterrupts masks interrupt delivery; pending and newly arriving
+// interrupts queue until EnableInterrupts. Mirrors TreadMarks masking
+// SIGIO around consistency-critical sections.
+func (p *Proc) DisableInterrupts() { p.irqMasked = true }
+
+// EnableInterrupts unmasks interrupts and immediately services any that
+// queued while masked.
+func (p *Proc) EnableInterrupts() {
+	p.irqMasked = false
+	if p.state == stateRunning && !p.inHandler {
+		p.serviceInterrupts()
+	}
+}
+
+// InterruptsEnabled reports whether interrupts are currently deliverable.
+func (p *Proc) InterruptsEnabled() bool { return !p.irqMasked }
+
+// Interrupt delivers payload to the process's interrupt handler. It may be
+// called from scheduler context (device events) or from another process's
+// context. If the target is blocked and unmasked it wakes immediately; if
+// it is computing, the handler runs at the point its Advance next observes
+// the interrupt (which is the interrupt's arrival time, because Advance's
+// wake event and the interrupt wake race deterministically at the same
+// scheduler). If masked, the interrupt queues.
+func (p *Proc) Interrupt(payload any) {
+	if p.state == stateDone {
+		return
+	}
+	p.irqQ = append(p.irqQ, payload)
+	if !p.irqMasked {
+		p.wake()
+	}
+}
+
+// PendingInterrupts returns the number of queued, undelivered interrupts.
+func (p *Proc) PendingInterrupts() int { return len(p.irqQ) }
+
+// serviceInterrupts runs queued handlers. Must be called in proc context.
+func (p *Proc) serviceInterrupts() {
+	if p.irqMasked || p.inHandler {
+		return
+	}
+	for len(p.irqQ) > 0 {
+		payload := p.irqQ[0]
+		p.irqQ = p.irqQ[:copy(p.irqQ, p.irqQ[1:])]
+		h := p.irqHandler
+		if h == nil {
+			panic(fmt.Sprintf("sim: proc %q received interrupt with no handler", p.name))
+		}
+		p.inHandler = true
+		h(p, payload)
+		p.inHandler = false
+	}
+}
+
+// WaitOn blocks until c is signalled (or a spurious wake, e.g. an
+// interrupt, occurs — handlers run before returning). Callers must re-check
+// their predicate in a loop:
+//
+//	for !pred() { p.WaitOn(c) }
+func (p *Proc) WaitOn(c *Cond) {
+	c.waiters = append(c.waiters, p)
+	p.waitingOn = c
+	p.waitWoken = false
+	p.block("cond:" + c.name)
+	if !p.waitWoken {
+		// Spurious wake (interrupt): withdraw from the wait list.
+		c.remove(p)
+	}
+	p.waitingOn = nil
+	p.serviceInterrupts()
+}
+
+// WaitOnUntil blocks like WaitOn but also wakes at the deadline. It
+// reports false if the deadline passed without a signal.
+func (p *Proc) WaitOnUntil(c *Cond, deadline Time) bool {
+	if deadline <= p.clock {
+		return false
+	}
+	ev := p.s.At(deadline, p.wake)
+	defer ev.Cancel()
+	c.waiters = append(c.waiters, p)
+	p.waitingOn = c
+	p.waitWoken = false
+	p.block("cond:" + c.name)
+	if !p.waitWoken {
+		c.remove(p)
+	}
+	p.waitingOn = nil
+	woken := p.waitWoken
+	p.serviceInterrupts()
+	return woken
+}
+
+// Cond is a virtual-time condition variable. Broadcast and Signal wake
+// waiters at the current simulator time; the woken process resumes with
+// its clock set to that time.
+type Cond struct {
+	name    string
+	waiters []*Proc
+}
+
+// NewCond creates a named condition variable (the name appears in
+// deadlock reports).
+func NewCond(name string) *Cond { return &Cond{name: name} }
+
+func (c *Cond) remove(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Broadcast wakes every current waiter.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p.waitWoken = true
+		p.wake()
+	}
+}
+
+// Signal wakes the longest-waiting waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[:copy(c.waiters, c.waiters[1:])]
+	p.waitWoken = true
+	p.wake()
+}
+
+// Waiters returns the number of processes currently waiting.
+func (c *Cond) Waiters() int { return len(c.waiters) }

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Simulator owns the virtual clock, the event queue and all processes.
+// It is not safe for concurrent use from multiple goroutines — but the
+// kernel's handoff discipline guarantees that at most one goroutine (the
+// scheduler or the single running process) touches it at a time, so no
+// locking is needed anywhere above it either.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	procs   []*Proc
+	yielded chan struct{}
+	rng     *rand.Rand
+	tracef  func(format string, args ...any)
+	running bool
+}
+
+// New creates a simulator whose random source is seeded deterministically.
+func New(seed int64) *Simulator {
+	return &Simulator{
+		yielded: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// SetTrace installs a trace sink; nil disables tracing.
+func (s *Simulator) SetTrace(fn func(format string, args ...any)) { s.tracef = fn }
+
+// Tracef emits a trace line prefixed with the current virtual time.
+func (s *Simulator) Tracef(format string, args ...any) {
+	if s.tracef != nil {
+		s.tracef("[%v] "+format, append([]any{s.now}, args...)...)
+	}
+}
+
+// At schedules fn to run in scheduler context at virtual time t.
+// Scheduling in the past is an error in the model; it panics.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	e := &Event{t: t, seq: s.seq, fn: fn}
+	s.queue.push(e)
+	return e
+}
+
+// After schedules fn to run d from now.
+func (s *Simulator) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Spawn creates a process that will begin executing fn at time start.
+func (s *Simulator) Spawn(name string, start Time, fn func(*Proc)) *Proc {
+	if start < s.now {
+		start = s.now
+	}
+	p := &Proc{
+		s:      s,
+		name:   name,
+		id:     len(s.procs),
+		clock:  start,
+		resume: make(chan struct{}),
+		state:  stateBlocked,
+		where:  "spawn",
+	}
+	s.procs = append(s.procs, p)
+	go func() {
+		// The yield is deferred so that a process terminating abnormally
+		// (runtime.Goexit, e.g. t.Fatalf in a test body) still returns
+		// control to the scheduler instead of wedging the handoff.
+		defer func() {
+			p.state = stateDone
+			s.yielded <- struct{}{}
+		}()
+		<-p.resume
+		p.state = stateRunning
+		fn(p)
+	}()
+	s.At(start, func() { s.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p until it blocks or finishes. Must be called
+// from scheduler context (inside an event callback).
+func (s *Simulator) dispatch(p *Proc) {
+	if p.state == stateDone {
+		return
+	}
+	if p.state == stateRunning {
+		panic("sim: dispatching a running proc")
+	}
+	p.state = stateRunning
+	if p.clock < s.now {
+		p.clock = s.now
+	}
+	p.resume <- struct{}{}
+	<-s.yielded
+}
+
+// DeadlockError reports a simulation that went quiescent while processes
+// were still blocked.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string // "name@where" for each still-blocked process
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v; blocked: %s", e.Time, strings.Join(e.Blocked, ", "))
+}
+
+// Run executes events until the queue is empty. It returns nil when every
+// process has finished, or a *DeadlockError when the queue drained while
+// processes remain blocked.
+func (s *Simulator) Run() error { return s.RunUntil(Infinity) }
+
+// RunUntil executes events with time ≤ limit. Reaching the limit with
+// events still pending is not an error; the simulation may be resumed.
+func (s *Simulator) RunUntil(limit Time) error {
+	if s.running {
+		panic("sim: Run re-entered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for {
+		e := s.queue.peek()
+		if e == nil {
+			break
+		}
+		if e.t > limit {
+			s.now = limit
+			return nil
+		}
+		s.queue.pop()
+		if e.t < s.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v < %v", e.t, s.now))
+		}
+		s.now = e.t
+		e.fn()
+	}
+	var blocked []string
+	for _, p := range s.procs {
+		if p.state != stateDone {
+			blocked = append(blocked, p.name+"@"+p.where)
+		}
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{Time: s.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// Procs returns the processes spawned so far, in spawn order.
+func (s *Simulator) Procs() []*Proc { return s.procs }

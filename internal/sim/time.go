@@ -1,0 +1,79 @@
+// Package sim implements a deterministic, sequential, conservative
+// discrete-event simulation kernel with coroutine processes and virtual
+// clocks.
+//
+// The kernel is the substitution for the paper's physical testbed (16
+// quad-PIII nodes): every layer above it — the Myrinet fabric model, GM,
+// the UDP socket stack, the TreadMarks DSM and the applications — advances
+// a virtual clock instead of wall time, so experiment results are
+// bit-reproducible and independent of the host machine.
+//
+// Exactly one process runs at any instant. The scheduler always dispatches
+// the event with the globally minimal (time, sequence) pair, so a given
+// seed yields exactly one execution. Processes may be interrupted: an
+// Interrupt delivered to a process runs its handler inside the process's
+// own context at the interrupt's virtual time, even in the middle of an
+// Advance (the remaining compute resumes afterwards). This is the
+// mechanism used to model both SIGIO delivery (UDP transport) and the
+// paper's NIC-firmware receive interrupt (FAST/GM transport).
+package sim
+
+import "fmt"
+
+// Time is a virtual timestamp or duration in nanoseconds.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Infinity is a timestamp later than any reachable simulation time.
+const Infinity Time = 1<<63 - 1
+
+// String renders a Time with a human-friendly unit, e.g. "12.345µs".
+func (t Time) String() string {
+	switch {
+	case t == Infinity:
+		return "inf"
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns the time as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micro builds a Time from a floating-point number of microseconds.
+func Micro(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// BytesTime returns the time to move n bytes at bw bytes per second.
+// It rounds up so that a nonzero transfer always takes nonzero time.
+func BytesTime(n int, bytesPerSec float64) Time {
+	if n <= 0 || bytesPerSec <= 0 {
+		return 0
+	}
+	ns := float64(n) / bytesPerSec * 1e9
+	t := Time(ns)
+	if float64(t) < ns {
+		t++
+	}
+	return t
+}

@@ -1,0 +1,460 @@
+// Package sockets models the paper's baseline transport path: BSD UDP
+// sockets provided by Myricom's Sockets-GM over the Myrinet fabric
+// ("UDP/GM"). The kernel sits in the critical path — every send and
+// receive pays syscall traps, user↔kernel copies, UDP/IP protocol
+// processing, and receive-side interrupt plus (for asynchronous sockets)
+// SIGIO signal delivery. Datagrams are unreliable: a full socket receive
+// buffer drops the datagram silently, exactly the behaviour that made the
+// paper's UDP/GM bandwidth "not measurable accurately".
+//
+// Internally each node's kernel owns GM port 1 with generously preposted,
+// immediately recycled receive buffers, so GM-level sends never time out;
+// unreliability only arises at the socket buffer, as in the real system.
+package sockets
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gm"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+)
+
+// KernelPort is the GM port number the kernel network stack owns.
+const KernelPort = 1
+
+// Params model the kernel networking costs (Linux 2.4 on a 700 MHz PIII).
+type Params struct {
+	SyscallEntry      sim.Time // trap + return per socket call
+	UDPSendProcessing sim.Time // UDP/IP encapsulation, routing, driver (tx)
+	UDPRecvProcessing sim.Time // protocol processing on the receive path
+	// CopyBandwidth is the effective per-side kernel payload bandwidth:
+	// user↔kernel copy, UDP checksum pass, the Sockets-GM internal
+	// re-copy into registered memory, and per-fragment IP processing,
+	// folded into one term calibrated against period Sockets-GM
+	// measurements (≈30 MB/s effective end-to-end for bulk payloads,
+	// which is what made UDP/GM bandwidth "not measurable" in the paper).
+	CopyBandwidth   float64
+	RxInterrupt     sim.Time // NIC interrupt + softirq before data is visible
+	SignalDelivery  sim.Time // SIGIO dispatch to the user handler
+	SelectOverhead  sim.Time // select() syscall cost
+	RecvBufDefault  int      // default socket receive buffer (bytes)
+	MaxDatagram     int      // largest UDP datagram we model
+	KernelClassRing int      // kernel receive buffers preposted per class
+	// DropProbability injects random datagram loss on the receive path
+	// (fault injection for the user-level retransmission machinery).
+	DropProbability float64
+}
+
+// DefaultParams returns constants calibrated to give UDP/GM a one-way
+// small-datagram latency of ≈35 µs (vs GM's 8.99 µs), with SIGIO delivery
+// adding ≈12 µs more for asynchronous requests.
+func DefaultParams() Params {
+	return Params{
+		SyscallEntry:      sim.Micro(2.0),
+		UDPSendProcessing: sim.Micro(8.0),
+		UDPRecvProcessing: sim.Micro(9.0),
+		CopyBandwidth:     35e6,
+		RxInterrupt:       sim.Micro(6.0),
+		SignalDelivery:    sim.Micro(12.0),
+		SelectOverhead:    sim.Micro(4.0),
+		RecvBufDefault:    64 * 1024,
+		MaxDatagram:       32*1024 - headerBytes,
+		KernelClassRing:   8,
+	}
+}
+
+const headerBytes = 4 // [2B src socket port][2B dst socket port]
+
+// Errors returned by socket operations.
+var (
+	ErrPortInUse    = errors.New("sockets: port already bound")
+	ErrNotBound     = errors.New("sockets: socket not bound")
+	ErrTooLarge     = errors.New("sockets: datagram exceeds maximum size")
+	ErrBufTooSmall  = errors.New("sockets: receive buffer smaller than datagram")
+	ErrNoSuchSocket = errors.New("sockets: operation on closed socket")
+)
+
+// Datagram is one queued UDP datagram.
+type Datagram struct {
+	Data    []byte
+	Src     myrinet.NodeID
+	SrcPort int
+}
+
+// StackStats aggregates node-level socket statistics.
+type StackStats struct {
+	DatagramsSent   int64
+	DatagramsRecvd  int64
+	DatagramsDrop   int64 // dropped: receive buffer overflow
+	DatagramsNoSock int64 // dropped: no socket bound to the port
+	BytesSent       int64
+	BytesRecvd      int64
+	SigiosRaised    int64
+}
+
+// Stack is one node's kernel UDP implementation.
+type Stack struct {
+	s       *sim.Simulator
+	node    *gm.Node
+	port    *gm.Port
+	params  Params
+	sockets map[int]*Socket
+	nextEph int
+	stats   StackStats
+
+	sendBufs map[int][]*gm.Buffer // free kernel tx buffers per class
+	txQueue  []pendingTx          // waiting for a tx buffer/token
+	selCond  *sim.Cond            // wakes Select callers on any arrival
+}
+
+type pendingTx struct {
+	dst     myrinet.NodeID
+	payload []byte
+}
+
+// NewStack boots the kernel network stack on a GM node. It opens kernel
+// port 1 and preposts recycled receive buffers for every size class.
+func NewStack(s *sim.Simulator, node *gm.Node, params Params) *Stack {
+	port, err := node.OpenPort(KernelPort)
+	if err != nil {
+		panic(fmt.Sprintf("sockets: kernel port: %v", err))
+	}
+	st := &Stack{
+		s:        s,
+		node:     node,
+		port:     port,
+		params:   params,
+		sockets:  make(map[int]*Socket),
+		nextEph:  49152,
+		sendBufs: make(map[int][]*gm.Buffer),
+	}
+	gmp := node.System().Params()
+	for c := gmp.MinClass; c <= gmp.MaxClass; c++ {
+		ring := params.KernelClassRing
+		if c >= 13 {
+			ring = 2 // few large buffers, like real kernels
+		}
+		mem := node.RegisterAtBoot(ring * gm.ClassCapacity(c))
+		for i := 0; i < ring; i++ {
+			port.ProvideReceiveBuffer(mem.SubBuffer(i*gm.ClassCapacity(c), c))
+		}
+		txMem := node.RegisterAtBoot(ring * gm.ClassCapacity(c))
+		for i := 0; i < ring; i++ {
+			st.sendBufs[c] = append(st.sendBufs[c], txMem.SubBuffer(i*gm.ClassCapacity(c), c))
+		}
+	}
+	port.SetSink(st.kernelRx)
+	return st
+}
+
+// Params returns the stack's cost model.
+func (st *Stack) Params() Params { return st.params }
+
+// Stats returns a copy of the node's socket statistics.
+func (st *Stack) Stats() StackStats { return st.stats }
+
+// Node returns the underlying GM node.
+func (st *Stack) Node() *gm.Node { return st.node }
+
+// kernelRx runs in scheduler context when a UDP-bearing GM message
+// arrives at the kernel port. After the modelled interrupt/softirq delay
+// the datagram is appended to the bound socket's receive buffer (or
+// dropped on overflow), waiters are woken, and SIGIO is raised if armed.
+func (st *Stack) kernelRx(rv *gm.Recv) {
+	data := append([]byte(nil), rv.Data...)
+	src := rv.From
+	st.port.ProvideReceiveBuffer(rv.Buffer) // kernel recycles immediately
+	st.s.After(st.params.RxInterrupt, func() {
+		if len(data) < headerBytes {
+			return
+		}
+		srcPort := int(data[0])<<8 | int(data[1])
+		dstPort := int(data[2])<<8 | int(data[3])
+		payload := data[headerBytes:]
+		sk := st.sockets[dstPort]
+		if sk == nil {
+			st.stats.DatagramsNoSock++
+			return
+		}
+		if st.params.DropProbability > 0 && st.s.Rand().Float64() < st.params.DropProbability {
+			st.stats.DatagramsDrop++
+			sk.drops++
+			return
+		}
+		if sk.queuedBytes+len(payload) > sk.recvBuf {
+			st.stats.DatagramsDrop++
+			sk.drops++
+			return
+		}
+		sk.queue = append(sk.queue, Datagram{Data: payload, Src: src, SrcPort: srcPort})
+		sk.queuedBytes += len(payload)
+		st.stats.DatagramsRecvd++
+		st.stats.BytesRecvd += int64(len(payload))
+		sk.cond.Broadcast()
+		if st.selCond != nil {
+			st.selCond.Broadcast()
+		}
+		if sk.sigioProc != nil {
+			st.stats.SigiosRaised++
+			sk.sigioProc.Interrupt(sk)
+		}
+	})
+}
+
+// Socket creates an unbound UDP socket.
+func (st *Stack) Socket(p *sim.Proc) *Socket {
+	p.Advance(st.params.SyscallEntry)
+	return &Socket{
+		stack:   st,
+		port:    -1,
+		recvBuf: st.params.RecvBufDefault,
+		cond:    sim.NewCond(fmt.Sprintf("udp:n%d:sock", st.node.ID())),
+	}
+}
+
+// Socket is one UDP socket.
+type Socket struct {
+	stack       *Stack
+	port        int
+	recvBuf     int
+	queue       []Datagram
+	queuedBytes int
+	cond        *sim.Cond
+	sigioProc   *sim.Proc
+	closed      bool
+	drops       int64
+}
+
+// Port returns the bound port, or -1.
+func (sk *Socket) Port() int { return sk.port }
+
+// Drops returns the number of datagrams dropped at this socket.
+func (sk *Socket) Drops() int64 { return sk.drops }
+
+// Pending returns the number of queued datagrams (no cost: test hook).
+func (sk *Socket) Pending() int { return len(sk.queue) }
+
+// SetRecvBuffer adjusts the receive buffer size (setsockopt SO_RCVBUF).
+func (sk *Socket) SetRecvBuffer(p *sim.Proc, n int) {
+	p.Advance(sk.stack.params.SyscallEntry)
+	sk.recvBuf = n
+}
+
+// Bind attaches the socket to a UDP port on its node.
+func (sk *Socket) Bind(p *sim.Proc, port int) error {
+	p.Advance(sk.stack.params.SyscallEntry)
+	if sk.closed {
+		return ErrNoSuchSocket
+	}
+	if _, taken := sk.stack.sockets[port]; taken {
+		return ErrPortInUse
+	}
+	if sk.port >= 0 {
+		delete(sk.stack.sockets, sk.port)
+	}
+	sk.port = port
+	sk.stack.sockets[port] = sk
+	return nil
+}
+
+// BindEphemeral binds to a fresh ephemeral port and returns it.
+func (sk *Socket) BindEphemeral(p *sim.Proc) int {
+	for {
+		port := sk.stack.nextEph
+		sk.stack.nextEph++
+		if sk.stack.nextEph > 65535 {
+			sk.stack.nextEph = 49152
+		}
+		if err := sk.Bind(p, port); err == nil {
+			return port
+		}
+	}
+}
+
+// SetSIGIO arms (or with nil disarms) SIGIO delivery for this socket:
+// each arriving datagram interrupts proc with the *Socket as payload.
+// The handler is expected to charge SignalDelivery on entry (the udpgm
+// transport does).
+func (sk *Socket) SetSIGIO(proc *sim.Proc) { sk.sigioProc = proc }
+
+// Close unbinds and closes the socket.
+func (sk *Socket) Close(p *sim.Proc) {
+	p.Advance(sk.stack.params.SyscallEntry)
+	if sk.port >= 0 {
+		delete(sk.stack.sockets, sk.port)
+	}
+	sk.closed = true
+}
+
+// SendTo transmits one datagram. UDP semantics: it never blocks on the
+// receiver; delivery is not guaranteed (the receiving socket buffer may
+// overflow). The caller pays syscall + copy + protocol costs.
+func (sk *Socket) SendTo(p *sim.Proc, dst myrinet.NodeID, dstPort int, data []byte) error {
+	st := sk.stack
+	if sk.closed {
+		return ErrNoSuchSocket
+	}
+	if len(data) > st.params.MaxDatagram {
+		return ErrTooLarge
+	}
+	if sk.port < 0 {
+		sk.BindEphemeral(p)
+	}
+	p.Advance(st.params.SyscallEntry +
+		sim.BytesTime(len(data), st.params.CopyBandwidth) +
+		st.params.UDPSendProcessing)
+
+	payload := make([]byte, headerBytes+len(data))
+	payload[0] = byte(sk.port >> 8)
+	payload[1] = byte(sk.port)
+	payload[2] = byte(dstPort >> 8)
+	payload[3] = byte(dstPort)
+	copy(payload[headerBytes:], data)
+
+	st.stats.DatagramsSent++
+	st.stats.BytesSent += int64(len(data))
+	st.transmit(p, dst, payload)
+	return nil
+}
+
+// transmit pushes a kernel datagram out through GM, queueing if the
+// kernel is out of tx buffers for the class.
+func (st *Stack) transmit(p *sim.Proc, dst myrinet.NodeID, payload []byte) {
+	class := st.node.System().Params().ClassFor(len(payload))
+	bufs := st.sendBufs[class]
+	if len(bufs) == 0 {
+		st.txQueue = append(st.txQueue, pendingTx{dst: dst, payload: payload})
+		return
+	}
+	b := bufs[len(bufs)-1]
+	st.sendBufs[class] = bufs[:len(bufs)-1]
+	copy(b.Bytes(), payload)
+	err := st.port.Send(p, dst, KernelPort, b, len(payload), func(status gm.SendStatus) {
+		st.sendBufs[class] = append(st.sendBufs[class], b)
+		if status != gm.SendOK && !st.port.Enabled() {
+			// The kernel transparently recovers a disabled port after the
+			// probe delay; queued traffic then drains.
+			st.s.After(st.node.System().Params().ResumeCost, func() {
+				st.forceResume()
+				st.drainTxQueue()
+			})
+			return
+		}
+		st.drainTxQueue()
+	})
+	if err != nil {
+		// Token exhaustion or disabled port: queue and let completions or
+		// recovery drain it. The buffer goes back to the pool.
+		st.sendBufs[class] = append(st.sendBufs[class], b)
+		st.txQueue = append(st.txQueue, pendingTx{dst: dst, payload: payload})
+	}
+}
+
+// forceResume re-enables the kernel GM port without charging a process
+// (the kernel's probe delay has already elapsed on the event clock).
+func (st *Stack) forceResume() { st.port.ForceResume() }
+
+// drainTxQueue retries queued kernel transmissions. Runs in scheduler or
+// proc context; GM costs for these deferred sends are charged to no
+// process (kernel context), modelled by a zero-cost helper proc.
+func (st *Stack) drainTxQueue() {
+	for len(st.txQueue) > 0 {
+		tx := st.txQueue[0]
+		class := st.node.System().Params().ClassFor(len(tx.payload))
+		bufs := st.sendBufs[class]
+		if len(bufs) == 0 || st.port.Tokens() == 0 || !st.port.Enabled() {
+			return
+		}
+		st.txQueue = st.txQueue[:copy(st.txQueue, st.txQueue[1:])]
+		b := bufs[len(bufs)-1]
+		st.sendBufs[class] = bufs[:len(bufs)-1]
+		copy(b.Bytes(), tx.payload)
+		dst := tx.dst
+		st.port.SendFromKernel(dst, KernelPort, b, len(tx.payload), func(status gm.SendStatus) {
+			st.sendBufs[class] = append(st.sendBufs[class], b)
+			st.drainTxQueue()
+		})
+	}
+}
+
+// RecvFrom blocks until a datagram arrives, then copies it out. The
+// caller pays syscall + protocol + copy costs. If buf is smaller than the
+// datagram the datagram is truncated (UDP semantics).
+func (sk *Socket) RecvFrom(p *sim.Proc, buf []byte) (n int, src myrinet.NodeID, srcPort int, err error) {
+	st := sk.stack
+	if sk.closed {
+		return 0, 0, 0, ErrNoSuchSocket
+	}
+	if sk.port < 0 {
+		return 0, 0, 0, ErrNotBound
+	}
+	p.Advance(st.params.SyscallEntry)
+	for len(sk.queue) == 0 {
+		p.WaitOn(sk.cond)
+		if sk.closed {
+			return 0, 0, 0, ErrNoSuchSocket
+		}
+	}
+	dg := sk.queue[0]
+	sk.queue = sk.queue[:copy(sk.queue, sk.queue[1:])]
+	sk.queuedBytes -= len(dg.Data)
+	n = copy(buf, dg.Data)
+	p.Advance(st.params.UDPRecvProcessing + sim.BytesTime(n, st.params.CopyBandwidth))
+	return n, dg.Src, dg.SrcPort, nil
+}
+
+// TryRecvFrom is RecvFrom without blocking; ok reports whether a datagram
+// was available.
+func (sk *Socket) TryRecvFrom(p *sim.Proc, buf []byte) (n int, src myrinet.NodeID, srcPort int, ok bool) {
+	st := sk.stack
+	p.Advance(st.params.SyscallEntry)
+	if len(sk.queue) == 0 {
+		return 0, 0, 0, false
+	}
+	dg := sk.queue[0]
+	sk.queue = sk.queue[:copy(sk.queue, sk.queue[1:])]
+	sk.queuedBytes -= len(dg.Data)
+	n = copy(buf, dg.Data)
+	p.Advance(st.params.UDPRecvProcessing + sim.BytesTime(n, st.params.CopyBandwidth))
+	return n, dg.Src, dg.SrcPort, true
+}
+
+// Select blocks until one of the sockets has a pending datagram or the
+// deadline passes, returning the index of the first ready socket or -1.
+// A deadline of sim.Infinity waits forever.
+func Select(p *sim.Proc, socks []*Socket, deadline sim.Time) int {
+	if len(socks) == 0 {
+		return -1
+	}
+	st := socks[0].stack
+	p.Advance(st.params.SelectOverhead)
+	for {
+		for i, sk := range socks {
+			if len(sk.queue) > 0 {
+				return i
+			}
+		}
+		if p.Now() >= deadline {
+			return -1
+		}
+		// All sockets share the node; waiting on the first socket's cond
+		// is insufficient — build a wait that any arrival breaks. Each
+		// socket broadcast wakes only its own cond, so wait on each in
+		// turn cheaply via a shared kernel cond per stack.
+		if deadline == sim.Infinity {
+			p.WaitOn(st.selectCond())
+		} else if !p.WaitOnUntil(st.selectCond(), deadline) && p.Now() >= deadline {
+			return -1
+		}
+	}
+}
+
+// selectCond lazily creates the per-stack wakeup used by Select.
+func (st *Stack) selectCond() *sim.Cond {
+	if st.selCond == nil {
+		st.selCond = sim.NewCond(fmt.Sprintf("udp:n%d:select", st.node.ID()))
+	}
+	return st.selCond
+}

@@ -1,0 +1,105 @@
+// Package fastgm implements the paper's substrate: TreadMarks bound
+// directly to GM ("FAST/GM"). Its four components follow Section 2.2:
+//
+//  1. Connection management — all peers are multiplexed over exactly two
+//     GM ports: an asynchronous request port (interrupting) and a
+//     synchronous reply port (polled). "Connect" degenerates to knowing
+//     the peer's GM node ID, so port usage is O(1) in cluster size.
+//  2. Receive-buffer preposting — the async port preposts many small
+//     request buffers plus (n−1) buffers of each larger class; the sync
+//     port preposts one buffer per class (one outstanding request per
+//     process). Buffers are recycled immediately after the message is
+//     consumed, so GM's no-buffer send timeout can never fire.
+//  3. Buffer management — outgoing messages are copied into a pool of
+//     registered send buffers (one extra copy, zero TreadMarks changes);
+//     incoming requests are processed in place; incoming replies are
+//     copied out into TreadMarks structures (the paper's chosen design).
+//  4. Asynchronous messages — three schemes: the NIC-firmware receive
+//     interrupt (the paper's choice), a dedicated polling thread, and a
+//     periodic timer; selectable for the ablation experiment (E4).
+//
+// An optional rendezvous protocol (Section 2.2.2) replaces preposted
+// buffers of class ≥ RendezvousClass with an RTS/CTS exchange that pins a
+// receive buffer on demand, trading an extra round trip for pinned
+// memory — measured by experiment E5.
+package fastgm
+
+import "repro/internal/sim"
+
+// AsyncScheme selects how asynchronous requests are detected.
+type AsyncScheme int
+
+// The three schemes of paper Section 2.2.4.
+const (
+	// AsyncInterrupt: modified NIC firmware raises a host interrupt when
+	// a message lands on the async port. The paper's adopted design.
+	AsyncInterrupt AsyncScheme = iota
+	// AsyncPollingThread: a dedicated thread spins on gm_receive. Fast
+	// detection but continuously steals CPU from the application.
+	AsyncPollingThread
+	// AsyncTimer: a periodic timer polls the async port. Cheap, but
+	// request service latency is bounded below by the tick interval.
+	AsyncTimer
+)
+
+func (s AsyncScheme) String() string {
+	switch s {
+	case AsyncInterrupt:
+		return "interrupt"
+	case AsyncPollingThread:
+		return "polling-thread"
+	case AsyncTimer:
+		return "timer"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the substrate.
+type Config struct {
+	Scheme AsyncScheme
+
+	// TimerInterval is the AsyncTimer tick.
+	TimerInterval sim.Time
+	// PollDispatch is the detection+dispatch cost per request under
+	// AsyncPollingThread (no NIC interrupt, just a cache-line watch).
+	PollDispatch sim.Time
+	// PollComputeScale is the application slowdown imposed by the
+	// spinning thread competing for memory bandwidth and (on busy nodes)
+	// cycles. 1.0 = free.
+	PollComputeScale float64
+
+	// Rendezvous enables the RTS/CTS large-message protocol; classes ≥
+	// RendezvousClass are then never preposted.
+	Rendezvous      bool
+	RendezvousClass int
+
+	// SmallClassMax: classes ≤ this are considered "small requests" and
+	// preposted SmallPerPeer × (n−1) deep on the async port; classes
+	// above get (n−1) buffers each (the paper's barrier-response case).
+	SmallClassMax int
+	SmallPerPeer  int
+
+	// CopyBandwidth is host memcpy speed for the send-side copy into
+	// registered buffers and the receive-side reply copy-out.
+	CopyBandwidth float64
+	// DispatchCost is the per-request decode/dispatch CPU.
+	DispatchCost sim.Time
+}
+
+// DefaultConfig returns the paper's adopted design: interrupt-driven
+// async port, full preposting (no rendezvous).
+func DefaultConfig() Config {
+	return Config{
+		Scheme:           AsyncInterrupt,
+		TimerInterval:    sim.Millisecond,
+		PollDispatch:     sim.Micro(2.0),
+		PollComputeScale: 1.15,
+		Rendezvous:       false,
+		RendezvousClass:  13,
+		SmallClassMax:    7,
+		SmallPerPeer:     4,
+		CopyBandwidth:    800e6,
+		DispatchCost:     sim.Micro(0.5),
+	}
+}

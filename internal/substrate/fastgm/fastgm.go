@@ -1,0 +1,400 @@
+package fastgm
+
+import (
+	"fmt"
+
+	"repro/internal/gm"
+	"repro/internal/msg"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/substrate"
+)
+
+// GM port assignment: the substrate needs exactly two ports regardless of
+// cluster size (paper Section 2.2.1). Port 1 is the kernel's (Sockets-GM);
+// it is unused in FAST/GM runs but kept reserved so both transports can
+// coexist in one simulation.
+const (
+	AsyncPort = 2 // requests; asynchronous notification
+	SyncPort  = 3 // replies; polled synchronously
+)
+
+// Frame tags prefixing every payload (transport-internal framing).
+const (
+	frameMsg  byte = 1 // body = encoded msg.Message
+	frameRTS  byte = 2 // rendezvous request-to-send
+	frameCTS  byte = 3 // rendezvous clear-to-send
+	frameData byte = 4 // rendezvous bulk data (body = encoded msg.Message)
+)
+
+// Transport is the FAST/GM substrate for one process.
+type Transport struct {
+	node *gm.Node
+	cfg  Config
+	rank int
+	size int
+
+	proc    *sim.Proc
+	handler substrate.Handler
+
+	asyncPort *gm.Port
+	syncPort  *gm.Port
+
+	sendPool  map[int][]*gm.Buffer // class → free registered send buffers
+	sendCond  *sim.Cond
+	tokenCond *sim.Cond
+
+	rv rendezvousState
+
+	seq   uint32
+	stats substrate.Stats
+}
+
+// New creates the substrate for process rank of size on a GM node.
+func New(node *gm.Node, rank, size int, cfg Config) *Transport {
+	return &Transport{
+		node:     node,
+		cfg:      cfg,
+		rank:     rank,
+		size:     size,
+		sendPool: make(map[int][]*gm.Buffer),
+	}
+}
+
+// Rank returns this process's rank.
+func (t *Transport) Rank() int { return t.rank }
+
+// Size returns the number of processes.
+func (t *Transport) Size() int { return t.size }
+
+// MaxData returns the largest encoded message carried (one byte of each
+// GM message is the frame tag).
+func (t *Transport) MaxData() int { return t.node.System().Params().MaxMessage() - 1 }
+
+// Stats returns the transport counters.
+func (t *Transport) Stats() *substrate.Stats { return &t.stats }
+
+// maxPrepostClass returns the largest class preposted (classes above use
+// rendezvous when enabled).
+func (t *Transport) maxPrepostClass() int {
+	max := t.node.System().Params().MaxClass
+	if t.cfg.Rendezvous && t.cfg.RendezvousClass-1 < max {
+		return t.cfg.RendezvousClass - 1
+	}
+	return max
+}
+
+// Start opens the two ports, preposts receive buffers per the paper's
+// strategy, allocates the registered send pool, and arms the selected
+// asynchronous notification scheme.
+func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
+	t.proc = p
+	t.handler = h
+	t.sendCond = sim.NewCond(fmt.Sprintf("fastgm:%d:sendpool", t.rank))
+	t.tokenCond = sim.NewCond(fmt.Sprintf("fastgm:%d:tokens", t.rank))
+	t.rv.init(t)
+
+	var err error
+	if t.asyncPort, err = t.node.OpenPort(AsyncPort); err != nil {
+		panic(fmt.Sprintf("fastgm: %v", err))
+	}
+	if t.syncPort, err = t.node.OpenPort(SyncPort); err != nil {
+		panic(fmt.Sprintf("fastgm: %v", err))
+	}
+
+	params := t.node.System().Params()
+	peers := t.size - 1
+	if peers < 1 {
+		peers = 1
+	}
+	// Asynchronous port: o×(n−1) small request buffers per class, (n−1)
+	// of each larger class (the barrier-response sizes).
+	for c := params.MinClass; c <= t.maxPrepostClass(); c++ {
+		count := peers
+		if c <= t.cfg.SmallClassMax {
+			count = t.cfg.SmallPerPeer * peers
+		}
+		mem := t.node.Register(p, count*gm.ClassCapacity(c))
+		for i := 0; i < count; i++ {
+			t.asyncPort.ProvideReceiveBuffer(mem.SubBuffer(i*gm.ClassCapacity(c), c))
+		}
+	}
+	// Synchronous port: one buffer per class suffices (single outstanding
+	// request per process ⇒ at most one reply in flight); a second is
+	// kept as margin so recycling latency can never stall an ack.
+	for c := params.MinClass; c <= t.maxPrepostClass(); c++ {
+		mem := t.node.Register(p, 2*gm.ClassCapacity(c))
+		t.syncPort.ProvideReceiveBuffer(mem.SubBuffer(0, c))
+		t.syncPort.ProvideReceiveBuffer(mem.SubBuffer(gm.ClassCapacity(c), c))
+	}
+	// Registered send-buffer pool: a few small buffers plus one of each
+	// large class. Senders copy outgoing messages in (extra copy,
+	// unmodified TreadMarks — the paper's choice).
+	for c := params.MinClass; c <= params.MaxClass; c++ {
+		count := 1
+		if c <= t.cfg.SmallClassMax {
+			count = 4
+		}
+		mem := t.node.Register(p, count*gm.ClassCapacity(c))
+		for i := 0; i < count; i++ {
+			t.sendPool[c] = append(t.sendPool[c], mem.SubBuffer(i*gm.ClassCapacity(c), c))
+		}
+	}
+
+	switch t.cfg.Scheme {
+	case AsyncInterrupt:
+		p.SetInterruptHandler(t.onAsyncInterrupt)
+		t.asyncPort.EnableInterrupt(p)
+	case AsyncPollingThread:
+		p.SetInterruptHandler(t.onPollDetect)
+		t.asyncPort.EnableInterrupt(p) // detection channel; cost differs
+		p.SetComputeScale(t.cfg.PollComputeScale)
+	case AsyncTimer:
+		p.SetInterruptHandler(t.onPollDetect)
+		t.armTimer()
+	}
+}
+
+// Shutdown deregisters nothing explicitly (regions die with the run) but
+// stops the timer scheme.
+func (t *Transport) Shutdown(p *sim.Proc) { t.rv.shutdown = true }
+
+// armTimer schedules the periodic async-port check for AsyncTimer.
+func (t *Transport) armTimer() {
+	s := t.proc.Sim()
+	var tick func()
+	tick = func() {
+		if t.rv.shutdown {
+			return
+		}
+		if t.asyncPort.TryPeek() {
+			t.proc.Interrupt(t.asyncPort)
+		}
+		s.After(t.cfg.TimerInterval, tick)
+	}
+	s.After(t.cfg.TimerInterval, tick)
+}
+
+// DisableAsync masks asynchronous request delivery.
+func (t *Transport) DisableAsync(p *sim.Proc) { p.DisableInterrupts() }
+
+// EnableAsync unmasks it, servicing anything queued.
+func (t *Transport) EnableAsync(p *sim.Proc) { p.EnableInterrupts() }
+
+// onAsyncInterrupt services the NIC interrupt (paper's firmware mod).
+func (t *Transport) onAsyncInterrupt(p *sim.Proc, payload any) {
+	t.stats.AsyncWakeups++
+	p.Advance(t.asyncPort.InterruptCost())
+	t.drainAsync(p)
+}
+
+// onPollDetect services a polling-thread or timer detection: cheaper
+// dispatch, no interrupt cost.
+func (t *Transport) onPollDetect(p *sim.Proc, payload any) {
+	t.stats.AsyncWakeups++
+	p.Advance(t.cfg.PollDispatch)
+	t.drainAsync(p)
+}
+
+// drainAsync processes every message pending on the async port.
+func (t *Transport) drainAsync(p *sim.Proc) {
+	for t.asyncPort.TryPeek() {
+		rv := t.asyncPort.Poll(p)
+		t.handleAsyncFrame(p, rv)
+	}
+}
+
+// handleAsyncFrame dispatches one async-port message: a request frame, a
+// rendezvous RTS, or rendezvous bulk data for a large request.
+func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
+	if len(rv.Data) == 0 {
+		panic("fastgm: empty frame")
+	}
+	tag, body := rv.Data[0], rv.Data[1:]
+	switch tag {
+	case frameMsg, frameData:
+		p.Advance(t.cfg.DispatchCost)
+		m, err := msg.Decode(body)
+		if err != nil {
+			panic(fmt.Sprintf("fastgm: corrupt request on node %d: %v", t.rank, err))
+		}
+		t.stats.RequestsRecvd++
+		t.stats.BytesRecvd += int64(len(rv.Data))
+		if tag == frameData {
+			t.rv.finishReceive(p, rv.Buffer)
+		} else {
+			// Requests are processed in place (no copy); recycle the
+			// buffer after the handler consumed the decoded form.
+			t.asyncPort.ProvideReceiveBuffer(rv.Buffer)
+		}
+		start := p.Now()
+		t.handler(p, m)
+		t.stats.RequestService += p.Now() - start
+	case frameRTS:
+		t.rv.onRTS(p, rv)
+		t.asyncPort.ProvideReceiveBuffer(rv.Buffer)
+	case frameCTS:
+		t.rv.onCTS(p, rv.Data[1:])
+		t.asyncPort.ProvideReceiveBuffer(rv.Buffer)
+	default:
+		panic(fmt.Sprintf("fastgm: unexpected async frame tag %d", tag))
+	}
+}
+
+// Call implements substrate.Transport.
+func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
+	if dst == t.rank {
+		panic("fastgm: Call to self")
+	}
+	if !p.InterruptsEnabled() {
+		// The DSM must not await a reply while asynchronous delivery is
+		// masked: the peer may need to serve our request via its own
+		// handler, and (with rendezvous) our reply may need an RTS/CTS
+		// exchange serviced by our handler.
+		panic("fastgm: Call with async delivery disabled")
+	}
+	t.seq++
+	req.Seq = t.seq
+	req.From = int32(t.rank)
+	req.ReplyTo = int32(t.rank)
+	waitStart := p.Now()
+	t.stats.RequestsSent++
+	t.transmit(p, dst, AsyncPort, frameMsg, req)
+	rep := t.waitReply(p, req.Seq)
+	t.stats.RepliesRecvd++
+	t.stats.ReplyWaitTime += p.Now() - waitStart
+	return rep
+}
+
+// Reply implements substrate.Transport: replies go to the originator's
+// synchronous port.
+func (t *Transport) Reply(p *sim.Proc, req *msg.Message, rep *msg.Message) {
+	rep.Seq = req.Seq
+	rep.From = int32(t.rank)
+	rep.ReplyTo = int32(t.rank)
+	t.stats.RepliesSent++
+	t.transmit(p, int(req.ReplyTo), SyncPort, frameMsg, rep)
+}
+
+// Forward implements substrate.Transport: relays a request, preserving
+// the originator.
+func (t *Transport) Forward(p *sim.Proc, dst int, req *msg.Message) {
+	req.From = int32(t.rank)
+	t.stats.ForwardsSent++
+	t.transmit(p, dst, AsyncPort, frameMsg, req)
+}
+
+// Send implements substrate.Transport: one-shot request.
+func (t *Transport) Send(p *sim.Proc, dst int, req *msg.Message) {
+	t.seq++
+	req.Seq = t.seq
+	req.From = int32(t.rank)
+	req.ReplyTo = int32(t.rank)
+	t.stats.RequestsSent++
+	t.transmit(p, dst, AsyncPort, frameMsg, req)
+}
+
+// waitReply polls the synchronous port until the reply matching seq
+// arrives. GM is reliable, so a mismatched sequence number is a protocol
+// bug (fail-stop).
+func (t *Transport) waitReply(p *sim.Proc, seq uint32) *msg.Message {
+	rv := t.syncPort.WaitRecv(p)
+	tag, body := rv.Data[0], rv.Data[1:]
+	if tag != frameMsg && tag != frameData {
+		panic(fmt.Sprintf("fastgm: unexpected sync frame tag %d", tag))
+	}
+	// Replies are copied out of the receive buffer into TreadMarks
+	// structures (the paper's extra-copy design).
+	p.Advance(t.cfg.DispatchCost + sim.BytesTime(len(body), t.cfg.CopyBandwidth))
+	m, err := msg.Decode(body)
+	if err != nil {
+		panic(fmt.Sprintf("fastgm: corrupt reply on node %d: %v", t.rank, err))
+	}
+	t.stats.BytesRecvd += int64(len(rv.Data))
+	if tag == frameData {
+		t.rv.finishReceive(p, rv.Buffer)
+	} else {
+		t.syncPort.ProvideReceiveBuffer(rv.Buffer)
+	}
+	if m.Seq != seq {
+		t.stats.StaleReplies++
+		panic(fmt.Sprintf("fastgm: node %d: reply seq %d, want %d (kind %v)", t.rank, m.Seq, seq, m.Kind))
+	}
+	return m
+}
+
+// transmit frames, stages, and sends one message to (dst, dstPort),
+// applying the rendezvous protocol for oversized frames when enabled.
+func (t *Transport) transmit(p *sim.Proc, dst, dstPort int, tag byte, m *msg.Message) {
+	body := m.Encode()
+	n := len(body) + 1
+	params := t.node.System().Params()
+	if n > params.MaxMessage() {
+		panic(fmt.Sprintf("fastgm: %v message of %d bytes exceeds TreadMarks' %d-byte cap "+
+			"(too many consistency intervals in one exchange; coarsen the application's "+
+			"synchronization grain)", m.Kind, n, params.MaxMessage()))
+	}
+	class := params.ClassFor(n)
+	if t.cfg.Rendezvous && class >= t.cfg.RendezvousClass {
+		t.rv.sendLarge(p, dst, dstPort, body)
+		return
+	}
+	buf := t.takeSendBuffer(p, class)
+	buf.Bytes()[0] = tag
+	// The copy into registered memory (paper Section 2.2.3).
+	p.Advance(sim.BytesTime(len(body), t.cfg.CopyBandwidth))
+	copy(buf.Bytes()[1:], body)
+	t.stats.BytesSent += int64(n)
+	t.gmSend(p, t.portFor(dstPort), dst, dstPort, buf, n, class)
+}
+
+// portFor returns our sending port for a destination port: requests go
+// out the async port, replies out the sync port (each port has its own
+// token pool, mirroring GM's per-port resources).
+func (t *Transport) portFor(dstPort int) *gm.Port {
+	if dstPort == AsyncPort {
+		return t.asyncPort
+	}
+	return t.syncPort
+}
+
+// gmSend performs the GM send, waiting for tokens if necessary, and
+// returns the buffer to the pool on completion. A timed-out send means
+// the preposting invariant was violated — fail-stop, as the paper says
+// this "has to be avoided at all costs".
+func (t *Transport) gmSend(p *sim.Proc, port *gm.Port, dst, dstPort int, buf *gm.Buffer, n, class int) {
+	for {
+		err := port.Send(p, myrinet.NodeID(dst), dstPort, buf, n, func(st gm.SendStatus) {
+			if st != gm.SendOK {
+				panic(fmt.Sprintf("fastgm: node %d → %d port %d send %v: preposting invariant violated",
+					t.rank, dst, dstPort, st))
+			}
+			t.sendPool[class] = append(t.sendPool[class], buf)
+			t.sendCond.Broadcast()
+			t.tokenCond.Broadcast()
+		})
+		if err == nil {
+			return
+		}
+		if err == gm.ErrNoSendTokens {
+			p.WaitOn(t.tokenCond)
+			continue
+		}
+		panic(fmt.Sprintf("fastgm: send: %v", err))
+	}
+}
+
+// takeSendBuffer pops a registered send buffer of the class, blocking
+// until one is recycled if the pool is dry.
+func (t *Transport) takeSendBuffer(p *sim.Proc, class int) *gm.Buffer {
+	for {
+		bufs := t.sendPool[class]
+		if len(bufs) > 0 {
+			b := bufs[len(bufs)-1]
+			t.sendPool[class] = bufs[:len(bufs)-1]
+			return b
+		}
+		t.stats.SendBufStalls++
+		p.WaitOn(t.sendCond)
+	}
+}

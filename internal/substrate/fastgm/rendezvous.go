@@ -1,0 +1,129 @@
+package fastgm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/gm"
+	"repro/internal/sim"
+)
+
+// The rendezvous protocol (paper Section 2.2.2): to avoid preposting
+// buffers for the largest size classes on every port, a sender first
+// sends a small RTS describing the message; the receiver pins a buffer of
+// the exact class on demand, preposts it to the target port, and answers
+// with a CTS; the sender then ships the bulk data, which lands in the
+// just-pinned buffer. The receiver deregisters the buffer after the
+// message is consumed.
+//
+// Both RTS and CTS travel on the asynchronous (interrupting) port, so no
+// process ever blocks waiting for a rendezvous control frame: the sender
+// stages the payload and continues; the CTS interrupt triggers the bulk
+// transfer. This keeps the protocol deadlock-free even when both sides
+// are inside request handlers.
+type rendezvousState struct {
+	t        *Transport
+	nextID   uint32
+	staged   map[uint32]*stagedSend
+	pinned   map[*gm.Buffer]*gm.Memory
+	shutdown bool
+}
+
+type stagedSend struct {
+	dst     int
+	dstPort int
+	body    []byte
+}
+
+func (rv *rendezvousState) init(t *Transport) {
+	rv.t = t
+	rv.staged = make(map[uint32]*stagedSend)
+	rv.pinned = make(map[*gm.Buffer]*gm.Memory)
+}
+
+// sendLarge stages body and sends the RTS. The bulk transfer completes
+// asynchronously when the CTS arrives.
+func (rv *rendezvousState) sendLarge(p *sim.Proc, dst, dstPort int, body []byte) {
+	t := rv.t
+	t.stats.RendezvousRTS++
+	id := rv.nextID
+	rv.nextID++
+	rv.staged[id] = &stagedSend{dst: dst, dstPort: dstPort, body: body}
+
+	class := t.node.System().Params().ClassFor(len(body) + 1)
+	ctrl := make([]byte, 6)
+	binary.LittleEndian.PutUint32(ctrl, id)
+	ctrl[4] = byte(class)
+	ctrl[5] = byte(dstPort)
+	t.rawSend(p, dst, AsyncPort, frameRTS, ctrl)
+}
+
+// onRTS runs in the receiver's interrupt context: pin a buffer of the
+// announced class, prepost it to the announced port, and send the CTS.
+// The registration cost lands on the receiving process — the overhead
+// the paper trades for the smaller pinned footprint.
+func (rv *rendezvousState) onRTS(p *sim.Proc, recv *gm.Recv) {
+	t := rv.t
+	body := recv.Data[1:]
+	if len(body) < 6 {
+		panic("fastgm: short RTS")
+	}
+	id := binary.LittleEndian.Uint32(body)
+	class := int(body[4])
+	dstPort := int(body[5])
+
+	mem := t.node.Register(p, gm.ClassCapacity(class))
+	buf := mem.SubBuffer(0, class)
+	rv.pinned[buf] = mem
+	t.portFor(dstPort).ProvideReceiveBuffer(buf)
+
+	ctrl := make([]byte, 4)
+	binary.LittleEndian.PutUint32(ctrl, id)
+	t.rawSend(p, int(recv.From), AsyncPort, frameCTS, ctrl)
+}
+
+// onCTS runs in the original sender's interrupt context: ship the staged
+// bulk data to the now-pinned buffer.
+func (rv *rendezvousState) onCTS(p *sim.Proc, body []byte) {
+	t := rv.t
+	if len(body) < 4 {
+		panic("fastgm: short CTS")
+	}
+	id := binary.LittleEndian.Uint32(body)
+	st := rv.staged[id]
+	if st == nil {
+		panic(fmt.Sprintf("fastgm: CTS for unknown rendezvous %d", id))
+	}
+	delete(rv.staged, id)
+
+	n := len(st.body) + 1
+	class := t.node.System().Params().ClassFor(n)
+	buf := t.takeSendBuffer(p, class)
+	buf.Bytes()[0] = frameData
+	p.Advance(sim.BytesTime(len(st.body), t.cfg.CopyBandwidth))
+	copy(buf.Bytes()[1:], st.body)
+	t.stats.BytesSent += int64(n)
+	t.gmSend(p, t.portFor(st.dstPort), st.dst, st.dstPort, buf, n, class)
+}
+
+// finishReceive deregisters the dynamically pinned buffer a rendezvous
+// data frame landed in.
+func (rv *rendezvousState) finishReceive(p *sim.Proc, buf *gm.Buffer) {
+	mem := rv.pinned[buf]
+	if mem == nil {
+		panic("fastgm: rendezvous data in non-pinned buffer")
+	}
+	delete(rv.pinned, buf)
+	mem.Deregister(p)
+}
+
+// rawSend ships a small transport-control frame.
+func (t *Transport) rawSend(p *sim.Proc, dst, dstPort int, tag byte, body []byte) {
+	n := len(body) + 1
+	class := t.node.System().Params().ClassFor(n)
+	buf := t.takeSendBuffer(p, class)
+	buf.Bytes()[0] = tag
+	copy(buf.Bytes()[1:], body)
+	t.stats.BytesSent += int64(n)
+	t.gmSend(p, t.portFor(dstPort), dst, dstPort, buf, n, class)
+}

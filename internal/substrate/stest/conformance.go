@@ -1,0 +1,268 @@
+package stest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/substrate"
+)
+
+// Builder constructs a fresh cluster for a conformance test.
+type Builder func(n int, seed int64) *Cluster
+
+// RunConformance exercises the full Transport contract against a builder.
+func RunConformance(t *testing.T, build Builder) {
+	t.Run("PingPong", func(t *testing.T) { ConformancePingPong(t, build) })
+	t.Run("ForwardedReply", func(t *testing.T) { ConformanceForwardedReply(t, build) })
+	t.Run("InterruptsCompute", func(t *testing.T) { ConformanceInterruptsCompute(t, build) })
+	t.Run("LargeMessages", func(t *testing.T) { ConformanceLargeMessages(t, build) })
+	t.Run("MaskedDelivery", func(t *testing.T) { ConformanceMaskedDelivery(t, build) })
+	t.Run("ManyToOne", func(t *testing.T) { ConformanceManyToOne(t, build) })
+	t.Run("ServiceWhileWaiting", func(t *testing.T) { ConformanceServiceWhileWaiting(t, build) })
+}
+
+// ConformancePingPong: a simple matched request/reply with payload echo.
+func ConformancePingPong(t *testing.T, build Builder) {
+	c := build(2, 1)
+	var got *msg.Message
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				if m.Kind != msg.KPing {
+					t.Errorf("rank %d: unexpected %v", rank, m.Kind)
+				}
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPong, PageData: m.PageData})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank != 0 {
+				return
+			}
+			got = tr.Call(p, 1, &msg.Message{Kind: msg.KPing, PageData: []byte("payload-123")})
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Kind != msg.KPong || string(got.PageData) != "payload-123" {
+		t.Fatalf("bad reply: %+v", got)
+	}
+	if c.Transports[0].Stats().RepliesRecvd != 1 || c.Transports[1].Stats().RequestsRecvd != 1 {
+		t.Errorf("stats: %v / %v", c.Transports[0].Stats(), c.Transports[1].Stats())
+	}
+}
+
+// ConformanceForwardedReply: rank 0 calls rank 1; rank 1 forwards to rank
+// 2; rank 2 replies directly to rank 0 — the lock-manager indirection.
+func ConformanceForwardedReply(t *testing.T, build Builder) {
+	c := build(3, 1)
+	var got *msg.Message
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				switch rank {
+				case 1:
+					c.Transports[1].Forward(p, 2, m)
+				case 2:
+					if m.ReplyTo != 0 {
+						t.Errorf("forward lost originator: %d", m.ReplyTo)
+					}
+					c.Transports[2].Reply(p, m, &msg.Message{Kind: msg.KLockGrant, Lock: m.Lock})
+				}
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank != 0 {
+				return
+			}
+			got = tr.Call(p, 1, &msg.Message{Kind: msg.KLockAcquire, Lock: 7})
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Kind != msg.KLockGrant || got.Lock != 7 {
+		t.Fatalf("bad forwarded reply: %+v", got)
+	}
+	if got.From != 2 {
+		t.Errorf("reply came from %d, want 2 (direct third-node reply)", got.From)
+	}
+}
+
+// ConformanceInterruptsCompute: a request arriving mid-compute is
+// serviced asynchronously and extends the computation.
+func ConformanceInterruptsCompute(t *testing.T, build Builder) {
+	c := build(2, 1)
+	var served sim.Time
+	var computeEnd sim.Time
+	var got *msg.Message
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				served = p.Now()
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPong})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			switch rank {
+			case 0:
+				p.Advance(20 * sim.Millisecond)
+				computeEnd = p.Now()
+			case 1:
+				p.Advance(5 * sim.Millisecond)
+				got = tr.Call(p, 0, &msg.Message{Kind: msg.KPing})
+			}
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Kind != msg.KPong {
+		t.Fatal("no pong")
+	}
+	if served < 5*sim.Millisecond || served > 7*sim.Millisecond {
+		t.Errorf("request served at %v, want shortly after 5ms (async)", served)
+	}
+	if computeEnd <= 20*sim.Millisecond {
+		t.Errorf("compute ended at %v; servicing should have extended it", computeEnd)
+	}
+}
+
+// ConformanceLargeMessages: multi-fragment payloads survive both
+// directions (large request via Send path is not required; large replies
+// are the DSM's page/diff case).
+func ConformanceLargeMessages(t *testing.T, build Builder) {
+	c := build(2, 1)
+	payload := make([]byte, 20000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var got *msg.Message
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPageReply, PageData: payload})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank != 0 {
+				return
+			}
+			got = tr.Call(p, 1, &msg.Message{Kind: msg.KPageReq, Page: 3})
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || !bytes.Equal(got.PageData, payload) {
+		t.Fatal("large reply corrupted")
+	}
+}
+
+// ConformanceMaskedDelivery: requests arriving while async delivery is
+// masked are deferred, then serviced on enable.
+func ConformanceMaskedDelivery(t *testing.T, build Builder) {
+	c := build(2, 1)
+	var served sim.Time
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				served = p.Now()
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPong})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			switch rank {
+			case 0:
+				tr.DisableAsync(p)
+				p.Advance(30 * sim.Millisecond)
+				tr.EnableAsync(p)
+			case 1:
+				p.Advance(5 * sim.Millisecond)
+				tr.Call(p, 0, &msg.Message{Kind: msg.KPing})
+			}
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if served < 30*sim.Millisecond {
+		t.Errorf("request served at %v despite mask until 30ms", served)
+	}
+}
+
+// ConformanceManyToOne: several ranks call rank 0 concurrently; each gets
+// its own matched reply.
+func ConformanceManyToOne(t *testing.T, build Builder) {
+	const n = 8
+	c := build(n, 1)
+	results := make([]int32, n)
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPong, Page: m.Page * 10})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank == 0 {
+				p.Advance(10 * sim.Millisecond) // serve everyone while "computing"
+				return
+			}
+			for k := 0; k < 5; k++ {
+				rep := tr.Call(p, 0, &msg.Message{Kind: msg.KPing, Page: int32(rank)})
+				if rep.Page != int32(rank)*10 {
+					t.Errorf("rank %d got wrong reply %d", rank, rep.Page)
+				}
+				results[rank] = rep.Page
+			}
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < n; r++ {
+		if results[r] != int32(r)*10 {
+			t.Errorf("rank %d final reply %d", r, results[r])
+		}
+	}
+}
+
+// ConformanceServiceWhileWaiting: a process blocked awaiting its own
+// reply must still service others' requests — otherwise distributed
+// lock chains deadlock.
+func ConformanceServiceWhileWaiting(t *testing.T, build Builder) {
+	c := build(3, 1)
+	// rank 1 calls rank 2, whose handler needs 5ms of service; while rank
+	// 1 waits, rank 0 calls rank 1, which must answer promptly.
+	var servedByWaiting sim.Time
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				if rank == 2 {
+					p.Advance(5 * sim.Millisecond)
+				}
+				if rank == 1 {
+					servedByWaiting = p.Now()
+				}
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPong})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			switch rank {
+			case 1:
+				tr.Call(p, 2, &msg.Message{Kind: msg.KPing})
+			case 0:
+				p.Advance(sim.Millisecond) // rank 1 is now blocked waiting
+				tr.Call(p, 1, &msg.Message{Kind: msg.KPing})
+			}
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if servedByWaiting == 0 || servedByWaiting > 3*sim.Millisecond {
+		t.Errorf("blocked rank served request at %v, want ≈1ms", servedByWaiting)
+	}
+}

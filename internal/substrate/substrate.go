@@ -1,0 +1,118 @@
+// Package substrate defines the communication interface TreadMarks is
+// written against (Figure 2 of the paper), with two implementations:
+//
+//   - udpgm — the baseline: TreadMarks' stock request/reply machinery over
+//     UDP sockets (Sockets-GM), with SIGIO-driven asynchronous requests
+//     and user-level retransmission, exactly the structure of the original
+//     TreadMarks transport.
+//   - fastgm — the paper's contribution: a thin substrate binding
+//     TreadMarks directly to GM, multiplexing all peers over two GM ports
+//     (asynchronous request port with the NIC-interrupt firmware mod,
+//     synchronous reply port that is polled), with size-class receive
+//     buffer preposting, a registered send-buffer pool, and an optional
+//     rendezvous protocol for large messages.
+//
+// The interface mirrors TreadMarks' communication model: requests arrive
+// asynchronously and may be forwarded; replies are awaited synchronously
+// and may come from a third node.
+package substrate
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Handler processes one incoming asynchronous request in the receiving
+// process's context (interrupt/SIGIO context; interrupts are masked for
+// the duration). The handler owns the message and typically ends by
+// calling Reply or Forward.
+type Handler func(p *sim.Proc, m *msg.Message)
+
+// Transport is the communication substrate interface used by the DSM.
+type Transport interface {
+	// Start performs connection setup and installs the async request
+	// handler. Must be called once by the owning process before any
+	// communication; all processes must Start before traffic flows.
+	Start(p *sim.Proc, h Handler)
+
+	// Call sends a request to dst and blocks until the matching reply
+	// arrives (possibly from a third node, for forwarded requests).
+	// Asynchronous requests from other nodes are still serviced while
+	// blocked. The transport fills in Seq/From/ReplyTo.
+	Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message
+
+	// Reply answers a previously received request; the reply is routed to
+	// req's originator and matched to its sequence number.
+	Reply(p *sim.Proc, req *msg.Message, rep *msg.Message)
+
+	// Forward relays a received request to another node, preserving the
+	// originator so the eventual Reply goes directly back to it.
+	Forward(p *sim.Proc, dst int, req *msg.Message)
+
+	// Send transmits a request for which no reply is expected.
+	Send(p *sim.Proc, dst int, req *msg.Message)
+
+	// DisableAsync/EnableAsync mask asynchronous request delivery, as
+	// TreadMarks masks SIGIO around consistency-critical sections.
+	DisableAsync(p *sim.Proc)
+	EnableAsync(p *sim.Proc)
+
+	// Rank and Size identify this process in the run.
+	Rank() int
+	Size() int
+
+	// MaxData returns the largest encoded message the transport carries.
+	MaxData() int
+
+	// Stats exposes transport counters for the experiment harness.
+	Stats() *Stats
+
+	// Shutdown releases transport resources at process exit.
+	Shutdown(p *sim.Proc)
+}
+
+// Stats counts transport-level activity for one process.
+type Stats struct {
+	RequestsSent   int64
+	RepliesSent    int64
+	ForwardsSent   int64
+	RequestsRecvd  int64
+	RepliesRecvd   int64
+	BytesSent      int64
+	BytesRecvd     int64
+	Retransmits    int64
+	DupRequests    int64
+	StaleReplies   int64
+	AsyncWakeups   int64 // SIGIO deliveries / NIC interrupts taken
+	RendezvousRTS  int64 // large sends that used the rendezvous protocol
+	SendBufStalls  int64 // waits for a free registered send buffer
+	ReplyWaitTime  sim.Time
+	RequestService sim.Time
+}
+
+// Add accumulates other into s (for cluster-wide totals).
+func (s *Stats) Add(other *Stats) {
+	s.RequestsSent += other.RequestsSent
+	s.RepliesSent += other.RepliesSent
+	s.ForwardsSent += other.ForwardsSent
+	s.RequestsRecvd += other.RequestsRecvd
+	s.RepliesRecvd += other.RepliesRecvd
+	s.BytesSent += other.BytesSent
+	s.BytesRecvd += other.BytesRecvd
+	s.Retransmits += other.Retransmits
+	s.DupRequests += other.DupRequests
+	s.StaleReplies += other.StaleReplies
+	s.AsyncWakeups += other.AsyncWakeups
+	s.RendezvousRTS += other.RendezvousRTS
+	s.SendBufStalls += other.SendBufStalls
+	s.ReplyWaitTime += other.ReplyWaitTime
+	s.RequestService += other.RequestService
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("req=%d rep=%d fwd=%d retx=%d dup=%d async=%d bytes=%d/%d",
+		s.RequestsSent, s.RepliesSent, s.ForwardsSent, s.Retransmits,
+		s.DupRequests, s.AsyncWakeups, s.BytesSent, s.BytesRecvd)
+}

@@ -1,0 +1,363 @@
+// Package udpgm implements the paper's baseline transport: TreadMarks'
+// stock request/reply machinery over UDP sockets (Myricom Sockets-GM).
+//
+// Structure (paper Section 1.1.1 / Figure 1):
+//   - two sockets per process pair: a request socket (SIGIO-armed,
+//     asynchronous) and a reply socket (read synchronously);
+//   - requests are retransmitted on reply timeout with exponential
+//     backoff (UDP is unreliable), and receivers keep a duplicate cache
+//     so retransmitted requests are answered idempotently;
+//   - the SIGIO handler pays signal-delivery cost, then drains the
+//     request sockets and dispatches to the DSM's request handler.
+package udpgm
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/sockets"
+	"repro/internal/substrate"
+)
+
+// Port bases: on node i, request socket j receives requests from peer j
+// at reqPortBase+j, and reply socket j receives replies from peer j at
+// repPortBase+j.
+const (
+	reqPortBase = 10000
+	repPortBase = 20000
+)
+
+// Config tunes the user-level reliability layer.
+type Config struct {
+	RetransmitInitial sim.Time // first retransmit timeout
+	RetransmitMax     sim.Time // backoff cap
+	MaxRetries        int      // give up (fail-stop) after this many
+	DispatchCost      sim.Time // per-request decode/dispatch CPU
+	DupCacheSize      int      // cached replies per process
+}
+
+// DefaultConfig mirrors TreadMarks' retransmission behaviour.
+func DefaultConfig() Config {
+	return Config{
+		RetransmitInitial: 20 * sim.Millisecond,
+		RetransmitMax:     500 * sim.Millisecond,
+		MaxRetries:        12,
+		DispatchCost:      sim.Micro(0.5),
+		DupCacheSize:      1024,
+	}
+}
+
+type dupKey struct {
+	origin int32
+	seq    uint32
+}
+
+type dupEntry struct {
+	done  bool
+	reply []byte // encoded cached reply (resent on duplicate requests)
+	to    int    // reply destination
+	// forwardedTo records where this request was relayed (lock-manager
+	// forwarding); a duplicate then re-forwards, recovering a lost
+	// forward idempotently (the downstream dup filter absorbs extras).
+	forwardedTo int
+}
+
+// Transport is the UDP/GM substrate for one process.
+type Transport struct {
+	stack   *sockets.Stack
+	cfg     Config
+	rank    int
+	size    int
+	proc    *sim.Proc
+	handler substrate.Handler
+
+	reqIn []*sockets.Socket // [peer] requests from peer (SIGIO)
+	repIn []*sockets.Socket // [peer] replies from peer
+
+	seq     uint32
+	waiting bool
+
+	dup      map[dupKey]*dupEntry
+	dupOrder []dupKey
+
+	stats substrate.Stats
+	// Separate scratch buffers: the SIGIO handler can interrupt the
+	// reply path mid-receive, so they must not share memory.
+	reqBuf []byte
+	repBuf []byte
+}
+
+// New creates the transport for process rank of size over the node's
+// socket stack.
+func New(stack *sockets.Stack, rank, size int, cfg Config) *Transport {
+	return &Transport{
+		stack:  stack,
+		cfg:    cfg,
+		rank:   rank,
+		size:   size,
+		dup:    make(map[dupKey]*dupEntry),
+		reqBuf: make([]byte, stack.Params().MaxDatagram),
+		repBuf: make([]byte, stack.Params().MaxDatagram),
+	}
+}
+
+// Rank returns this process's rank.
+func (t *Transport) Rank() int { return t.rank }
+
+// Size returns the number of processes.
+func (t *Transport) Size() int { return t.size }
+
+// MaxData returns the largest encodable message.
+func (t *Transport) MaxData() int { return t.stack.Params().MaxDatagram }
+
+// Stats returns the transport counters.
+func (t *Transport) Stats() *substrate.Stats { return &t.stats }
+
+// Start binds the 2(size-1) sockets and arms SIGIO on the request side.
+func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
+	t.proc = p
+	t.handler = h
+	t.reqIn = make([]*sockets.Socket, t.size)
+	t.repIn = make([]*sockets.Socket, t.size)
+	for j := 0; j < t.size; j++ {
+		if j == t.rank {
+			continue
+		}
+		rq := t.stack.Socket(p)
+		if err := rq.Bind(p, reqPortBase+j); err != nil {
+			panic(fmt.Sprintf("udpgm: bind req %d/%d: %v", t.rank, j, err))
+		}
+		rq.SetSIGIO(p)
+		t.reqIn[j] = rq
+
+		rp := t.stack.Socket(p)
+		if err := rp.Bind(p, repPortBase+j); err != nil {
+			panic(fmt.Sprintf("udpgm: bind rep %d/%d: %v", t.rank, j, err))
+		}
+		t.repIn[j] = rp
+	}
+	p.SetInterruptHandler(t.onSIGIO)
+}
+
+// Shutdown closes all sockets.
+func (t *Transport) Shutdown(p *sim.Proc) {
+	for _, sk := range append(append([]*sockets.Socket(nil), t.reqIn...), t.repIn...) {
+		if sk != nil {
+			sk.Close(p)
+		}
+	}
+}
+
+// DisableAsync masks SIGIO delivery (TreadMarks' sigprocmask around
+// consistency-critical sections).
+func (t *Transport) DisableAsync(p *sim.Proc) { p.DisableInterrupts() }
+
+// EnableAsync unmasks SIGIO; queued signals are serviced immediately.
+func (t *Transport) EnableAsync(p *sim.Proc) { p.EnableInterrupts() }
+
+// onSIGIO is the signal handler: pay signal delivery, then drain every
+// readable request socket.
+func (t *Transport) onSIGIO(p *sim.Proc, payload any) {
+	t.stats.AsyncWakeups++
+	p.Advance(t.stack.Params().SignalDelivery)
+	start := p.Now()
+	// The signal tells us only "a request socket is readable"; TreadMarks
+	// scans them all (select + recvfrom loop).
+	for _, sk := range t.reqIn {
+		if sk == nil {
+			continue
+		}
+		for {
+			n, _, _, ok := sk.TryRecvFrom(p, t.reqBuf)
+			if !ok {
+				break
+			}
+			t.dispatchRequest(p, t.reqBuf[:n])
+		}
+	}
+	t.stats.RequestService += p.Now() - start
+}
+
+// dispatchRequest decodes and runs one incoming request through the
+// duplicate filter and the DSM handler.
+func (t *Transport) dispatchRequest(p *sim.Proc, raw []byte) {
+	p.Advance(t.cfg.DispatchCost)
+	m, err := msg.Decode(raw)
+	if err != nil {
+		panic(fmt.Sprintf("udpgm: corrupt request on node %d: %v", t.rank, err))
+	}
+	t.stats.RequestsRecvd++
+	t.stats.BytesRecvd += int64(len(raw))
+	key := dupKey{origin: m.ReplyTo, seq: m.Seq}
+	if e, seen := t.dup[key]; seen {
+		t.stats.DupRequests++
+		if e.done {
+			// Re-send the cached reply: the original likely got lost.
+			t.send(p, e.to, repPortBase+t.rank, e.reply)
+		} else if e.forwardedTo >= 0 {
+			// The forward (or everything downstream) may have been lost;
+			// relay again. Downstream duplicate filters absorb extras.
+			t.stats.ForwardsSent++
+			t.send(p, e.forwardedTo, reqPortBase+t.rank, m.Encode())
+		}
+		return
+	}
+	t.addDup(key, &dupEntry{forwardedTo: -1})
+	t.handler(p, m)
+}
+
+func (t *Transport) addDup(key dupKey, e *dupEntry) {
+	if len(t.dupOrder) >= t.cfg.DupCacheSize {
+		oldest := t.dupOrder[0]
+		t.dupOrder = t.dupOrder[:copy(t.dupOrder, t.dupOrder[1:])]
+		delete(t.dup, oldest)
+	}
+	t.dup[key] = e
+	t.dupOrder = append(t.dupOrder, key)
+}
+
+// Call implements substrate.Transport.
+func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
+	if dst == t.rank {
+		panic("udpgm: Call to self")
+	}
+	t.seq++
+	req.Seq = t.seq
+	req.From = int32(t.rank)
+	req.ReplyTo = int32(t.rank)
+	data := req.Encode()
+
+	waitStart := p.Now()
+	timeout := t.cfg.RetransmitInitial
+	for attempt := 0; attempt <= t.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			t.stats.Retransmits++
+		}
+		t.stats.RequestsSent++
+		t.stats.BytesSent += int64(len(data))
+		t.send(p, dst, reqPortBase+t.rank, data)
+		deadline := p.Now() + timeout
+		for {
+			idx := sockets.Select(p, t.repSockets(), deadline)
+			if idx < 0 {
+				break // timeout: retransmit
+			}
+			m := t.recvReply(p, idx)
+			if m == nil {
+				continue
+			}
+			if m.Seq != req.Seq {
+				t.stats.StaleReplies++
+				continue
+			}
+			t.stats.RepliesRecvd++
+			t.stats.ReplyWaitTime += p.Now() - waitStart
+			return m
+		}
+		if timeout *= 2; timeout > t.cfg.RetransmitMax {
+			timeout = t.cfg.RetransmitMax
+		}
+	}
+	panic(fmt.Sprintf("udpgm: node %d: no reply from %d for %v after %d attempts",
+		t.rank, dst, req.Kind, t.cfg.MaxRetries+1))
+}
+
+// repSockets returns the live reply sockets (indexed compactly).
+func (t *Transport) repSockets() []*sockets.Socket {
+	socks := make([]*sockets.Socket, 0, t.size-1)
+	for _, sk := range t.repIn {
+		if sk != nil {
+			socks = append(socks, sk)
+		}
+	}
+	return socks
+}
+
+// recvReply pulls one reply datagram from the idx-th live reply socket.
+func (t *Transport) recvReply(p *sim.Proc, idx int) *msg.Message {
+	socks := t.repSockets()
+	n, _, _, ok := socks[idx].TryRecvFrom(p, t.repBuf)
+	if !ok {
+		return nil
+	}
+	t.stats.BytesRecvd += int64(n)
+	m, err := msg.Decode(t.repBuf[:n])
+	if err != nil {
+		panic(fmt.Sprintf("udpgm: corrupt reply on node %d: %v", t.rank, err))
+	}
+	return m
+}
+
+// Reply implements substrate.Transport: answer req's originator and cache
+// the reply for duplicate-request resends.
+func (t *Transport) Reply(p *sim.Proc, req *msg.Message, rep *msg.Message) {
+	origin := int(req.ReplyTo)
+	rep.Seq = req.Seq
+	rep.From = int32(t.rank)
+	rep.ReplyTo = int32(t.rank)
+	data := rep.Encode()
+	key := dupKey{origin: req.ReplyTo, seq: req.Seq}
+	if e, ok := t.dup[key]; ok {
+		e.done = true
+		e.reply = data
+		e.to = origin
+	} else {
+		t.addDup(key, &dupEntry{done: true, reply: data, to: origin})
+	}
+	t.stats.RepliesSent++
+	t.stats.BytesSent += int64(len(data))
+	t.send(p, origin, repPortBase+t.rank, data)
+}
+
+// Forward implements substrate.Transport: relay req to dst preserving the
+// originator. The forward target is recorded so a duplicate of the same
+// request can re-trigger the relay if this one is lost.
+func (t *Transport) Forward(p *sim.Proc, dst int, req *msg.Message) {
+	req.From = int32(t.rank)
+	data := req.Encode()
+	if e, ok := t.dup[dupKey{origin: req.ReplyTo, seq: req.Seq}]; ok {
+		e.forwardedTo = dst
+	}
+	t.stats.ForwardsSent++
+	t.stats.BytesSent += int64(len(data))
+	t.send(p, dst, reqPortBase+t.rank, data)
+}
+
+// Send implements substrate.Transport: one-shot request, no reply.
+func (t *Transport) Send(p *sim.Proc, dst int, req *msg.Message) {
+	t.seq++
+	req.Seq = t.seq
+	req.From = int32(t.rank)
+	req.ReplyTo = int32(t.rank)
+	data := req.Encode()
+	t.stats.RequestsSent++
+	t.stats.BytesSent += int64(len(data))
+	t.send(p, dst, reqPortBase+t.rank, data)
+}
+
+// send transmits raw bytes to (dst rank, dstPort) over any of our bound
+// sockets (addressing is by node + port; the sending socket only
+// determines the source port, which receivers ignore).
+func (t *Transport) send(p *sim.Proc, dst, dstPort int, data []byte) {
+	if len(data) > t.MaxData() {
+		panic(fmt.Sprintf("udpgm: %d-byte message exceeds TreadMarks' %d-byte cap "+
+			"(too many consistency intervals in one exchange; coarsen the application's "+
+			"synchronization grain)", len(data), t.MaxData()))
+	}
+	var sk *sockets.Socket
+	if t.repIn[dst] != nil {
+		sk = t.repIn[dst]
+	} else if t.reqIn[dst] != nil {
+		sk = t.reqIn[dst]
+	}
+	if sk == nil {
+		panic(fmt.Sprintf("udpgm: no socket toward rank %d", dst))
+	}
+	// Rank maps to fabric node identically: one DSM process per node, as
+	// in the paper's runs.
+	if err := sk.SendTo(p, myrinet.NodeID(dst), dstPort, data); err != nil {
+		panic(fmt.Sprintf("udpgm: sendto rank %d: %v", dst, err))
+	}
+}

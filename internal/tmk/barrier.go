@@ -1,0 +1,136 @@
+package tmk
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// Barriers (paper Section 1.1): centralized at the manager (rank 0).
+// Clients close their interval and send a barrier-arrive message carrying
+// their vector clock and the intervals created since the last barrier;
+// the manager merges everything and, when the last arrival lands,
+// releases each client with exactly the intervals that client lacks.
+//
+// As the paper's §5 future-work direction ("scaling a DSM system to a
+// cluster having 256 nodes ... further optimization to communication and
+// synchronization operations"), the barrier optionally runs over a k-ary
+// combining tree (Config.BarrierFanout ≥ 2): each internal node collects
+// its children's arrivals, forwards the merged intervals upward, and
+// fans the release back down — O(log n) critical path instead of the
+// root serving n−1 messages. Fanout 0 (default) is the paper's flat
+// centralized barrier.
+type barrierState struct {
+	episode  int32
+	arrivals []*msg.Message // children's arrive requests, this episode
+	cond     *sim.Cond
+}
+
+// barrierParent returns the rank this process reports to, or -1 for the
+// root.
+func (tp *Proc) barrierParent() int {
+	if tp.rank == 0 {
+		return -1
+	}
+	k := tp.cluster.cfg.BarrierFanout
+	if k < 2 {
+		return 0 // flat: everyone reports to the root
+	}
+	return (tp.rank - 1) / k
+}
+
+// barrierChildren returns how many ranks report to this process.
+func (tp *Proc) barrierChildren() int {
+	k := tp.cluster.cfg.BarrierFanout
+	if k < 2 {
+		if tp.rank == 0 {
+			return tp.n - 1
+		}
+		return 0
+	}
+	count := 0
+	for c := k*tp.rank + 1; c <= k*tp.rank+k && c < tp.n; c++ {
+		count++
+	}
+	return count
+}
+
+// Barrier blocks until all n processes have reached the same barrier.
+// Crossing it makes all processes' modifications visible everywhere
+// (lazily: pages are invalidated; data moves on demand).
+func (tp *Proc) Barrier(id int32) {
+	start := tp.sp.Now()
+	tp.stats.Barriers++
+
+	children := tp.barrierChildren()
+	parent := tp.barrierParent()
+
+	// Phase 1: wait for all our children to arrive (their intervals are
+	// applied on receipt by the handler).
+	for len(tp.barrier.arrivals) < children {
+		tp.sp.WaitOn(tp.barrier.cond)
+	}
+
+	tp.tr.DisableAsync(tp.sp)
+	tp.closeInterval()
+	arrivals := tp.barrier.arrivals
+	tp.barrier.arrivals = nil
+	for _, req := range arrivals {
+		if req.Barrier != id {
+			panic(fmt.Sprintf("tmk: barrier mismatch: rank %d at %d, child %d at %d",
+				tp.rank, id, req.ReplyTo, req.Barrier))
+		}
+	}
+	episode := tp.barrier.episode
+	tp.tr.EnableAsync(tp.sp)
+
+	// Phase 2: report our subtree's new intervals upward and apply the
+	// release coming back down.
+	if parent >= 0 {
+		tp.tr.DisableAsync(tp.sp)
+		recs := tp.store.since(tp.lastBarrierVC)
+		tp.tr.EnableAsync(tp.sp)
+		rep := tp.tr.Call(tp.sp, parent, &msg.Message{
+			Kind:      msg.KBarrierArrive,
+			Barrier:   id,
+			Episode:   episode,
+			VC:        tp.vc.Ints(),
+			Intervals: toWire(recs),
+		})
+		if rep.Kind != msg.KBarrierRelease {
+			panic(fmt.Sprintf("tmk: bad barrier release %v", rep.Kind))
+		}
+		tp.tr.DisableAsync(tp.sp)
+		tp.applyIntervals(rep.Intervals)
+		tp.tr.EnableAsync(tp.sp)
+	}
+
+	// Phase 3: release our children with exactly what each lacks.
+	tp.tr.DisableAsync(tp.sp)
+	for _, req := range arrivals {
+		recs := tp.store.since(VC(req.VC))
+		tp.tr.Reply(tp.sp, req, &msg.Message{
+			Kind:      msg.KBarrierRelease,
+			Barrier:   id,
+			Episode:   req.Episode,
+			Intervals: toWire(recs),
+		})
+	}
+	tp.barrier.episode++
+	tp.tr.EnableAsync(tp.sp)
+
+	tp.lastBarrierVC = tp.vc.Clone()
+	tp.stats.BarrierWait += tp.sp.Now() - start
+}
+
+// handleBarrierArrive runs at a parent when one of its children arrives.
+func (tp *Proc) handleBarrierArrive(req *msg.Message) {
+	if req.Episode != tp.barrier.episode {
+		panic(fmt.Sprintf("tmk: barrier episode skew: rank %d at %d, child %d at %d",
+			tp.rank, tp.barrier.episode, req.ReplyTo, req.Episode))
+	}
+	tp.applyIntervals(req.Intervals)
+	tp.barrier.arrivals = append(tp.barrier.arrivals, req)
+	tp.barrier.cond.Broadcast()
+}

@@ -1,0 +1,182 @@
+package tmk
+
+import (
+	"fmt"
+
+	"repro/internal/gm"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/sockets"
+	"repro/internal/substrate"
+	"repro/internal/substrate/fastgm"
+	"repro/internal/substrate/udpgm"
+)
+
+// TransportKind selects the communication substrate.
+type TransportKind string
+
+// The two substrates the paper evaluates.
+const (
+	TransportUDPGM  TransportKind = "udpgm"  // baseline: UDP over Sockets-GM
+	TransportFastGM TransportKind = "fastgm" // the paper's substrate
+)
+
+// Config assembles a DSM run.
+type Config struct {
+	Procs     int
+	Transport TransportKind
+	Seed      int64
+
+	Net     myrinet.Params
+	GM      gm.Params
+	Sockets sockets.Params
+	UDP     udpgm.Config
+	Fast    fastgm.Config
+	CPU     CPUParams
+
+	// BarrierFanout selects the barrier topology: 0 or 1 is the paper's
+	// flat centralized barrier at rank 0; k ≥ 2 uses a k-ary combining
+	// tree (the §5 future-work optimization for large clusters).
+	BarrierFanout int
+}
+
+// DefaultConfig returns a calibrated n-process configuration.
+func DefaultConfig(n int, kind TransportKind) Config {
+	return Config{
+		Procs:     n,
+		Transport: kind,
+		Seed:      1,
+		Net:       myrinet.DefaultParams(),
+		GM:        gm.DefaultParams(),
+		Sockets:   sockets.DefaultParams(),
+		UDP:       udpgm.DefaultConfig(),
+		Fast:      fastgm.DefaultConfig(),
+		CPU:       DefaultCPUParams(),
+	}
+}
+
+// Cluster is one assembled DSM run.
+type Cluster struct {
+	cfg    Config
+	n      int
+	sim    *sim.Simulator
+	fabric *myrinet.Fabric
+	gmsys  *gm.System
+	stacks []*sockets.Stack
+	procs  []*Proc
+
+	nextRegionID int32
+	nextPage     int32
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// ExecTime is the application execution time: the maximum over
+	// processes of (app end − app start), excluding setup.
+	ExecTime sim.Time
+	// PerProc are the individual app intervals.
+	PerProc []sim.Time
+	// Stats aggregates DSM counters across processes.
+	Stats Stats
+	// Transport aggregates substrate counters across processes.
+	Transport substrate.Stats
+	// MaxPinnedBytes is the high-water pinned memory across nodes (GM
+	// registration accounting; the rendezvous ablation's metric).
+	MaxPinnedBytes int64
+}
+
+// finalBarrier is the implicit shutdown barrier id.
+const finalBarrier int32 = 1<<31 - 1
+
+// NewCluster assembles the simulator, fabric, GM, kernels, and per-rank
+// transports; Run then executes the application.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.Procs < 1 {
+		panic("tmk: need at least one process")
+	}
+	c := &Cluster{cfg: cfg, n: cfg.Procs}
+	c.sim = sim.New(cfg.Seed)
+	c.fabric = myrinet.NewFabric(c.sim, cfg.Net, cfg.Procs)
+	c.gmsys = gm.NewSystem(c.sim, c.fabric, cfg.GM)
+	if cfg.Transport == TransportUDPGM {
+		c.stacks = make([]*sockets.Stack, cfg.Procs)
+		for i := 0; i < cfg.Procs; i++ {
+			c.stacks[i] = sockets.NewStack(c.sim, c.gmsys.Node(myrinet.NodeID(i)), cfg.Sockets)
+		}
+	}
+	return c
+}
+
+// Sim exposes the simulator (tests and harness).
+func (c *Cluster) Sim() *sim.Simulator { return c.sim }
+
+// GM exposes the GM system (pinned-memory accounting).
+func (c *Cluster) GM() *gm.System { return c.gmsys }
+
+// Proc returns the rank's DSM engine (valid after Run starts it).
+func (c *Cluster) Proc(rank int) *Proc { return c.procs[rank] }
+
+// Run executes app on every rank and returns the result. The app
+// receives its rank's Proc; a final barrier is implicit.
+func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
+	n := c.n
+	c.procs = make([]*Proc, n)
+	started := 0
+	startCond := sim.NewCond("tmk:start")
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		c.sim.Spawn(fmt.Sprintf("tmk%d", rank), 0, func(sp *sim.Proc) {
+			var tr substrate.Transport
+			switch c.cfg.Transport {
+			case TransportUDPGM:
+				tr = udpgm.New(c.stacks[rank], rank, n, c.cfg.UDP)
+			case TransportFastGM:
+				tr = fastgm.New(c.gmsys.Node(myrinet.NodeID(rank)), rank, n, c.cfg.Fast)
+			default:
+				panic(fmt.Sprintf("tmk: unknown transport %q", c.cfg.Transport))
+			}
+			tp := newProc(c, rank, sp, tr, c.cfg.CPU)
+			c.procs[rank] = tp
+			tr.Start(sp, tp.handleRequest)
+
+			// Setup rendezvous: no DSM traffic before every rank has
+			// preposted its buffers (the real system synchronizes via
+			// the launcher).
+			started++
+			startCond.Broadcast()
+			for started < n {
+				sp.WaitOn(startCond)
+			}
+
+			tp.appStart = sp.Now()
+			app(tp)
+			tp.Barrier(finalBarrier)
+			tp.appEnd = sp.Now()
+			tr.Shutdown(sp)
+		})
+	}
+	if err := c.sim.Run(); err != nil {
+		return nil, err
+	}
+	res := &Result{PerProc: make([]sim.Time, n)}
+	for i, tp := range c.procs {
+		d := tp.appEnd - tp.appStart
+		res.PerProc[i] = d
+		if d > res.ExecTime {
+			res.ExecTime = d
+		}
+		res.Stats.Add(&tp.stats)
+		res.Transport.Add(tp.tr.Stats())
+	}
+	for i := 0; i < n; i++ {
+		if mp := c.gmsys.Node(myrinet.NodeID(i)).MaxPinnedBytes(); mp > res.MaxPinnedBytes {
+			res.MaxPinnedBytes = mp
+		}
+	}
+	return res, nil
+}
+
+// Run is the one-call entry point: assemble a cluster and execute app.
+func Run(cfg Config, app func(tp *Proc)) (*Result, error) {
+	return NewCluster(cfg).Run(app)
+}

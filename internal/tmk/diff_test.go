@@ -1,0 +1,257 @@
+package tmk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDiffEmpty(t *testing.T) {
+	page := make([]byte, PageSize)
+	twin := MakeTwin(page)
+	if d := EncodeDiff(twin, page); len(d) != 0 {
+		t.Errorf("diff of identical pages = %d bytes", len(d))
+	}
+}
+
+func TestDiffRoundTripSingleWord(t *testing.T) {
+	page := make([]byte, PageSize)
+	twin := MakeTwin(page)
+	page[100] = 0xAB
+	d := EncodeDiff(twin, page)
+	if len(d) != 8 { // header 4 + one word
+		t.Errorf("single-word diff = %d bytes, want 8", len(d))
+	}
+	restore := MakeTwin(twin)
+	if err := ApplyDiff(restore, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restore, page) {
+		t.Error("apply did not reproduce the page")
+	}
+}
+
+func TestDiffRunCoalescing(t *testing.T) {
+	page := make([]byte, PageSize)
+	twin := MakeTwin(page)
+	// Contiguous dirty words 10..19 → single run.
+	for w := 10; w < 20; w++ {
+		page[w*4] = byte(w)
+	}
+	d := EncodeDiff(twin, page)
+	if len(d) != 4+10*4 {
+		t.Errorf("contiguous run diff = %d bytes, want %d", len(d), 4+10*4)
+	}
+}
+
+func TestDiffWholePage(t *testing.T) {
+	page := make([]byte, PageSize)
+	twin := MakeTwin(page)
+	for i := range page {
+		page[i] = byte(i*7 + 1)
+	}
+	d := EncodeDiff(twin, page)
+	if len(d) != 4+PageSize {
+		t.Errorf("whole-page diff = %d bytes, want %d", len(d), 4+PageSize)
+	}
+}
+
+func TestMakeTwinIsSnapshot(t *testing.T) {
+	page := make([]byte, PageSize)
+	page[0] = 1
+	twin := MakeTwin(page)
+	page[0] = 2
+	if twin[0] != 1 {
+		t.Error("twin aliases page")
+	}
+}
+
+func TestApplyDiffRejectsCorrupt(t *testing.T) {
+	page := make([]byte, PageSize)
+	if err := ApplyDiff(page, []byte{1, 2, 3}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Run claiming 1024 words starting at word 1023.
+	bad := []byte{0xFF, 0x03, 0x00, 0x04}
+	if err := ApplyDiff(page, bad); err == nil {
+		t.Error("out-of-range run accepted")
+	}
+	// Header fine but payload missing.
+	short := []byte{0x00, 0x00, 0x02, 0x00, 1, 2, 3, 4}
+	if err := ApplyDiff(page, short); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestDiffPropertyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		twin := make([]byte, PageSize)
+		r.Read(twin)
+		page := MakeTwin(twin)
+		// Dirty a random set of words.
+		for k := r.Intn(200); k > 0; k-- {
+			w := r.Intn(wordsPerPage)
+			page[w*4+r.Intn(4)] ^= byte(1 + r.Intn(255))
+		}
+		d := EncodeDiff(twin, page)
+		restore := MakeTwin(twin)
+		if err := ApplyDiff(restore, d); err != nil {
+			return false
+		}
+		return bytes.Equal(restore, page)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffPropertyDisjointWritersCommute(t *testing.T) {
+	// The multiple-writer protocol relies on diffs of word-disjoint
+	// writes applying in any order with the same result.
+	rng := rand.New(rand.NewSource(5))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := make([]byte, PageSize)
+		r.Read(base)
+		a := MakeTwin(base)
+		b := MakeTwin(base)
+		// Writer A dirties even words, writer B odd words.
+		for k := 0; k < 100; k++ {
+			wa := r.Intn(wordsPerPage/2) * 2
+			wb := r.Intn(wordsPerPage/2)*2 + 1
+			a[wa*4] ^= 0x5A
+			b[wb*4] ^= 0xA5
+		}
+		da := EncodeDiff(base, a)
+		db := EncodeDiff(base, b)
+		p1 := MakeTwin(base)
+		p2 := MakeTwin(base)
+		if ApplyDiff(p1, da) != nil || ApplyDiff(p1, db) != nil {
+			return false
+		}
+		if ApplyDiff(p2, db) != nil || ApplyDiff(p2, da) != nil {
+			return false
+		}
+		return bytes.Equal(p1, p2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVCBasics(t *testing.T) {
+	a := NewVC(4)
+	b := NewVC(4)
+	a[1] = 5
+	if !a.Covers(b) || b.Covers(a) {
+		t.Error("Covers wrong")
+	}
+	if !b.Before(a) || a.Before(b) {
+		t.Error("Before wrong")
+	}
+	b[2] = 3
+	if a.Covers(b) || b.Covers(a) || a.Before(b) || b.Before(a) {
+		t.Error("concurrent clocks misclassified")
+	}
+	c := a.Clone()
+	c.Join(b)
+	if c[1] != 5 || c[2] != 3 {
+		t.Errorf("Join = %v", c)
+	}
+	if c.Sum() != 8 {
+		t.Errorf("Sum = %d", c.Sum())
+	}
+	a[0] = 9
+	if c[0] == 9 {
+		t.Error("Clone aliases source")
+	}
+}
+
+func TestVCSumMonotoneInHappensBefore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		a := NewVC(n)
+		for i := range a {
+			a[i] = int32(r.Intn(100))
+		}
+		b := a.Clone()
+		// Make b strictly after a.
+		for k := 1 + r.Intn(5); k > 0; k-- {
+			b[r.Intn(n)]++
+		}
+		return a.Before(b) && a.Sum() < b.Sum()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalStore(t *testing.T) {
+	s := newIntervalStore(3)
+	r1 := &intervalRec{proc: 1, ts: 1, vc: VC{0, 1, 0}, pages: []int32{5}}
+	r2 := &intervalRec{proc: 1, ts: 2, vc: VC{0, 2, 0}, pages: []int32{6}}
+	r3 := &intervalRec{proc: 2, ts: 1, vc: VC{0, 2, 1}, pages: []int32{5}}
+	if !s.add(r2) || !s.add(r1) || !s.add(r3) {
+		t.Fatal("adds failed")
+	}
+	if s.add(r1) {
+		t.Error("duplicate add succeeded")
+	}
+	if s.get(1, 2) != r2 || s.get(0, 1) != nil {
+		t.Error("get wrong")
+	}
+	// since(zero) must return all three in happens-before-sum order.
+	got := s.since(NewVC(3))
+	if len(got) != 3 {
+		t.Fatalf("since(0) = %d records", len(got))
+	}
+	if got[0] != r1 || got[1] != r2 || got[2] != r3 {
+		t.Errorf("order: %v %v %v", got[0], got[1], got[2])
+	}
+	// since({0,1,0}) skips r1.
+	got = s.since(VC{0, 1, 0})
+	if len(got) != 2 || got[0] != r2 {
+		t.Errorf("since filter wrong: %d recs", len(got))
+	}
+	count := 0
+	s.all(func(*intervalRec) { count++ })
+	if count != 3 {
+		t.Errorf("all visited %d", count)
+	}
+}
+
+func TestPageMetaNotices(t *testing.T) {
+	pm := newPageMeta(7, nil, make([]byte, PageSize), 3)
+	if !pm.addNotice(1, 3) {
+		t.Error("uncovered notice not flagged")
+	}
+	if pm.addNotice(1, 3) != true {
+		t.Error("duplicate notice should still report uncovered")
+	}
+	pm.cover[1] = 3
+	if pm.addNotice(1, 2) {
+		t.Error("covered notice flagged")
+	}
+	pm.addNotice(2, 5)
+	if got := pm.missingFrom(1); len(got) != 0 {
+		t.Errorf("missingFrom(1) = %v", got)
+	}
+	if got := pm.missingFrom(2); len(got) != 1 || got[0] != 5 {
+		t.Errorf("missingFrom(2) = %v", got)
+	}
+	if pm.lastWriterHint(0) != 2 {
+		t.Errorf("lastWriterHint = %d", pm.lastWriterHint(0))
+	}
+	if !pm.isMissingAny(0) {
+		t.Error("isMissingAny = false")
+	}
+	pm.cover[2] = 5
+	if pm.isMissingAny(0) {
+		t.Error("isMissingAny = true after covering")
+	}
+}

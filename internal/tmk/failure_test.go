@@ -1,0 +1,135 @@
+package tmk_test
+
+import (
+	"testing"
+
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+// TestUDPRecoversFromDrops shrinks the socket receive buffers far enough
+// that datagrams are dropped during the run; TreadMarks' user-level
+// retransmission must recover and the result must still be correct.
+func TestUDPRecoversFromDrops(t *testing.T) {
+	cfg := tmk.DefaultConfig(8, tmk.TransportUDPGM)
+	cfg.Sockets.DropProbability = 0.02 // 2% datagram loss
+	cfg.UDP.RetransmitInitial = 5 * sim.Millisecond
+	const slots = 1024
+	res, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+		r := tp.AllocShared(slots * 8)
+		tp.Barrier(1)
+		n := tp.NProcs()
+		for round := 0; round < 2; round++ {
+			for i := tp.Rank(); i < slots; i += n {
+				tp.WriteF64(r, i, float64(round*slots+i))
+			}
+			tp.Barrier(int32(10 + round))
+			for i := 0; i < slots; i += 7 {
+				if got := tp.ReadF64(r, i); got != float64(round*slots+i) {
+					t.Errorf("rank %d round %d slot %d = %v", tp.Rank(), round, i, got)
+				}
+			}
+			tp.Barrier(int32(100 + round))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transport.Retransmits == 0 {
+		t.Error("no retransmits despite 2% injected loss")
+	}
+	t.Logf("drops recovered: retransmits=%d dups=%d", res.Transport.Retransmits, res.Transport.DupRequests)
+}
+
+// TestUDPTinyBuffersStillProgress uses an even harsher configuration and
+// a lock-heavy pattern.
+func TestUDPTinyBuffersStillProgress(t *testing.T) {
+	cfg := tmk.DefaultConfig(4, tmk.TransportUDPGM)
+	cfg.Sockets.DropProbability = 0.05 // harsher loss
+	cfg.UDP.RetransmitInitial = 5 * sim.Millisecond
+	res, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+		r := tp.AllocShared(8)
+		tp.Barrier(1)
+		for k := 0; k < 8; k++ {
+			tp.LockAcquire(0)
+			tp.WriteF64(r, 0, tp.ReadF64(r, 0)+1)
+			tp.LockRelease(0)
+		}
+		tp.Barrier(2)
+		if got := tp.ReadF64(r, 0); got != 32 {
+			t.Errorf("rank %d: counter = %v, want 32", tp.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}
+
+// TestFastGMScarcePreposting reduces the preposted small-buffer depth to
+// the bare minimum; messages may park briefly awaiting recycled buffers,
+// but nothing may time out and results stay correct.
+func TestFastGMScarcePreposting(t *testing.T) {
+	cfg := tmk.DefaultConfig(8, tmk.TransportFastGM)
+	cfg.Fast.SmallPerPeer = 1
+	cluster := tmk.NewCluster(cfg)
+	const slots = 512
+	_, err := cluster.Run(func(tp *tmk.Proc) {
+		r := tp.AllocShared(slots * 8)
+		tp.Barrier(1)
+		n := tp.NProcs()
+		for i := tp.Rank(); i < slots; i += n {
+			tp.WriteF64(r, i, float64(i))
+		}
+		tp.Barrier(2)
+		for i := 0; i < slots; i += 5 {
+			if got := tp.ReadF64(r, i); got != float64(i) {
+				t.Errorf("slot %d = %v", i, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for _, port := range []int{2, 3} {
+			p := cluster.GM().Node(myrinet.NodeID(i)).Port(port)
+			if p == nil {
+				continue
+			}
+			if p.Stats().Timeouts > 0 {
+				t.Errorf("node %d port %d: %d GM timeouts", i, port, p.Stats().Timeouts)
+			}
+			if !p.Enabled() {
+				t.Errorf("node %d port %d disabled", i, port)
+			}
+		}
+	}
+}
+
+// TestSlowRetransmitConfig exercises a long retransmission timer: the
+// run is slower but still correct (no spurious duplicates needed).
+func TestSlowRetransmitConfig(t *testing.T) {
+	cfg := tmk.DefaultConfig(4, tmk.TransportUDPGM)
+	cfg.UDP.RetransmitInitial = 200 * sim.Millisecond
+	res, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+		r := tp.AllocShared(64 * 8)
+		tp.Barrier(1)
+		if tp.Rank() == 0 {
+			for i := 0; i < 64; i++ {
+				tp.WriteF64(r, i, float64(i))
+			}
+		}
+		tp.Barrier(2)
+		if got := tp.ReadF64(r, 63); got != 63 {
+			t.Errorf("slot 63 = %v", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transport.Retransmits != 0 {
+		t.Errorf("unexpected retransmits: %d", res.Transport.Retransmits)
+	}
+}

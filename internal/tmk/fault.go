@@ -1,0 +1,259 @@
+package tmk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+)
+
+// readFault makes an invalid page valid: fetch a full copy if we never
+// had one, then fetch and apply every missing diff in happens-before
+// order. New write notices can arrive concurrently (we service requests
+// while awaiting replies), so the loop re-checks until nothing is
+// missing.
+func (tp *Proc) readFault(pm *pageMeta) {
+	start := tp.sp.Now()
+	tp.sp.Sim().Tracef("tmk: rank %d read fault page %d", tp.rank, pm.id)
+	tp.stats.ReadFaults++
+	tp.sp.Advance(tp.cpu.FaultOverhead)
+
+	for {
+		if !pm.haveCopy {
+			tp.fetchPage(pm)
+			continue
+		}
+		missing := tp.missingRanges(pm)
+		if len(missing) == 0 {
+			break
+		}
+		tp.fetchDiffs(pm, missing)
+	}
+	if pm.state == pageInvalid {
+		if pm.twin != nil {
+			pm.state = pageWritable
+		} else {
+			pm.state = pageReadOnly
+		}
+	}
+	tp.stats.FaultTime += tp.sp.Now() - start
+}
+
+// writeFault makes a page writable: valid first, then twinned. A write
+// notice can land during the fault's own cost charges (interrupt
+// handlers run mid-Advance); the loop re-validates until the page is
+// simultaneously covered and twinned.
+func (tp *Proc) writeFault(pm *pageMeta) {
+	for {
+		if pm.state == pageInvalid {
+			tp.readFault(pm)
+		}
+		if pm.state == pageWritable {
+			return
+		}
+		start := tp.sp.Now()
+		tp.stats.WriteFaults++
+		tp.sp.Advance(tp.cpu.FaultOverhead)
+		pm.twin = MakeTwin(pm.data)
+		tp.sp.Advance(sim.BytesTime(PageSize, tp.cpu.MemcpyBandwidth))
+		pm.state = pageWritable
+		tp.dirty = append(tp.dirty, pm.id)
+		tp.stats.TwinsCreated++
+		tp.stats.FaultTime += tp.sp.Now() - start
+		if pm.isMissingAny(tp.rank) {
+			// A notice arrived mid-fault; fetch its diffs (they will be
+			// applied to both data and twin) before writing proceeds.
+			pm.state = pageInvalid
+			continue
+		}
+		return
+	}
+}
+
+// missingRanges groups the page's uncovered write notices by writer.
+func (tp *Proc) missingRanges(pm *pageMeta) []msg.DiffRange {
+	var out []msg.DiffRange
+	for q := 0; q < tp.n; q++ {
+		if q == tp.rank {
+			continue
+		}
+		miss := pm.missingFrom(q)
+		if len(miss) == 0 {
+			continue
+		}
+		out = append(out, msg.DiffRange{
+			Page:   pm.id,
+			Proc:   int32(q),
+			FromTS: pm.cover[q],
+			ToTS:   miss[len(miss)-1],
+		})
+	}
+	return out
+}
+
+// fetchPage pulls a full copy from the most recent known writer (who
+// certainly has one) or, lacking notices, from the region's owner. The
+// reply also carries the holder's coverage vector for the page.
+func (tp *Proc) fetchPage(pm *pageMeta) {
+	target := pm.lastWriterHint(tp.rank)
+	if target < 0 {
+		target = pm.region.Owner
+	}
+	if target == tp.rank {
+		panic(fmt.Sprintf("tmk: rank %d: page %d fetch targets self", tp.rank, pm.id))
+	}
+	tp.stats.PageFetches++
+	rep := tp.tr.Call(tp.sp, target, &msg.Message{Kind: msg.KPageReq, Page: pm.id})
+	if rep.Kind != msg.KPageReply || len(rep.PageData) != PageSize {
+		panic(fmt.Sprintf("tmk: bad page reply %v (%d bytes)", rep.Kind, len(rep.PageData)))
+	}
+	copy(pm.data, rep.PageData)
+	tp.sp.Advance(sim.BytesTime(PageSize, tp.cpu.MemcpyBandwidth))
+	for _, c := range rep.Covered {
+		if pm.cover[c.Proc] < c.TS {
+			pm.cover[c.Proc] = c.TS
+		}
+	}
+	pm.haveCopy = true
+}
+
+// fetchDiffs requests the missing diffs (one request per writer) and
+// applies everything received in a happens-before linear extension.
+func (tp *Proc) fetchDiffs(pm *pageMeta, ranges []msg.DiffRange) {
+	var all []msg.Diff
+	for _, dr := range ranges {
+		tp.sp.Sim().Tracef("tmk: rank %d requests diffs page %d from %d (%d,%d]", tp.rank, dr.Page, dr.Proc, dr.FromTS, dr.ToTS)
+		tp.stats.DiffRequestsSent++
+		rep := tp.tr.Call(tp.sp, int(dr.Proc), &msg.Message{
+			Kind:     msg.KDiffReq,
+			DiffReqs: []msg.DiffRange{dr},
+		})
+		if rep.Kind != msg.KDiffReply {
+			panic(fmt.Sprintf("tmk: bad diff reply %v", rep.Kind))
+		}
+		all = append(all, rep.Diffs...)
+	}
+	// Order by the creating interval's vector clock (sum order is a
+	// linear extension of happens-before).
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		ra, rb := tp.store.get(a.Proc, a.TS), tp.store.get(b.Proc, b.TS)
+		if ra == nil || rb == nil {
+			panic("tmk: diff for unknown interval")
+		}
+		sa, sb := ra.vc.Sum(), rb.vc.Sum()
+		if sa != sb {
+			return sa < sb
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.TS < b.TS
+	})
+	tp.tr.DisableAsync(tp.sp)
+	for _, d := range all {
+		if d.Page != pm.id {
+			panic("tmk: diff for wrong page")
+		}
+		if err := ApplyDiff(pm.data, d.Data); err != nil {
+			panic(err)
+		}
+		cost := sim.BytesTime(len(d.Data), tp.cpu.MemcpyBandwidth)
+		if pm.twin != nil {
+			// Keep the twin in sync so our eventual diff contains only
+			// our own writes (multiple-writer protocol).
+			if err := ApplyDiff(pm.twin, d.Data); err != nil {
+				panic(err)
+			}
+			cost *= 2
+		}
+		tp.sp.Advance(cost)
+		tp.sp.Sim().Tracef("tmk: rank %d applies diff page %d from %d ts %d (%d bytes)", tp.rank, d.Page, d.Proc, d.TS, len(d.Data))
+		tp.stats.DiffsApplied++
+		tp.stats.DiffBytesApplied += int64(len(d.Data))
+		if pm.cover[d.Proc] < d.TS {
+			pm.cover[d.Proc] = d.TS
+		}
+	}
+	tp.tr.EnableAsync(tp.sp)
+}
+
+// closeInterval ends the current interval if any pages were written:
+// create write notices and (eagerly) the diffs, bump our clock, and log
+// the interval. Runs masked where required by callers.
+func (tp *Proc) closeInterval() {
+	if len(tp.dirty) == 0 {
+		return
+	}
+	ts := tp.vc[tp.rank] + 1
+	tp.vc[tp.rank] = ts
+	pages := make([]int32, len(tp.dirty))
+	copy(pages, tp.dirty)
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	rec := &intervalRec{proc: int32(tp.rank), ts: ts, vc: tp.vc.Clone(), pages: pages}
+	tp.store.add(rec)
+	tp.stats.IntervalsCreated++
+
+	for _, pg := range tp.dirty {
+		pm := tp.page(pg)
+		if pm.twin == nil {
+			panic("tmk: dirty page without twin")
+		}
+		// Diff creation: scan twin vs page (two pages of memory traffic).
+		diff := EncodeDiff(pm.twin, pm.data)
+		tp.sp.Advance(sim.BytesTime(2*PageSize, tp.cpu.DiffScanBandwidth) +
+			sim.BytesTime(len(diff), tp.cpu.MemcpyBandwidth))
+		tp.sp.Sim().Tracef("tmk: rank %d closes interval ts %d page %d (%d-byte diff)", tp.rank, ts, pg, len(diff))
+		tp.myDiffs[diffKey{page: pg, ts: ts}] = diff
+		tp.stats.DiffsCreated++
+		tp.stats.DiffBytesCreated += int64(len(diff))
+		pm.twin = nil
+		pm.cover[tp.rank] = ts
+		pm.addNotice(tp.rank, ts)
+		// Write notices may have arrived while the page was dirty (it
+		// stays writable under the multiple-writer protocol); if any are
+		// still uncovered, the page must remain invalid, not readable.
+		if pm.isMissingAny(tp.rank) {
+			pm.state = pageInvalid
+		} else {
+			pm.state = pageReadOnly
+		}
+	}
+	tp.dirty = tp.dirty[:0]
+}
+
+type diffKey struct {
+	page int32
+	ts   int32
+}
+
+// applyIntervals merges received intervals: log them, deliver write
+// notices (invalidating uncovered pages), and advance our vector clock.
+func (tp *Proc) applyIntervals(ivs []msg.Interval) {
+	for _, iv := range ivs {
+		rec := fromWire(iv)
+		if !tp.store.add(rec) {
+			continue
+		}
+		tp.stats.IntervalsLearned++
+		if tp.vc[rec.proc] < rec.ts {
+			tp.vc[rec.proc] = rec.ts
+		}
+		if int(rec.proc) == tp.rank {
+			continue // our own interval echoed back
+		}
+		for _, pg := range rec.pages {
+			pm := tp.pages[pg]
+			if pm == nil {
+				continue // region not mapped here (never accessed)
+			}
+			if pm.addNotice(int(rec.proc), rec.ts) {
+				if pm.state != pageInvalid {
+					pm.state = pageInvalid
+					tp.stats.Invalidations++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package tmk
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func f64FromBits(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func f64ToBits(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}

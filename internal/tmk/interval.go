@@ -1,0 +1,120 @@
+package tmk
+
+import (
+	"sort"
+
+	"repro/internal/msg"
+)
+
+// intervalRec is one consistency interval known to this process: process
+// proc's modifications up to its timestamp ts, with the closing vector
+// clock and the pages dirtied (write notices).
+type intervalRec struct {
+	proc  int32
+	ts    int32
+	vc    VC
+	pages []int32
+}
+
+// intervalStore is a process's append-only log of known intervals,
+// indexed by creating process. Insertion is idempotent (dedup by
+// (proc, ts)), which makes interval exchange via locks and barriers
+// naturally convergent.
+type intervalStore struct {
+	byProc [][]*intervalRec // per proc, sorted by ts ascending
+	index  []map[int32]*intervalRec
+}
+
+func newIntervalStore(n int) *intervalStore {
+	s := &intervalStore{
+		byProc: make([][]*intervalRec, n),
+		index:  make([]map[int32]*intervalRec, n),
+	}
+	for i := 0; i < n; i++ {
+		s.index[i] = make(map[int32]*intervalRec)
+	}
+	return s
+}
+
+// add inserts rec if unknown; reports whether it was new.
+func (s *intervalStore) add(rec *intervalRec) bool {
+	if _, ok := s.index[rec.proc][rec.ts]; ok {
+		return false
+	}
+	s.index[rec.proc][rec.ts] = rec
+	lst := s.byProc[rec.proc]
+	// Fast path: records usually arrive in ts order.
+	if n := len(lst); n == 0 || lst[n-1].ts < rec.ts {
+		s.byProc[rec.proc] = append(lst, rec)
+		return true
+	}
+	i := sort.Search(len(lst), func(i int) bool { return lst[i].ts > rec.ts })
+	lst = append(lst, nil)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = rec
+	s.byProc[rec.proc] = lst
+	return true
+}
+
+// all calls fn for every known interval.
+func (s *intervalStore) all(fn func(*intervalRec)) {
+	for _, lst := range s.byProc {
+		for _, rec := range lst {
+			fn(rec)
+		}
+	}
+}
+
+// get returns the record for (proc, ts), or nil.
+func (s *intervalStore) get(proc, ts int32) *intervalRec {
+	return s.index[proc][ts]
+}
+
+// since returns every known interval with ts > v[proc], sorted by
+// (vc.Sum, proc, ts) — a linear extension of happens-before, so receivers
+// may process them in slice order.
+func (s *intervalStore) since(v VC) []*intervalRec {
+	var out []*intervalRec
+	for q, lst := range s.byProc {
+		from := int32(0)
+		if q < len(v) {
+			from = v[q]
+		}
+		i := sort.Search(len(lst), func(i int) bool { return lst[i].ts > from })
+		out = append(out, lst[i:]...)
+	}
+	sortIntervals(out)
+	return out
+}
+
+func sortIntervals(recs []*intervalRec) {
+	sort.Slice(recs, func(i, j int) bool {
+		si, sj := recs[i].vc.Sum(), recs[j].vc.Sum()
+		if si != sj {
+			return si < sj
+		}
+		if recs[i].proc != recs[j].proc {
+			return recs[i].proc < recs[j].proc
+		}
+		return recs[i].ts < recs[j].ts
+	})
+}
+
+// toWire converts records to wire intervals.
+func toWire(recs []*intervalRec) []msg.Interval {
+	out := make([]msg.Interval, len(recs))
+	for i, r := range recs {
+		out[i] = msg.Interval{Proc: r.proc, TS: r.ts, VC: r.vc.Ints(), Pages: r.pages}
+	}
+	return out
+}
+
+// fromWire converts one wire interval to a record.
+func fromWire(iv msg.Interval) *intervalRec {
+	return &intervalRec{
+		proc:  iv.Proc,
+		ts:    iv.TS,
+		vc:    VC(iv.VC).Clone(),
+		pages: append([]int32(nil), iv.Pages...),
+	}
+}

@@ -1,0 +1,93 @@
+package tmk
+
+import "sort"
+
+type pageState uint8
+
+const (
+	// pageInvalid: the local copy (if any) is missing diffs named by
+	// known write notices; any access faults.
+	pageInvalid pageState = iota
+	// pageReadOnly: the copy is valid for reading; a write will fault to
+	// create a twin.
+	pageReadOnly
+	// pageWritable: twinned and being written in the current interval.
+	pageWritable
+)
+
+// pageMeta is one process's view of one shared page.
+type pageMeta struct {
+	id     int32
+	region *Region
+	state  pageState
+	data   []byte // slice into the region's local storage
+	twin   []byte // snapshot at write-fault time, nil unless writable
+
+	haveCopy bool // data has ever been initialized (fetched or owned)
+	cover    VC   // per-writer timestamp whose diffs are incorporated
+
+	// notices[q] = sorted timestamps of q's intervals that dirtied this
+	// page (including our own, which are always covered).
+	notices [][]int32
+}
+
+func newPageMeta(id int32, region *Region, data []byte, n int) *pageMeta {
+	return &pageMeta{
+		id:      id,
+		region:  region,
+		data:    data,
+		cover:   NewVC(n),
+		notices: make([][]int32, n),
+	}
+}
+
+// addNotice records that proc q dirtied this page in its interval ts and
+// reports whether the page must be invalidated (an uncovered notice).
+func (pm *pageMeta) addNotice(q int, ts int32) bool {
+	lst := pm.notices[q]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= ts })
+	if i < len(lst) && lst[i] == ts {
+		return ts > pm.cover[q]
+	}
+	lst = append(lst, 0)
+	copy(lst[i+1:], lst[i:])
+	lst[i] = ts
+	pm.notices[q] = lst
+	return ts > pm.cover[q]
+}
+
+// missingFrom returns, for writer q, the timestamps of q's intervals
+// whose diffs this copy lacks (ts > cover[q]).
+func (pm *pageMeta) missingFrom(q int) []int32 {
+	lst := pm.notices[q]
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] > pm.cover[q] })
+	return lst[i:]
+}
+
+// isMissingAny reports whether any writer's diffs are missing.
+func (pm *pageMeta) isMissingAny(self int) bool {
+	for q := range pm.notices {
+		if q == self {
+			continue
+		}
+		if len(pm.missingFrom(q)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// lastWriterHint returns the process with the most recent known write
+// notice (highest ts; ties to the lower rank), or -1 if none.
+func (pm *pageMeta) lastWriterHint(self int) int {
+	best, bestTS := -1, int32(-1)
+	for q, lst := range pm.notices {
+		if q == self || len(lst) == 0 {
+			continue
+		}
+		if ts := lst[len(lst)-1]; ts > bestTS {
+			best, bestTS = q, ts
+		}
+	}
+	return best
+}

@@ -1,0 +1,153 @@
+package tmk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/substrate"
+)
+
+// Proc is one TreadMarks process: the per-rank DSM engine bound to a
+// simulated process and a communication substrate.
+type Proc struct {
+	cluster *Cluster
+	rank    int
+	n       int
+	sp      *sim.Proc
+	tr      substrate.Transport
+	cpu     CPUParams
+
+	vc            VC
+	lastBarrierVC VC
+	store         *intervalStore
+	pages         map[int32]*pageMeta
+	dirty         []int32
+	myDiffs       map[diffKey][]byte
+
+	locks   map[int32]*lockState
+	barrier barrierState
+
+	regions      map[int32]*Region
+	regionMem    map[int32][]byte
+	regionCond   *sim.Cond
+	expectRegion int32
+
+	stats Stats
+
+	appStart sim.Time
+	appEnd   sim.Time
+}
+
+// Rank returns this process's rank.
+func (tp *Proc) Rank() int { return tp.rank }
+
+// NProcs returns the number of processes in the run.
+func (tp *Proc) NProcs() int { return tp.n }
+
+// Sim returns the underlying simulated process (for Compute/Now).
+func (tp *Proc) Sim() *sim.Proc { return tp.sp }
+
+// Now returns the process's virtual clock.
+func (tp *Proc) Now() sim.Time { return tp.sp.Now() }
+
+// Transport returns the substrate in use (for stats inspection).
+func (tp *Proc) Transport() substrate.Transport { return tp.tr }
+
+// Stats returns the DSM counters.
+func (tp *Proc) Stats() *Stats { return &tp.stats }
+
+func newProc(c *Cluster, rank int, sp *sim.Proc, tr substrate.Transport, cpu CPUParams) *Proc {
+	return &Proc{
+		cluster:       c,
+		rank:          rank,
+		n:             c.n,
+		sp:            sp,
+		tr:            tr,
+		cpu:           cpu,
+		vc:            NewVC(c.n),
+		lastBarrierVC: NewVC(c.n),
+		store:         newIntervalStore(c.n),
+		pages:         make(map[int32]*pageMeta),
+		myDiffs:       make(map[diffKey][]byte),
+		locks:         make(map[int32]*lockState),
+		regions:       make(map[int32]*Region),
+		regionMem:     make(map[int32][]byte),
+		regionCond:    sim.NewCond(fmt.Sprintf("tmk:%d:region", rank)),
+		barrier:       barrierState{cond: sim.NewCond(fmt.Sprintf("tmk:%d:barrier", rank))},
+	}
+}
+
+// handleRequest dispatches one asynchronous request (handler context:
+// interrupts masked by the kernel for the duration).
+func (tp *Proc) handleRequest(p *sim.Proc, m *msg.Message) {
+	p.Advance(tp.cpu.HandlerOverhead)
+	switch m.Kind {
+	case msg.KLockAcquire:
+		tp.handleLockAcquire(m)
+	case msg.KBarrierArrive:
+		tp.handleBarrierArrive(m)
+	case msg.KDiffReq:
+		tp.handleDiffReq(m)
+	case msg.KPageReq:
+		tp.handlePageReq(m)
+	case msg.KDistribute:
+		tp.mapRegion(regionFromWire(m.Region, int(m.From)), false)
+		tp.tr.Reply(p, m, &msg.Message{Kind: msg.KAck})
+	case msg.KPing:
+		tp.tr.Reply(p, m, &msg.Message{Kind: msg.KPong, PageData: m.PageData})
+	case msg.KExit:
+		// Orderly shutdown notice; nothing to do in the simulator.
+	default:
+		panic(fmt.Sprintf("tmk: rank %d: unexpected request %v", tp.rank, m.Kind))
+	}
+}
+
+// handleDiffReq serves our own diffs for the requested page/timestamp
+// ranges.
+func (tp *Proc) handleDiffReq(m *msg.Message) {
+	var out []msg.Diff
+	for _, dr := range m.DiffReqs {
+		if int(dr.Proc) != tp.rank {
+			panic(fmt.Sprintf("tmk: rank %d asked for rank %d's diffs", tp.rank, dr.Proc))
+		}
+		pm := tp.pages[dr.Page]
+		if pm == nil {
+			panic(fmt.Sprintf("tmk: diff request for unmapped page %d", dr.Page))
+		}
+		own := pm.notices[tp.rank]
+		i := sort.Search(len(own), func(i int) bool { return own[i] > dr.FromTS })
+		for ; i < len(own) && own[i] <= dr.ToTS; i++ {
+			ts := own[i]
+			d, ok := tp.myDiffs[diffKey{page: dr.Page, ts: ts}]
+			if !ok {
+				panic(fmt.Sprintf("tmk: rank %d missing own diff page %d ts %d", tp.rank, dr.Page, ts))
+			}
+			out = append(out, msg.Diff{Page: dr.Page, Proc: int32(tp.rank), TS: ts, Data: d})
+		}
+	}
+	tp.tr.Reply(tp.sp, m, &msg.Message{Kind: msg.KDiffReply, Diffs: out})
+}
+
+// handlePageReq serves a full copy of our page together with its
+// coverage vector; the contents are whatever our copy incorporates — the
+// requester tops it up with diffs.
+func (tp *Proc) handlePageReq(m *msg.Message) {
+	pm := tp.pages[m.Page]
+	if pm == nil || !pm.haveCopy {
+		panic(fmt.Sprintf("tmk: rank %d: page request for %d but no copy here", tp.rank, m.Page))
+	}
+	covered := make([]msg.ProcTS, 0, tp.n)
+	for q, ts := range pm.cover {
+		if ts > 0 {
+			covered = append(covered, msg.ProcTS{Proc: int32(q), TS: ts})
+		}
+	}
+	tp.tr.Reply(tp.sp, m, &msg.Message{
+		Kind:     msg.KPageReply,
+		Page:     m.Page,
+		PageData: pm.data,
+		Covered:  covered,
+	})
+}

@@ -1,0 +1,172 @@
+package tmk_test
+
+import (
+	"testing"
+
+	"repro/internal/tmk"
+)
+
+func run1(t *testing.T, body func(tp *tmk.Proc)) {
+	t.Helper()
+	if _, err := tmk.Run(tmk.DefaultConfig(1, tmk.TransportFastGM), body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionRangeChecks(t *testing.T) {
+	run1(t, func(tp *tmk.Proc) {
+		r := tp.AllocShared(100)
+		mustPanic(t, "read past end", func() { tp.ReadBytes(r, tmk.PageSize-4, 8) })
+		mustPanic(t, "negative offset", func() { tp.ReadBytes(r, -1, 4) })
+		mustPanic(t, "negative offset write", func() { tp.WriteAt(r, -1, make([]byte, 4)) })
+		// Within the page-rounded region but past the requested byte
+		// count is allowed (page granularity, like real DSM).
+		_ = tp.ReadBytes(r, 100, 4)
+	})
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestAllocRules(t *testing.T) {
+	run1(t, func(tp *tmk.Proc) {
+		mustPanic(t, "zero alloc", func() { tp.Alloc(0) })
+		r1 := tp.Alloc(1)
+		r2 := tp.Alloc(tmk.PageSize + 1)
+		if r1.NPages != 1 || r2.NPages != 2 {
+			t.Errorf("pages: %d, %d", r1.NPages, r2.NPages)
+		}
+		if r2.StartPage != r1.StartPage+1 {
+			t.Errorf("regions overlap: %d vs %d", r1.StartPage, r2.StartPage)
+		}
+		if tp.RegionByID(r1.ID) != r1 || tp.RegionByID(999) != nil {
+			t.Error("RegionByID lookup wrong")
+		}
+	})
+}
+
+func TestTypedAccessors(t *testing.T) {
+	run1(t, func(tp *tmk.Proc) {
+		r := tp.AllocShared(256)
+		tp.WriteI32(r, 3, -123456)
+		if got := tp.ReadI32(r, 3); got != -123456 {
+			t.Errorf("ReadI32 = %d", got)
+		}
+		tp.WriteF64(r, 5, 3.25)
+		if got := tp.ReadF64(r, 5); got != 3.25 {
+			t.Errorf("ReadF64 = %v", got)
+		}
+		vals := []float64{1.5, -2.5, 3.5}
+		tp.WriteF64Span(r, 10, vals)
+		got := tp.ReadF64Span(r, 10, 3)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Errorf("span[%d] = %v", i, got[i])
+			}
+		}
+	})
+}
+
+func TestSpanAcrossPages(t *testing.T) {
+	run1(t, func(tp *tmk.Proc) {
+		r := tp.AllocShared(3 * tmk.PageSize)
+		n := 3 * tmk.PageSize / 8
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i) * 0.5
+		}
+		tp.WriteF64Span(r, 0, vals)
+		got := tp.ReadF64Span(r, 0, n)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("cross-page span slot %d = %v", i, got[i])
+			}
+		}
+	})
+}
+
+func TestUnmappedPagePanics(t *testing.T) {
+	cfg := tmk.DefaultConfig(2, tmk.TransportFastGM)
+	_, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+		if tp.Rank() == 1 {
+			// Rank 1 never learned about any region: region handle nil.
+			if tp.RegionByID(0) != nil {
+				// Rank 0 may not have allocated yet — not an error.
+				_ = tp.RegionByID(0)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockStatsAndErrors(t *testing.T) {
+	run1(t, func(tp *tmk.Proc) {
+		tp.LockAcquire(3)
+		mustPanic(t, "recursive acquire", func() { tp.LockAcquire(3) })
+		tp.LockRelease(3)
+		mustPanic(t, "double release", func() { tp.LockRelease(3) })
+	})
+}
+
+func TestStatsStringNonEmpty(t *testing.T) {
+	run1(t, func(tp *tmk.Proc) {
+		r := tp.AllocShared(8)
+		tp.WriteF64(r, 0, 1)
+		tp.LockAcquire(0)
+		tp.LockRelease(0)
+		if tp.Stats().String() == "" {
+			t.Error("empty stats string")
+		}
+	})
+}
+
+func TestManyRegions(t *testing.T) {
+	const regions = 20
+	cfg := tmk.DefaultConfig(3, tmk.TransportFastGM)
+	_, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+		rs := make([]*tmk.Region, regions)
+		for i := 0; i < regions; i++ {
+			rs[i] = tp.AllocShared(8 * (i + 1))
+		}
+		tp.Barrier(1)
+		if tp.Rank() == 0 {
+			for i, r := range rs {
+				tp.WriteF64(r, 0, float64(i))
+			}
+		}
+		tp.Barrier(2)
+		for i, r := range rs {
+			if got := tp.ReadF64(r, 0); got != float64(i) {
+				t.Errorf("rank %d region %d = %v", tp.Rank(), i, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierEpisodesAdvance(t *testing.T) {
+	cfg := tmk.DefaultConfig(4, tmk.TransportFastGM)
+	res, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+		for i := 0; i < 25; i++ {
+			tp.Barrier(int32(i))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 explicit + 1 final implicit barrier per proc.
+	if res.Stats.Barriers != 4*26 {
+		t.Errorf("barriers = %d, want %d", res.Stats.Barriers, 4*26)
+	}
+}

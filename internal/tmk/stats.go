@@ -1,0 +1,79 @@
+package tmk
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// CPUParams model the host-side consistency costs on the testbed CPUs
+// (700 MHz Pentium III).
+type CPUParams struct {
+	MemcpyBandwidth   float64  // page/twin copies, diff apply, bytes/s
+	DiffScanBandwidth float64  // twin-vs-page word compare scan, bytes/s
+	FaultOverhead     sim.Time // mprotect + SIGSEGV dispatch equivalent
+	HandlerOverhead   sim.Time // per-request protocol CPU in handlers
+}
+
+// DefaultCPUParams returns calibrated testbed constants.
+func DefaultCPUParams() CPUParams {
+	return CPUParams{
+		MemcpyBandwidth:   600e6,
+		DiffScanBandwidth: 800e6,
+		FaultOverhead:     sim.Micro(10),
+		HandlerOverhead:   sim.Micro(0.5),
+	}
+}
+
+// Stats counts one process's DSM activity.
+type Stats struct {
+	LockAcquiresLocal  int64
+	LockAcquiresRemote int64
+	LockReleases       int64
+	Barriers           int64
+	ReadFaults         int64
+	WriteFaults        int64
+	PageFetches        int64
+	DiffRequestsSent   int64
+	DiffsCreated       int64
+	DiffsApplied       int64
+	DiffBytesCreated   int64
+	DiffBytesApplied   int64
+	TwinsCreated       int64
+	IntervalsCreated   int64
+	IntervalsLearned   int64
+	Invalidations      int64
+
+	LockWait    sim.Time
+	BarrierWait sim.Time
+	FaultTime   sim.Time
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other *Stats) {
+	s.LockAcquiresLocal += other.LockAcquiresLocal
+	s.LockAcquiresRemote += other.LockAcquiresRemote
+	s.LockReleases += other.LockReleases
+	s.Barriers += other.Barriers
+	s.ReadFaults += other.ReadFaults
+	s.WriteFaults += other.WriteFaults
+	s.PageFetches += other.PageFetches
+	s.DiffRequestsSent += other.DiffRequestsSent
+	s.DiffsCreated += other.DiffsCreated
+	s.DiffsApplied += other.DiffsApplied
+	s.DiffBytesCreated += other.DiffBytesCreated
+	s.DiffBytesApplied += other.DiffBytesApplied
+	s.TwinsCreated += other.TwinsCreated
+	s.IntervalsCreated += other.IntervalsCreated
+	s.IntervalsLearned += other.IntervalsLearned
+	s.Invalidations += other.Invalidations
+	s.LockWait += other.LockWait
+	s.BarrierWait += other.BarrierWait
+	s.FaultTime += other.FaultTime
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("locks=%d/%d barriers=%d faults=%d/%d fetches=%d diffs=%d/%d",
+		s.LockAcquiresLocal, s.LockAcquiresRemote, s.Barriers,
+		s.ReadFaults, s.WriteFaults, s.PageFetches, s.DiffsCreated, s.DiffsApplied)
+}

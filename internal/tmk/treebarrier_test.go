@@ -1,0 +1,110 @@
+package tmk_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tmk"
+)
+
+// TestTreeBarrierCorrectness: a combining-tree barrier must provide the
+// same consistency guarantees as the flat one — all writes visible after
+// the barrier — for several fanouts and node counts.
+func TestTreeBarrierCorrectness(t *testing.T) {
+	for _, fanout := range []int{2, 3, 4} {
+		for _, n := range []int{4, 8, 13} {
+			fanout, n := fanout, n
+			t.Run(tname(fanout, n), func(t *testing.T) {
+				cfg := tmk.DefaultConfig(n, tmk.TransportFastGM)
+				cfg.BarrierFanout = fanout
+				const slots = 512
+				_, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+					r := tp.AllocShared(slots * 8)
+					tp.Barrier(1)
+					for round := 0; round < 3; round++ {
+						for i := tp.Rank(); i < slots; i += tp.NProcs() {
+							tp.WriteF64(r, i, float64(round*slots+i))
+						}
+						tp.Barrier(int32(10 + round))
+						for i := 0; i < slots; i += 13 {
+							if got := tp.ReadF64(r, i); got != float64(round*slots+i) {
+								t.Errorf("fanout %d n %d rank %d round %d slot %d = %v",
+									fanout, n, tp.Rank(), round, i, got)
+							}
+						}
+						tp.Barrier(int32(100 + round))
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func tname(fanout, n int) string {
+	return "fanout" + string(rune('0'+fanout)) + "_n" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
+}
+
+// TestTreeBarrierScalesBetter: at larger node counts the combining tree
+// must beat the flat barrier (the root otherwise serves n−1 arrivals
+// serially).
+func TestTreeBarrierScalesBetter(t *testing.T) {
+	barrierTime := func(fanout, n int) sim.Time {
+		cfg := tmk.DefaultConfig(n, tmk.TransportFastGM)
+		cfg.BarrierFanout = fanout
+		var per sim.Time
+		_, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+			tp.Barrier(1)
+			start := tp.Now()
+			for i := 0; i < 10; i++ {
+				tp.Barrier(int32(10 + i))
+			}
+			if tp.Rank() == 0 {
+				per = (tp.Now() - start) / 10
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return per
+	}
+	flat := barrierTime(0, 32)
+	tree := barrierTime(4, 32)
+	if tree >= flat {
+		t.Errorf("tree barrier (%v) not faster than flat (%v) at 32 nodes", tree, flat)
+	}
+	t.Logf("32 nodes: flat=%v tree(k=4)=%v speedup=%.2f", flat, tree, float64(flat)/float64(tree))
+}
+
+// TestTreeBarrierWithLocks mixes tree barriers with lock traffic — the
+// interval exchange must stay convergent regardless of topology.
+func TestTreeBarrierWithLocks(t *testing.T) {
+	cfg := tmk.DefaultConfig(9, tmk.TransportFastGM)
+	cfg.BarrierFanout = 3
+	res, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+		r := tp.AllocShared(8)
+		tp.Barrier(1)
+		for k := 0; k < 4; k++ {
+			tp.LockAcquire(2)
+			tp.WriteF64(r, 0, tp.ReadF64(r, 0)+1)
+			tp.LockRelease(2)
+			tp.Barrier(int32(10 + k))
+		}
+		if got := tp.ReadF64(r, 0); got != 9*4 {
+			t.Errorf("rank %d: counter = %v, want 36", tp.Rank(), got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}

@@ -1,0 +1,70 @@
+// Package tmk implements the TreadMarks software distributed shared
+// memory system: lazy release consistency with vector timestamps,
+// intervals and write notices, twin/diff-based multiple-writer pages,
+// distributed lock managers with request forwarding, and a centralized
+// barrier manager — written against the substrate.Transport interface so
+// it runs unchanged over UDP/GM and FAST/GM.
+//
+// Page faults are detected by an explicit access API on shared regions
+// (Read/Write spans) instead of mprotect+SIGSEGV, which Go cannot express
+// portably; the protocol behind the fault is the TreadMarks protocol.
+package tmk
+
+// VC is a vector clock: VC[q] is the index of the last interval of
+// process q whose effects are (transitively) known.
+type VC []int32
+
+// NewVC returns a zero vector clock for n processes.
+func NewVC(n int) VC { return make(VC, n) }
+
+// Clone returns a copy.
+func (v VC) Clone() VC { return append(VC(nil), v...) }
+
+// Covers reports whether v dominates w componentwise (v ≥ w everywhere):
+// everything w has seen, v has seen.
+func (v VC) Covers(w VC) bool {
+	for i := range v {
+		if v[i] < w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Join raises v to the componentwise maximum of v and w.
+func (v VC) Join(w VC) {
+	for i := range v {
+		if w[i] > v[i] {
+			v[i] = w[i]
+		}
+	}
+}
+
+// Sum returns the scalar sum of entries. Happens-before is strictly
+// monotone in Sum, so sorting intervals by (Sum, proc, ts) yields a valid
+// linear extension of happens-before — the order diffs are applied in.
+func (v VC) Sum() int64 {
+	var s int64
+	for _, x := range v {
+		s += int64(x)
+	}
+	return s
+}
+
+// Before reports v < w in the happens-before lattice (componentwise ≤
+// with at least one strict inequality).
+func (v VC) Before(w VC) bool {
+	strict := false
+	for i := range v {
+		if v[i] > w[i] {
+			return false
+		}
+		if v[i] < w[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Ints returns the clock as an []int32 for the wire.
+func (v VC) Ints() []int32 { return v }
