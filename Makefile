@@ -1,0 +1,35 @@
+# CI entry points. `make check` is what a pipeline should run; each step
+# is also callable on its own. FUZZTIME tunes the fuzz smoke (default 5s
+# per target; CI can raise it, `make FUZZTIME=30s fuzz-smoke`).
+
+GO       ?= go
+FUZZTIME ?= 5s
+
+.PHONY: all check fmt vet build test race fuzz-smoke
+
+all: check
+
+check: fmt vet build test race fuzz-smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz runs of every fuzz target (seeds are checked in under each
+# package's testdata/fuzz/). A finding is written there as a new case.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/msg/
+	$(GO) test -run '^$$' -fuzz '^FuzzApplyDiff$$' -fuzztime $(FUZZTIME) ./internal/tmk/
+	$(GO) test -run '^$$' -fuzz '^FuzzDiffRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/tmk/

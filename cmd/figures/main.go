@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-fig 0|3|4|5|e4|e5|all] [-nodes 4,8,16] [-big16]
+//	figures [-fig 0|3|4|5|e4|e5|e6|breakdown|all] [-nodes 4,8,16] [-big16]
 //
 // -big16 runs the Figure 5 sweep on 16 nodes (the paper's size); without
 // it the sweep runs on 8 nodes, which regenerates the same shapes faster.
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 0, 3, 4, 5, e4, e5, e6, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 0, 3, 4, 5, e4, e5, e6, breakdown, all")
 	nodesFlag := flag.String("nodes", "4,8,16", "node counts for the Figure 4 sweep")
 	big16 := flag.Bool("big16", true, "run the Figure 5 sweep on 16 nodes (paper size)")
 	flag.Parse()
@@ -81,6 +81,16 @@ func main() {
 		rows, err := harness.Scaling([]int{4, 8, 16, 32, 64})
 		exitOn(err)
 		harness.PrintScaling(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want("breakdown") {
+		bds, err := harness.BreakdownE1()
+		exitOn(err)
+		harness.PrintBreakdowns(os.Stdout, "E1 — per-layer time breakdown (traced rerun)", bds)
+		fmt.Println()
+		bds, err = harness.BreakdownE4()
+		exitOn(err)
+		harness.PrintBreakdowns(os.Stdout, "E4 — per-layer time breakdown (traced rerun)", bds)
 	}
 }
 

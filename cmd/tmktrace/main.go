@@ -6,6 +6,13 @@
 // Usage:
 //
 //	tmktrace [-scenario counter|sharing|lockchain] [-nodes 4] [-transport fastgm]
+//	         [-out trace.json]
+//
+// With -out, the run also records structured events from every layer and
+// writes a Chrome trace_event JSON file loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing; a per-layer time
+// breakdown is printed after the run. The printed protocol trace is
+// unchanged either way.
 package main
 
 import (
@@ -14,15 +21,22 @@ import (
 	"os"
 
 	"repro/internal/tmk"
+	"repro/internal/trace"
 )
 
 func main() {
 	scenario := flag.String("scenario", "counter", "counter, sharing, or lockchain")
 	nodes := flag.Int("nodes", 4, "number of DSM processes")
 	transport := flag.String("transport", "fastgm", "fastgm or udpgm")
+	out := flag.String("out", "", "write a Chrome trace_event JSON file (Perfetto-loadable)")
 	flag.Parse()
 
 	cfg := tmk.DefaultConfig(*nodes, tmk.TransportKind(*transport))
+	var tracer *trace.Tracer
+	if *out != "" {
+		tracer = trace.New(0)
+		cfg.Trace = tracer
+	}
 	cluster := tmk.NewCluster(cfg)
 	cluster.Sim().SetTrace(func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
@@ -77,4 +91,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("--- done in %v; %v\n", res.ExecTime, &res.Stats)
+
+	if tracer != nil {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- wrote %d events to %s (load in https://ui.perfetto.dev)\n",
+			tracer.Len(), *out)
+		trace.WriteBreakdown(os.Stdout, "per-layer breakdown", tracer.Breakdown())
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/myrinet"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // SendStatus is the outcome reported to a send callback.
@@ -96,6 +97,9 @@ type Port struct {
 	stats PortStats
 }
 
+// tracer returns the simulation's structured tracer, or nil.
+func (p *Port) tracer() *trace.Tracer { return p.node.sys.s.Tracer() }
+
 // SetSink installs a scheduler-context delivery function that intercepts
 // every accepted message instead of queuing it for Poll/WaitRecv. This
 // models a kernel-owned port (the Sockets-GM path): the "kernel" consumes
@@ -181,6 +185,11 @@ func (p *Port) send(proc *sim.Proc, dst myrinet.NodeID, dstPort int, b *Buffer, 
 	}
 	if p.tokens <= 0 {
 		p.stats.TokenStalls++
+		if tr := p.tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(p.node.sys.s.Now()), Layer: trace.LayerGM,
+				Kind: "token-stall", Proc: procID(proc), Peer: int(dst)})
+			tr.Metrics().Counter(trace.LayerGM, "token.stalls").Inc(0)
+		}
 		return ErrNoSendTokens
 	}
 	p.tokens--
@@ -191,6 +200,11 @@ func (p *Port) send(proc *sim.Proc, dst myrinet.NodeID, dstPort int, b *Buffer, 
 	class := params.ClassFor(n)
 	p.stats.Sent++
 	p.stats.SendBytes += int64(n)
+	if tr := p.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(p.node.sys.s.Now()), Layer: trace.LayerGM,
+			Kind: "send", Proc: procID(proc), Peer: int(dst), Bytes: n})
+		tr.Metrics().Counter(trace.LayerGM, fmt.Sprintf("send.class%d", class)).Inc(int64(n))
+	}
 
 	rec := &sendRecord{port: p, cb: cb}
 	p.node.nextMsgID++
@@ -248,6 +262,11 @@ func (r *sendRecord) fail(st SendStatus) {
 	r.port.tokens++
 	r.port.stats.Timeouts++
 	r.port.enabled = false
+	if tr := r.port.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(r.port.node.sys.s.Now()), Layer: trace.LayerGM,
+			Kind: "send-timeout", Proc: -1, Peer: int(r.port.node.id)})
+		tr.Metrics().Counter(trace.LayerGM, "send.timeouts").Inc(0)
+	}
 	if r.cb != nil {
 		r.cb(st)
 	}
@@ -257,6 +276,12 @@ func (r *sendRecord) fail(st SendStatus) {
 // this port. It matches a preposted buffer of the exact class or parks.
 func (p *Port) arrive(src myrinet.NodeID, pm *partialMsg) {
 	class := pm.meta.class
+	if tr := p.tracer(); tr != nil {
+		// Occupancy of this class's prepost pool at arrival: 0 means the
+		// message is about to park — the paper's feared failure mode.
+		tr.Metrics().Histogram(trace.LayerGM,
+			fmt.Sprintf("prepost.class%d", class)).Observe(int64(len(p.posted[class])))
+	}
 	if bufs := p.posted[class]; len(bufs) > 0 {
 		b := bufs[0]
 		p.posted[class] = bufs[:copy(bufs, bufs[1:])]
@@ -264,6 +289,11 @@ func (p *Port) arrive(src myrinet.NodeID, pm *partialMsg) {
 		return
 	}
 	p.stats.Parked++
+	if tr := p.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(p.node.sys.s.Now()), Layer: trace.LayerGM,
+			Kind: "parked", Proc: -1, Peer: int(src), Bytes: len(pm.data)})
+		tr.Metrics().Counter(trace.LayerGM, "parked").Inc(int64(len(pm.data)))
+	}
 	park := &parkedMsg{src: src, pm: pm}
 	// The receiver-side park expires with the sender's timeout; keep a
 	// local event so the parked entry is reclaimed.
@@ -297,6 +327,9 @@ func (p *Port) accept(src myrinet.NodeID, pm *partialMsg, b *Buffer) {
 	}
 	p.stats.Received++
 	p.stats.RecvBytes += int64(len(pm.data))
+	if tr := p.tracer(); tr != nil {
+		tr.Metrics().Counter(trace.LayerGM, "recv").Inc(int64(len(pm.data)))
+	}
 
 	// Ack the sender after the NIC-level ack latency.
 	if rec := pm.meta.sendRec; rec != nil {
@@ -311,8 +344,19 @@ func (p *Port) accept(src myrinet.NodeID, pm *partialMsg, b *Buffer) {
 	p.rxCond.Broadcast()
 	if p.intrEnabled && p.intrProc != nil {
 		p.stats.Interrupts++
+		if tr := p.tracer(); tr != nil {
+			tr.Metrics().Counter(trace.LayerGM, "nic.interrupts").Inc(0)
+		}
 		p.intrProc.Interrupt(p)
 	}
+}
+
+// procID returns the trace process id for proc, -1 for kernel context.
+func procID(proc *sim.Proc) int {
+	if proc == nil {
+		return -1
+	}
+	return proc.ID()
 }
 
 // Poll checks the receive queue once, charging the appropriate poll cost.

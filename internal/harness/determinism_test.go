@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+	"repro/internal/trace"
+)
+
+// TestTracingDoesNotPerturbResults is the tracing subsystem's central
+// invariant: attaching a tracer is pure observation. Every application ×
+// transport × node-count combination must produce bit-identical virtual
+// end times and protocol/transport counters with tracing on and off.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	apps := []apps.App{
+		&apps.Jacobi{N: 64, Iters: 4, CostPerPoint: 30 * sim.Nanosecond},
+		&apps.SOR{M: 64, N: 32, Iters: 3, Omega: 1.25, CostPerPoint: 35 * sim.Nanosecond},
+		&apps.TSP{Cities: 9, PrefixDepth: 2, CostPerNode: 40 * sim.Nanosecond},
+		&apps.FFT3D{Z: 8, Iters: 1, CostPerButterfly: 45 * sim.Nanosecond},
+	}
+	for _, app := range apps {
+		for _, kind := range Transports {
+			for _, n := range []int{2, 4} {
+				name := fmt.Sprintf("%s/%s/%dp", app.Name(), kind, n)
+				t.Run(name, func(t *testing.T) {
+					plain, err := RunApp(app, n, kind, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tracer := trace.New(1 << 12) // small ring: wraps, must not matter
+					traced, err := RunApp(app, n, kind, func(cfg *tmk.Config) {
+						cfg.Trace = tracer
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if tracer.Len() == 0 {
+						t.Fatal("tracer attached but recorded nothing")
+					}
+					if plain.ExecTime != traced.ExecTime {
+						t.Errorf("ExecTime diverged: plain %v traced %v", plain.ExecTime, traced.ExecTime)
+					}
+					if plain.Stats != traced.Stats {
+						t.Errorf("tmk.Stats diverged:\nplain  %+v\ntraced %+v", plain.Stats, traced.Stats)
+					}
+					if plain.Transport != traced.Transport {
+						t.Errorf("substrate.Stats diverged:\nplain  %+v\ntraced %+v", plain.Transport, traced.Transport)
+					}
+					for i := range plain.PerProc {
+						if plain.PerProc[i] != traced.PerProc[i] {
+							t.Errorf("rank %d time diverged: plain %v traced %v", i, plain.PerProc[i], traced.PerProc[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -218,6 +218,17 @@ func (r *reader) u64() uint64 {
 
 func (r *reader) i32() int32 { return int32(r.u32()) }
 
+// capHint bounds a count-prefixed preallocation by the bytes actually
+// remaining (at elemSize wire bytes per element), so a corrupt count in a
+// short datagram cannot amplify into a large allocation. The decode loops
+// still run to the declared count; they just stop growing from a hint.
+func (r *reader) capHint(n, elemSize int) int {
+	if rem := (len(r.b) - r.off) / elemSize; n > rem {
+		return rem
+	}
+	return n
+}
+
 func (r *reader) bytes() []byte {
 	n := int(r.u32())
 	if n < 0 || !r.need(n) {
@@ -348,19 +359,19 @@ func Decode(b []byte) (*Message, error) {
 	}
 	if flags&fVC != 0 {
 		n := int(r.u16())
-		m.VC = make([]int32, 0, n)
+		m.VC = make([]int32, 0, r.capHint(n, 4))
 		for i := 0; i < n && !r.err; i++ {
 			m.VC = append(m.VC, r.i32())
 		}
 	}
 	if flags&fIntervals != 0 {
 		n := int(r.u16())
-		m.Intervals = make([]Interval, 0, n)
+		m.Intervals = make([]Interval, 0, r.capHint(n, 12))
 		for i := 0; i < n && !r.err; i++ {
 			iv := Interval{Proc: int32(int16(r.u16())), TS: r.i32()}
 			nv := int(r.u16())
 			if nv > 0 {
-				iv.VC = make([]int32, 0, nv)
+				iv.VC = make([]int32, 0, r.capHint(nv, 4))
 				for j := 0; j < nv && !r.err; j++ {
 					iv.VC = append(iv.VC, r.i32())
 				}
@@ -370,7 +381,7 @@ func Decode(b []byte) (*Message, error) {
 				r.err = true
 				break
 			}
-			iv.Pages = make([]int32, 0, np)
+			iv.Pages = make([]int32, 0, r.capHint(np, 4))
 			for j := 0; j < np && !r.err; j++ {
 				iv.Pages = append(iv.Pages, r.i32())
 			}
@@ -379,7 +390,7 @@ func Decode(b []byte) (*Message, error) {
 	}
 	if flags&fDiffReqs != 0 {
 		n := int(r.u16())
-		m.DiffReqs = make([]DiffRange, 0, n)
+		m.DiffReqs = make([]DiffRange, 0, r.capHint(n, 14))
 		for i := 0; i < n && !r.err; i++ {
 			m.DiffReqs = append(m.DiffReqs, DiffRange{
 				Page: r.i32(), Proc: int32(int16(r.u16())), FromTS: r.i32(), ToTS: r.i32(),
@@ -388,7 +399,7 @@ func Decode(b []byte) (*Message, error) {
 	}
 	if flags&fDiffs != 0 {
 		n := int(r.u16())
-		m.Diffs = make([]Diff, 0, n)
+		m.Diffs = make([]Diff, 0, r.capHint(n, 14))
 		for i := 0; i < n && !r.err; i++ {
 			d := Diff{Page: r.i32(), Proc: int32(int16(r.u16())), TS: r.i32()}
 			d.Data = r.bytes()
@@ -400,7 +411,7 @@ func Decode(b []byte) (*Message, error) {
 	}
 	if flags&fCovered != 0 {
 		n := int(r.u16())
-		m.Covered = make([]ProcTS, 0, n)
+		m.Covered = make([]ProcTS, 0, r.capHint(n, 6))
 		for i := 0; i < n && !r.err; i++ {
 			m.Covered = append(m.Covered, ProcTS{Proc: int32(int16(r.u16())), TS: r.i32()})
 		}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // NodeID identifies a host on the fabric (equivalently, its GM node ID as
@@ -202,6 +203,17 @@ func (n *NIC) SendPacket(pkt *Packet) (txDone sim.Time) {
 	n.stats.PacketsSent++
 	n.stats.BytesSent += int64(len(cp.Payload))
 	n.stats.WireBytes += int64(wireBytes)
+
+	if tr := n.fabric.s.Tracer(); tr != nil {
+		// One span per packet covering injection to host-memory delivery
+		// (the full pipeline occupancy, including any contention stalls).
+		tr.Emit(trace.Event{T: int64(now), Dur: int64(e6 - now),
+			Layer: trace.LayerMyrinet, Kind: "packet",
+			Proc: -1, Peer: int(pkt.Dst), Bytes: wireBytes})
+		reg := tr.Metrics()
+		reg.Counter(trace.LayerMyrinet, "packets").Inc(int64(wireBytes))
+		reg.Histogram(trace.LayerMyrinet, "txlink.occupancy.ns").Observe(int64(e3 - s3))
+	}
 
 	n.fabric.s.At(e6, func() {
 		dst.stats.PacketsRecvd++

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 type procState uint8
 
@@ -28,6 +32,8 @@ type Proc struct {
 	irqMasked  bool
 	inHandler  bool
 	irqHandler func(*Proc, any)
+	maskedAt   Time // when the current mask window opened (tracing only)
+	maskTraced bool // maskedAt is valid
 
 	waitingOn *Cond
 	waitWoken bool // set by Cond broadcast/signal, distinguishes real wakes
@@ -90,6 +96,9 @@ func (p *Proc) Advance(d Time) {
 	if p.computeScale > 1 {
 		d = Time(float64(d) * p.computeScale)
 	}
+	tr := p.s.tracer
+	t0 := p.clock
+	charged := d
 	p.serviceInterrupts()
 	for d > 0 {
 		start := p.clock
@@ -102,6 +111,13 @@ func (p *Proc) Advance(d Time) {
 		}
 		d -= elapsed
 		p.serviceInterrupts()
+	}
+	if tr != nil && p.clock > t0 {
+		// The span covers wall virtual time (compute plus any handlers
+		// that ran inside it); the counter sums pure compute.
+		tr.Emit(trace.Event{T: int64(t0), Dur: int64(p.clock - t0),
+			Layer: trace.LayerSim, Kind: "advance", Proc: p.id, Peer: -1})
+		p.s.tc.advance.Add(1, int64(charged))
 	}
 }
 
@@ -123,11 +139,26 @@ func (p *Proc) SetInterruptHandler(h func(*Proc, any)) { p.irqHandler = h }
 // DisableInterrupts masks interrupt delivery; pending and newly arriving
 // interrupts queue until EnableInterrupts. Mirrors TreadMarks masking
 // SIGIO around consistency-critical sections.
-func (p *Proc) DisableInterrupts() { p.irqMasked = true }
+func (p *Proc) DisableInterrupts() {
+	if !p.irqMasked && p.s.tracer != nil {
+		p.maskedAt = p.clock
+		p.maskTraced = true
+	}
+	p.irqMasked = true
+}
 
 // EnableInterrupts unmasks interrupts and immediately services any that
 // queued while masked.
 func (p *Proc) EnableInterrupts() {
+	if p.irqMasked && p.maskTraced {
+		p.maskTraced = false
+		if tr := p.s.tracer; tr != nil {
+			d := p.clock - p.maskedAt
+			tr.Emit(trace.Event{T: int64(p.maskedAt), Dur: int64(d),
+				Layer: trace.LayerSim, Kind: "irq-masked", Proc: p.id, Peer: -1})
+			p.s.tc.maskWindow.Observe(int64(d))
+		}
+	}
 	p.irqMasked = false
 	if p.state == stateRunning && !p.inHandler {
 		p.serviceInterrupts()
@@ -170,7 +201,15 @@ func (p *Proc) serviceInterrupts() {
 			panic(fmt.Sprintf("sim: proc %q received interrupt with no handler", p.name))
 		}
 		p.inHandler = true
-		h(p, payload)
+		if tr := p.s.tracer; tr != nil {
+			t0 := p.clock
+			h(p, payload)
+			tr.Emit(trace.Event{T: int64(t0), Dur: int64(p.clock - t0),
+				Layer: trace.LayerSim, Kind: "interrupt", Proc: p.id, Peer: -1})
+			p.s.tc.interrupts.Add(1, int64(p.clock-t0))
+		} else {
+			h(p, payload)
+		}
 		p.inHandler = false
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+
+	"repro/internal/trace"
 )
 
 // Simulator owns the virtual clock, the event queue and all processes.
@@ -21,6 +23,18 @@ type Simulator struct {
 	rng     *rand.Rand
 	tracef  func(format string, args ...any)
 	running bool
+
+	tracer *trace.Tracer
+	tc     simCounters // cached registry entries, valid iff tracer != nil
+}
+
+// simCounters caches the scheduler's hot-path registry entries so the
+// per-event and per-Advance hooks cost one nil check and no map lookup.
+type simCounters struct {
+	events     *trace.Counter   // scheduler events dispatched
+	advance    *trace.Counter   // compute charged via Advance
+	interrupts *trace.Counter   // interrupt handlers run
+	maskWindow *trace.Histogram // interrupt-masked window lengths, ns
 }
 
 // New creates a simulator whose random source is seeded deterministically.
@@ -39,6 +53,31 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
 // SetTrace installs a trace sink; nil disables tracing.
 func (s *Simulator) SetTrace(fn func(format string, args ...any)) { s.tracef = fn }
+
+// SetTracer attaches a structured tracer (nil detaches). The printf sink
+// installed by SetTrace is independent and keeps working either way.
+// Tracing records events and metrics only — it never charges virtual
+// time — so results are bit-identical with and without a tracer.
+func (s *Simulator) SetTracer(t *trace.Tracer) {
+	s.tracer = t
+	if t == nil {
+		s.tc = simCounters{}
+		return
+	}
+	reg := t.Metrics()
+	s.tc = simCounters{
+		events:     reg.Counter(trace.LayerSim, "events"),
+		advance:    reg.Counter(trace.LayerSim, "advance"),
+		interrupts: reg.Counter(trace.LayerSim, "interrupts"),
+		maskWindow: reg.Histogram(trace.LayerSim, "irq.mask.window.ns"),
+	}
+	for _, p := range s.procs {
+		t.SetThreadName(p.id, p.name)
+	}
+}
+
+// Tracer returns the attached structured tracer, or nil.
+func (s *Simulator) Tracer() *trace.Tracer { return s.tracer }
 
 // Tracef emits a trace line prefixed with the current virtual time.
 func (s *Simulator) Tracef(format string, args ...any) {
@@ -82,6 +121,9 @@ func (s *Simulator) Spawn(name string, start Time, fn func(*Proc)) *Proc {
 		where:  "spawn",
 	}
 	s.procs = append(s.procs, p)
+	if s.tracer != nil {
+		s.tracer.SetThreadName(p.id, name)
+	}
 	go func() {
 		// The yield is deferred so that a process terminating abnormally
 		// (runtime.Goexit, e.g. t.Fatalf in a test body) still returns
@@ -153,6 +195,9 @@ func (s *Simulator) RunUntil(limit Time) error {
 			panic(fmt.Sprintf("sim: time went backwards: %v < %v", e.t, s.now))
 		}
 		s.now = e.t
+		if s.tc.events != nil {
+			s.tc.events.Add(1, 0)
+		}
 		e.fn()
 	}
 	var blocked []string

@@ -19,6 +19,7 @@ import (
 	"repro/internal/gm"
 	"repro/internal/myrinet"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // KernelPort is the GM port number the kernel network stack owns.
@@ -176,31 +177,54 @@ func (st *Stack) kernelRx(rv *gm.Recv) {
 		sk := st.sockets[dstPort]
 		if sk == nil {
 			st.stats.DatagramsNoSock++
+			st.traceDrop("drop-nosock", src, len(payload))
 			return
 		}
 		if st.params.DropProbability > 0 && st.s.Rand().Float64() < st.params.DropProbability {
 			st.stats.DatagramsDrop++
 			sk.drops++
+			st.traceDrop("drop-injected", src, len(payload))
 			return
 		}
 		if sk.queuedBytes+len(payload) > sk.recvBuf {
 			st.stats.DatagramsDrop++
 			sk.drops++
+			st.traceDrop("drop-overflow", src, len(payload))
 			return
 		}
 		sk.queue = append(sk.queue, Datagram{Data: payload, Src: src, SrcPort: srcPort})
 		sk.queuedBytes += len(payload)
 		st.stats.DatagramsRecvd++
 		st.stats.BytesRecvd += int64(len(payload))
+		if tr := st.s.Tracer(); tr != nil {
+			reg := tr.Metrics()
+			reg.Counter(trace.LayerSockets, "datagrams.recvd").Inc(int64(len(payload)))
+			reg.Histogram(trace.LayerSockets, "recvbuf.occupancy").Observe(int64(sk.queuedBytes))
+		}
 		sk.cond.Broadcast()
 		if st.selCond != nil {
 			st.selCond.Broadcast()
 		}
 		if sk.sigioProc != nil {
 			st.stats.SigiosRaised++
+			if tr := st.s.Tracer(); tr != nil {
+				tr.Emit(trace.Event{T: int64(st.s.Now()), Layer: trace.LayerSockets,
+					Kind: "sigio", Proc: sk.sigioProc.ID(), Peer: int(src)})
+				tr.Metrics().Counter(trace.LayerSockets, "sigio").Inc(0)
+			}
 			sk.sigioProc.Interrupt(sk)
 		}
 	})
+}
+
+// traceDrop emits a structured event for a datagram lost on the receive
+// path; kind names the cause.
+func (st *Stack) traceDrop(kind string, src myrinet.NodeID, n int) {
+	if tr := st.s.Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(st.s.Now()), Layer: trace.LayerSockets,
+			Kind: kind, Proc: -1, Peer: int(src), Bytes: n})
+		tr.Metrics().Counter(trace.LayerSockets, "drops").Inc(int64(n))
+	}
 }
 
 // Socket creates an unbound UDP socket.
@@ -315,6 +339,9 @@ func (sk *Socket) SendTo(p *sim.Proc, dst myrinet.NodeID, dstPort int, data []by
 
 	st.stats.DatagramsSent++
 	st.stats.BytesSent += int64(len(data))
+	if tr := st.s.Tracer(); tr != nil {
+		tr.Metrics().Counter(trace.LayerSockets, "datagrams.sent").Inc(int64(len(data)))
+	}
 	st.transmit(p, dst, payload)
 	return nil
 }

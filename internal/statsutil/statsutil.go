@@ -1,0 +1,63 @@
+// Package statsutil accumulates counter structs by reflection, so adding
+// a field to a Stats type automatically includes it in cluster-wide
+// totals — the hand-maintained field-by-field Add functions it replaces
+// silently dropped newly added counters.
+package statsutil
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// AddInto accumulates src into dst, field by field. Both must be pointers
+// to the same struct type, every field of which must be an integer or
+// float (named types like sim.Time included). Any other field kind
+// panics: a Stats struct gaining a non-summable field must decide its
+// aggregation explicitly rather than be skipped silently.
+func AddInto(dst, src any) {
+	dv := reflect.ValueOf(dst)
+	sv := reflect.ValueOf(src)
+	if dv.Kind() != reflect.Pointer || sv.Kind() != reflect.Pointer ||
+		dv.Elem().Kind() != reflect.Struct || dv.Type() != sv.Type() {
+		panic(fmt.Sprintf("statsutil: AddInto needs two pointers to the same struct type, got %T and %T", dst, src))
+	}
+	d := dv.Elem()
+	s := sv.Elem()
+	t := d.Type()
+	for i := 0; i < d.NumField(); i++ {
+		f := d.Field(i)
+		g := s.Field(i)
+		switch f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(f.Int() + g.Int())
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(f.Uint() + g.Uint())
+		case reflect.Float32, reflect.Float64:
+			f.SetFloat(f.Float() + g.Float())
+		default:
+			panic(fmt.Sprintf("statsutil: %s.%s has kind %s, which AddInto cannot sum",
+				t.Name(), t.Field(i).Name, f.Kind()))
+		}
+	}
+}
+
+// FillDistinct sets field i of the struct pointed to by v to i+1 (in the
+// field's own type). Test helper: combined with AddInto it proves every
+// field participates in accumulation — a field left at zero after
+// Add(filled) is a field the aggregation lost.
+func FillDistinct(v any) {
+	e := reflect.ValueOf(v).Elem()
+	for i := 0; i < e.NumField(); i++ {
+		f := e.Field(i)
+		switch f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			f.SetInt(int64(i + 1))
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			f.SetUint(uint64(i + 1))
+		case reflect.Float32, reflect.Float64:
+			f.SetFloat(float64(i + 1))
+		default:
+			panic(fmt.Sprintf("statsutil: cannot fill field kind %s", f.Kind()))
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package statsutil
+
+import "testing"
+
+type sample struct {
+	A int64
+	B int32
+	C uint64
+	D float64
+	E int // named simulation-time types reduce to these kinds too
+}
+
+func TestAddIntoSumsEveryField(t *testing.T) {
+	var dst, src sample
+	FillDistinct(&src)
+	AddInto(&dst, &src)
+	AddInto(&dst, &src)
+	want := sample{A: 2, B: 4, C: 6, D: 8, E: 10}
+	if dst != want {
+		t.Fatalf("got %+v, want %+v", dst, want)
+	}
+}
+
+func TestAddIntoRejectsNonNumericFields(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddInto accepted a struct with a string field")
+		}
+	}()
+	type bad struct {
+		N    int64
+		Name string
+	}
+	AddInto(&bad{}, &bad{})
+}
+
+func TestAddIntoRejectsMismatchedTypes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddInto accepted mismatched struct types")
+		}
+	}()
+	type other struct{ A int64 }
+	AddInto(&sample{}, &other{})
+}

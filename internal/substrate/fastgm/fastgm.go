@@ -8,6 +8,7 @@ import (
 	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/substrate"
+	"repro/internal/trace"
 )
 
 // GM port assignment: the substrate needs exactly two ports regardless of
@@ -230,6 +231,11 @@ func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
 		start := p.Now()
 		t.handler(p, m)
 		t.stats.RequestService += p.Now() - start
+		if tr := p.Sim().Tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(start), Dur: int64(p.Now() - start),
+				Layer: trace.LayerSubstrate, Kind: "serve:" + m.Kind.String(),
+				Proc: p.ID(), Peer: int(m.From), Bytes: len(rv.Data)})
+		}
 	case frameRTS:
 		t.rv.onRTS(p, rv)
 		t.asyncPort.ProvideReceiveBuffer(rv.Buffer)
@@ -263,6 +269,11 @@ func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
 	rep := t.waitReply(p, req.Seq)
 	t.stats.RepliesRecvd++
 	t.stats.ReplyWaitTime += p.Now() - waitStart
+	if tr := p.Sim().Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(waitStart), Dur: int64(p.Now() - waitStart),
+			Layer: trace.LayerSubstrate, Kind: "call:" + req.Kind.String(),
+			Proc: p.ID(), Peer: dst})
+	}
 	return rep
 }
 
@@ -395,6 +406,11 @@ func (t *Transport) takeSendBuffer(p *sim.Proc, class int) *gm.Buffer {
 			return b
 		}
 		t.stats.SendBufStalls++
+		if tr := p.Sim().Tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
+				Kind: "sendbuf-stall", Proc: p.ID(), Peer: -1})
+			tr.Metrics().Counter(trace.LayerSubstrate, "sendbuf.stalls").Inc(0)
+		}
 		p.WaitOn(t.sendCond)
 	}
 }

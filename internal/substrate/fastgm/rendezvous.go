@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gm"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // The rendezvous protocol (paper Section 2.2.2): to avoid preposting
@@ -46,6 +47,11 @@ func (rv *rendezvousState) init(t *Transport) {
 func (rv *rendezvousState) sendLarge(p *sim.Proc, dst, dstPort int, body []byte) {
 	t := rv.t
 	t.stats.RendezvousRTS++
+	if tr := p.Sim().Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
+			Kind: "rendezvous-rts", Proc: p.ID(), Peer: dst, Bytes: len(body)})
+		tr.Metrics().Counter(trace.LayerSubstrate, "rendezvous.rts").Inc(int64(len(body)))
+	}
 	id := rv.nextID
 	rv.nextID++
 	rv.staged[id] = &stagedSend{dst: dst, dstPort: dstPort, body: body}

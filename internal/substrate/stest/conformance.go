@@ -7,6 +7,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/substrate"
+	"repro/internal/substrate/fastgm"
 )
 
 // Builder constructs a fresh cluster for a conformance test.
@@ -21,6 +22,8 @@ func RunConformance(t *testing.T, build Builder) {
 	t.Run("MaskedDelivery", func(t *testing.T) { ConformanceMaskedDelivery(t, build) })
 	t.Run("ManyToOne", func(t *testing.T) { ConformanceManyToOne(t, build) })
 	t.Run("ServiceWhileWaiting", func(t *testing.T) { ConformanceServiceWhileWaiting(t, build) })
+	t.Run("PrepostExhaustionRecovery", func(t *testing.T) { ConformancePrepostExhaustionRecovery(t, build) })
+	t.Run("OverflowRetransmission", func(t *testing.T) { ConformanceOverflowRetransmission(t, build) })
 }
 
 // ConformancePingPong: a simple matched request/reply with payload echo.
@@ -264,5 +267,133 @@ func ConformanceServiceWhileWaiting(t *testing.T, build Builder) {
 	}
 	if servedByWaiting == 0 || servedByWaiting > 3*sim.Millisecond {
 		t.Errorf("blocked rank served request at %v, want ≈1ms", servedByWaiting)
+	}
+}
+
+// ConformancePrepostExhaustionRecovery: a burst of one-way requests at a
+// masked receiver exceeds the small-class preposted buffer depth (for
+// FAST/GM: SmallPerPeer × peers). The transport must absorb the burst —
+// GM parks no-buffer arrivals and redelivers once buffers are recycled —
+// and every message must eventually be serviced, with no GM send
+// timeouts (the fail-stop condition the paper's preposting strategy is
+// designed to preclude).
+func ConformancePrepostExhaustionRecovery(t *testing.T, build Builder) {
+	const n = 6
+	const perPeer = 10 // 10 × 5 peers = 50 > default 4 × 5 preposted
+	c := build(n, 1)
+	received := 0
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				if rank != 0 {
+					t.Errorf("rank %d received unexpected %v", rank, m.Kind)
+					return
+				}
+				if m.Kind != msg.KExit {
+					t.Errorf("unexpected kind %v", m.Kind)
+				}
+				received++
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank == 0 {
+				// Mask while the burst lands: arrivals consume preposted
+				// buffers, which cannot be recycled until we service them.
+				tr.DisableAsync(p)
+				p.Advance(50 * sim.Millisecond)
+				tr.EnableAsync(p)
+				for received < (n-1)*perPeer {
+					p.Advance(sim.Millisecond)
+				}
+				return
+			}
+			p.Advance(sim.Millisecond)
+			for k := 0; k < perPeer; k++ {
+				tr.Send(p, 0, &msg.Message{Kind: msg.KExit})
+			}
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if received != (n-1)*perPeer {
+		t.Fatalf("received %d of %d one-way requests", received, (n-1)*perPeer)
+	}
+	// FAST/GM-specific: the burst must actually have exhausted preposting
+	// (messages parked) and recovery must not have tripped the 3s GM
+	// resend timeout. UDP/GM has no GM port here (kernel sockets only).
+	if ap := c.GM.Node(0).Port(fastgm.AsyncPort); ap != nil {
+		st := ap.Stats()
+		if st.Parked == 0 {
+			t.Errorf("burst never exhausted preposted buffers (Parked = 0); weak test")
+		}
+		if st.Timeouts != 0 {
+			t.Errorf("%d GM send timeouts during recovery (fail-stop condition)", st.Timeouts)
+		}
+	}
+}
+
+// ConformanceOverflowRetransmission: large concurrent requests at a
+// long-masked receiver. For UDP/GM the per-socket receive buffer fills
+// with retransmitted copies until the kernel drops datagrams; the
+// user-level retransmission must nonetheless complete every Call with a
+// correct matched reply (the duplicate cache absorbing the extras). For
+// FAST/GM the large class is preposted (n−1) deep, so the same workload
+// must complete with no drops and no GM timeouts.
+func ConformanceOverflowRetransmission(t *testing.T, build Builder) {
+	const n = 6
+	const payload = 20000
+	c := build(n, 1)
+	replies := make([]*msg.Message, n)
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPong, Page: m.Page, PageData: m.PageData})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank == 0 {
+				// Masked long enough for UDP/GM's exponential backoff to
+				// queue ~4 copies of each 20KB request into the 64KB
+				// per-peer socket buffer (copies at ≈1, 21, 61, 141ms).
+				tr.DisableAsync(p)
+				p.Advance(160 * sim.Millisecond)
+				tr.EnableAsync(p)
+				return
+			}
+			p.Advance(sim.Millisecond)
+			body := bytes.Repeat([]byte{byte(rank)}, payload)
+			replies[rank] = tr.Call(p, 0, &msg.Message{Kind: msg.KPing, Page: int32(rank), PageData: body})
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 1; rank < n; rank++ {
+		rep := replies[rank]
+		if rep == nil || rep.Kind != msg.KPong || rep.Page != int32(rank) {
+			t.Fatalf("rank %d: bad reply %+v", rank, rep)
+		}
+		if len(rep.PageData) != payload || rep.PageData[0] != byte(rank) {
+			t.Fatalf("rank %d: corrupted echo (%d bytes)", rank, len(rep.PageData))
+		}
+	}
+	if c.Stacks != nil {
+		// UDP/GM: the scenario must genuinely have overflowed and recovered.
+		var retx int64
+		for _, tr := range c.Transports {
+			retx += tr.Stats().Retransmits
+		}
+		if drops := c.Stacks[0].Stats().DatagramsDrop; drops == 0 {
+			t.Errorf("receiver socket never overflowed (drops = 0); weak test")
+		}
+		if retx == 0 {
+			t.Errorf("no retransmissions despite a %dms mask", 160)
+		}
+	}
+	if ap := c.GM.Node(0).Port(fastgm.AsyncPort); ap != nil {
+		if st := ap.Stats(); st.Timeouts != 0 {
+			t.Errorf("%d GM send timeouts (fail-stop condition)", st.Timeouts)
+		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/statsutil"
 )
 
 // Handler processes one incoming asynchronous request in the receiving
@@ -92,24 +93,9 @@ type Stats struct {
 	RequestService sim.Time
 }
 
-// Add accumulates other into s (for cluster-wide totals).
-func (s *Stats) Add(other *Stats) {
-	s.RequestsSent += other.RequestsSent
-	s.RepliesSent += other.RepliesSent
-	s.ForwardsSent += other.ForwardsSent
-	s.RequestsRecvd += other.RequestsRecvd
-	s.RepliesRecvd += other.RepliesRecvd
-	s.BytesSent += other.BytesSent
-	s.BytesRecvd += other.BytesRecvd
-	s.Retransmits += other.Retransmits
-	s.DupRequests += other.DupRequests
-	s.StaleReplies += other.StaleReplies
-	s.AsyncWakeups += other.AsyncWakeups
-	s.RendezvousRTS += other.RendezvousRTS
-	s.SendBufStalls += other.SendBufStalls
-	s.ReplyWaitTime += other.ReplyWaitTime
-	s.RequestService += other.RequestService
-}
+// Add accumulates other into s for cluster-wide totals (every field, by
+// reflection — a newly added counter cannot be forgotten).
+func (s *Stats) Add(other *Stats) { statsutil.AddInto(s, other) }
 
 func (s *Stats) String() string {
 	return fmt.Sprintf("req=%d rep=%d fwd=%d retx=%d dup=%d async=%d bytes=%d/%d",

@@ -1,0 +1,49 @@
+package substrate_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/statsutil"
+	"repro/internal/substrate"
+	"repro/internal/substrate/fastgm"
+	"repro/internal/substrate/udpgm"
+)
+
+// Both substrates must satisfy the Transport contract; a signature drift
+// in either implementation breaks this compilation, not a distant DSM
+// test.
+var (
+	_ substrate.Transport = (*fastgm.Transport)(nil)
+	_ substrate.Transport = (*udpgm.Transport)(nil)
+)
+
+// TestStatsAddSumsEveryField fails when a newly added Stats field does
+// not participate in accumulation: every field is set to a distinct
+// value, and after two Adds each must hold exactly twice it. Because Add
+// is reflection-based, a non-summable field panics here rather than
+// being dropped silently.
+func TestStatsAddSumsEveryField(t *testing.T) {
+	var dst, src substrate.Stats
+	statsutil.FillDistinct(&src)
+	dst.Add(&src)
+	dst.Add(&src)
+	d := reflect.ValueOf(dst)
+	for i := 0; i < d.NumField(); i++ {
+		got := d.Field(i).Int()
+		if want := int64(2 * (i + 1)); got != want {
+			t.Errorf("field %s: got %d, want %d (not summed?)",
+				d.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestStatsStringMentionsCoreCounters guards the harness's one-line
+// summary format against accidental field renames.
+func TestStatsStringMentionsCoreCounters(t *testing.T) {
+	s := substrate.Stats{RequestsSent: 3, Retransmits: 2}
+	str := s.String()
+	if str == "" {
+		t.Fatal("empty Stats string")
+	}
+}

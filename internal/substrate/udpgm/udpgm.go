@@ -19,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/sockets"
 	"repro/internal/substrate"
+	"repro/internal/trace"
 )
 
 // Port bases: on node i, request socket j receives requests from peer j
@@ -161,6 +162,7 @@ func (t *Transport) EnableAsync(p *sim.Proc) { p.EnableInterrupts() }
 // readable request socket.
 func (t *Transport) onSIGIO(p *sim.Proc, payload any) {
 	t.stats.AsyncWakeups++
+	sigStart := p.Now()
 	p.Advance(t.stack.Params().SignalDelivery)
 	start := p.Now()
 	// The signal tells us only "a request socket is readable"; TreadMarks
@@ -178,6 +180,10 @@ func (t *Transport) onSIGIO(p *sim.Proc, payload any) {
 		}
 	}
 	t.stats.RequestService += p.Now() - start
+	if tr := p.Sim().Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(sigStart), Dur: int64(p.Now() - sigStart),
+			Layer: trace.LayerSubstrate, Kind: "sigio-service", Proc: p.ID(), Peer: -1})
+	}
 }
 
 // dispatchRequest decodes and runs one incoming request through the
@@ -205,6 +211,14 @@ func (t *Transport) dispatchRequest(p *sim.Proc, raw []byte) {
 		return
 	}
 	t.addDup(key, &dupEntry{forwardedTo: -1})
+	if tr := p.Sim().Tracer(); tr != nil {
+		start := p.Now()
+		t.handler(p, m)
+		tr.Emit(trace.Event{T: int64(start), Dur: int64(p.Now() - start),
+			Layer: trace.LayerSubstrate, Kind: "serve:" + m.Kind.String(),
+			Proc: p.ID(), Peer: int(m.From), Bytes: len(raw)})
+		return
+	}
 	t.handler(p, m)
 }
 
@@ -234,6 +248,11 @@ func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
 	for attempt := 0; attempt <= t.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			t.stats.Retransmits++
+			if tr := p.Sim().Tracer(); tr != nil {
+				tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
+					Kind: "retransmit", Proc: p.ID(), Peer: dst, Bytes: len(data)})
+				tr.Metrics().Counter(trace.LayerSubstrate, "retransmits").Inc(0)
+			}
 		}
 		t.stats.RequestsSent++
 		t.stats.BytesSent += int64(len(data))
@@ -254,6 +273,11 @@ func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
 			}
 			t.stats.RepliesRecvd++
 			t.stats.ReplyWaitTime += p.Now() - waitStart
+			if tr := p.Sim().Tracer(); tr != nil {
+				tr.Emit(trace.Event{T: int64(waitStart), Dur: int64(p.Now() - waitStart),
+					Layer: trace.LayerSubstrate, Kind: "call:" + req.Kind.String(),
+					Proc: p.ID(), Peer: dst})
+			}
 			return m
 		}
 		if timeout *= 2; timeout > t.cfg.RetransmitMax {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Barriers (paper Section 1.1): centralized at the manager (rank 0).
@@ -122,6 +123,10 @@ func (tp *Proc) Barrier(id int32) {
 
 	tp.lastBarrierVC = tp.vc.Clone()
 	tp.stats.BarrierWait += tp.sp.Now() - start
+	if tr := tp.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(start), Dur: int64(tp.sp.Now() - start),
+			Layer: trace.LayerTMK, Kind: "barrier", Proc: tp.sp.ID(), Peer: parent})
+	}
 }
 
 // handleBarrierArrive runs at a parent when one of its children arrives.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/substrate"
 	"repro/internal/substrate/fastgm"
 	"repro/internal/substrate/udpgm"
+	"repro/internal/trace"
 )
 
 // TransportKind selects the communication substrate.
@@ -38,6 +39,12 @@ type Config struct {
 	// flat centralized barrier at rank 0; k ≥ 2 uses a k-ary combining
 	// tree (the §5 future-work optimization for large clusters).
 	BarrierFanout int
+
+	// Trace, when non-nil, attaches a structured tracer to the run's
+	// simulator: every layer records typed events and metrics into it.
+	// Tracing is observation only — virtual-time results are identical
+	// with and without it.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns a calibrated n-process configuration.
@@ -96,6 +103,9 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	c := &Cluster{cfg: cfg, n: cfg.Procs}
 	c.sim = sim.New(cfg.Seed)
+	if cfg.Trace != nil {
+		c.sim.SetTracer(cfg.Trace)
+	}
 	c.fabric = myrinet.NewFabric(c.sim, cfg.Net, cfg.Procs)
 	c.gmsys = gm.NewSystem(c.sim, c.fabric, cfg.GM)
 	if cfg.Transport == TransportUDPGM {

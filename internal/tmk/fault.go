@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // readFault makes an invalid page valid: fetch a full copy if we never
@@ -38,6 +39,11 @@ func (tp *Proc) readFault(pm *pageMeta) {
 		}
 	}
 	tp.stats.FaultTime += tp.sp.Now() - start
+	if tr := tp.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(start), Dur: int64(tp.sp.Now() - start),
+			Layer: trace.LayerTMK, Kind: "read-fault", Proc: tp.sp.ID(), Peer: -1,
+			Bytes: PageSize})
+	}
 }
 
 // writeFault makes a page writable: valid first, then twinned. A write
@@ -61,6 +67,11 @@ func (tp *Proc) writeFault(pm *pageMeta) {
 		tp.dirty = append(tp.dirty, pm.id)
 		tp.stats.TwinsCreated++
 		tp.stats.FaultTime += tp.sp.Now() - start
+		if tr := tp.tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(start), Dur: int64(tp.sp.Now() - start),
+				Layer: trace.LayerTMK, Kind: "write-fault", Proc: tp.sp.ID(), Peer: -1,
+				Bytes: PageSize})
+		}
 		if pm.isMissingAny(tp.rank) {
 			// A notice arrived mid-fault; fetch its diffs (they will be
 			// applied to both data and twin) before writing proceeds.
@@ -104,7 +115,13 @@ func (tp *Proc) fetchPage(pm *pageMeta) {
 		panic(fmt.Sprintf("tmk: rank %d: page %d fetch targets self", tp.rank, pm.id))
 	}
 	tp.stats.PageFetches++
+	fetchStart := tp.sp.Now()
 	rep := tp.tr.Call(tp.sp, target, &msg.Message{Kind: msg.KPageReq, Page: pm.id})
+	if tr := tp.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(fetchStart), Dur: int64(tp.sp.Now() - fetchStart),
+			Layer: trace.LayerTMK, Kind: "page-fetch", Proc: tp.sp.ID(), Peer: target,
+			Bytes: PageSize})
+	}
 	if rep.Kind != msg.KPageReply || len(rep.PageData) != PageSize {
 		panic(fmt.Sprintf("tmk: bad page reply %v (%d bytes)", rep.Kind, len(rep.PageData)))
 	}
@@ -125,12 +142,22 @@ func (tp *Proc) fetchDiffs(pm *pageMeta, ranges []msg.DiffRange) {
 	for _, dr := range ranges {
 		tp.sp.Sim().Tracef("tmk: rank %d requests diffs page %d from %d (%d,%d]", tp.rank, dr.Page, dr.Proc, dr.FromTS, dr.ToTS)
 		tp.stats.DiffRequestsSent++
+		fetchStart := tp.sp.Now()
 		rep := tp.tr.Call(tp.sp, int(dr.Proc), &msg.Message{
 			Kind:     msg.KDiffReq,
 			DiffReqs: []msg.DiffRange{dr},
 		})
 		if rep.Kind != msg.KDiffReply {
 			panic(fmt.Sprintf("tmk: bad diff reply %v", rep.Kind))
+		}
+		if tr := tp.tracer(); tr != nil {
+			n := 0
+			for _, d := range rep.Diffs {
+				n += len(d.Data)
+			}
+			tr.Emit(trace.Event{T: int64(fetchStart), Dur: int64(tp.sp.Now() - fetchStart),
+				Layer: trace.LayerTMK, Kind: "diff-fetch", Proc: tp.sp.ID(),
+				Peer: int(dr.Proc), Bytes: n})
 		}
 		all = append(all, rep.Diffs...)
 	}
@@ -172,6 +199,9 @@ func (tp *Proc) fetchDiffs(pm *pageMeta, ranges []msg.DiffRange) {
 		tp.sp.Sim().Tracef("tmk: rank %d applies diff page %d from %d ts %d (%d bytes)", tp.rank, d.Page, d.Proc, d.TS, len(d.Data))
 		tp.stats.DiffsApplied++
 		tp.stats.DiffBytesApplied += int64(len(d.Data))
+		if tr := tp.tracer(); tr != nil {
+			tr.Metrics().Counter(trace.LayerTMK, "diff.bytes.applied").Inc(int64(len(d.Data)))
+		}
 		if pm.cover[d.Proc] < d.TS {
 			pm.cover[d.Proc] = d.TS
 		}
@@ -208,6 +238,11 @@ func (tp *Proc) closeInterval() {
 		tp.myDiffs[diffKey{page: pg, ts: ts}] = diff
 		tp.stats.DiffsCreated++
 		tp.stats.DiffBytesCreated += int64(len(diff))
+		if tr := tp.tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(tp.sp.Now()), Layer: trace.LayerTMK,
+				Kind: "diff-create", Proc: tp.sp.ID(), Peer: -1, Bytes: len(diff)})
+			tr.Metrics().Counter(trace.LayerTMK, "diff.bytes.created").Inc(int64(len(diff)))
+		}
 		pm.twin = nil
 		pm.cover[tp.rank] = ts
 		pm.addNotice(tp.rank, ts)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/msg"
+	"repro/internal/trace"
 )
 
 // Lock management (paper Section 1.1 / TreadMarks): every lock has a
@@ -56,6 +57,9 @@ func (tp *Proc) LockAcquire(id int32) {
 		// lock since: purely local re-acquire.
 		ls.held = true
 		tp.stats.LockAcquiresLocal++
+		if tr := tp.tracer(); tr != nil {
+			tr.Metrics().Counter(trace.LayerTMK, "lock.acquire.local").Inc(0)
+		}
 		tp.sp.Sim().Tracef("tmk: rank %d acquire lock %d locally", tp.rank, id)
 		return
 	}
@@ -80,6 +84,10 @@ func (tp *Proc) LockAcquire(id int32) {
 	tp.tr.EnableAsync(tp.sp)
 	tp.stats.LockAcquiresRemote++
 	tp.stats.LockWait += tp.sp.Now() - start
+	if tr := tp.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(start), Dur: int64(tp.sp.Now() - start),
+			Layer: trace.LayerTMK, Kind: "lock-acquire", Proc: tp.sp.ID(), Peer: mgr})
+	}
 }
 
 // LockRelease releases the lock. The release itself is local; if a
@@ -137,6 +145,11 @@ func (tp *Proc) handleLockAcquire(req *msg.Message) {
 			tail := ls.tail
 			ls.tail = int(req.ReplyTo)
 			tp.sp.Sim().Tracef("tmk: mgr %d forwards lock %d acquire of %d to %d", tp.rank, id, req.ReplyTo, tail)
+			if tr := tp.tracer(); tr != nil {
+				tr.Emit(trace.Event{T: int64(tp.sp.Now()), Layer: trace.LayerTMK,
+					Kind: "lock-forward", Proc: tp.sp.ID(), Peer: tail})
+				tr.Metrics().Counter(trace.LayerTMK, "lock.forward.hops").Inc(0)
+			}
 			tp.tr.Forward(tp.sp, tail, req)
 			return
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/msg"
 	"repro/internal/sim"
 	"repro/internal/substrate"
+	"repro/internal/trace"
 )
 
 // Proc is one TreadMarks process: the per-rank DSM engine bound to a
@@ -57,6 +58,9 @@ func (tp *Proc) Transport() substrate.Transport { return tp.tr }
 
 // Stats returns the DSM counters.
 func (tp *Proc) Stats() *Stats { return &tp.stats }
+
+// tracer returns the simulation's structured tracer, or nil.
+func (tp *Proc) tracer() *trace.Tracer { return tp.sp.Sim().Tracer() }
 
 func newProc(c *Cluster, rank int, sp *sim.Proc, tr substrate.Transport, cpu CPUParams) *Proc {
 	return &Proc{

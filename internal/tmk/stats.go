@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/statsutil"
 )
 
 // CPUParams model the host-side consistency costs on the testbed CPUs
@@ -49,28 +50,9 @@ type Stats struct {
 	FaultTime   sim.Time
 }
 
-// Add accumulates other into s.
-func (s *Stats) Add(other *Stats) {
-	s.LockAcquiresLocal += other.LockAcquiresLocal
-	s.LockAcquiresRemote += other.LockAcquiresRemote
-	s.LockReleases += other.LockReleases
-	s.Barriers += other.Barriers
-	s.ReadFaults += other.ReadFaults
-	s.WriteFaults += other.WriteFaults
-	s.PageFetches += other.PageFetches
-	s.DiffRequestsSent += other.DiffRequestsSent
-	s.DiffsCreated += other.DiffsCreated
-	s.DiffsApplied += other.DiffsApplied
-	s.DiffBytesCreated += other.DiffBytesCreated
-	s.DiffBytesApplied += other.DiffBytesApplied
-	s.TwinsCreated += other.TwinsCreated
-	s.IntervalsCreated += other.IntervalsCreated
-	s.IntervalsLearned += other.IntervalsLearned
-	s.Invalidations += other.Invalidations
-	s.LockWait += other.LockWait
-	s.BarrierWait += other.BarrierWait
-	s.FaultTime += other.FaultTime
-}
+// Add accumulates other into s (every field, by reflection — a newly
+// added counter cannot be forgotten).
+func (s *Stats) Add(other *Stats) { statsutil.AddInto(s, other) }
 
 func (s *Stats) String() string {
 	return fmt.Sprintf("locks=%d/%d barriers=%d faults=%d/%d fetches=%d diffs=%d/%d",

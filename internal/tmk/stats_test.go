@@ -1,0 +1,28 @@
+package tmk
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/statsutil"
+)
+
+// TestStatsAddSumsEveryField fails when a newly added Stats field does
+// not participate in accumulation: every field is set to a distinct
+// value, and after two Adds each must hold exactly twice it. Because Add
+// is reflection-based, a non-summable field panics here rather than
+// being dropped silently.
+func TestStatsAddSumsEveryField(t *testing.T) {
+	var dst, src Stats
+	statsutil.FillDistinct(&src)
+	dst.Add(&src)
+	dst.Add(&src)
+	d := reflect.ValueOf(dst)
+	for i := 0; i < d.NumField(); i++ {
+		got := d.Field(i).Int()
+		if want := int64(2 * (i + 1)); got != want {
+			t.Errorf("field %s: got %d, want %d (not summed?)",
+				d.Type().Field(i).Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of a Chrome trace_event JSON array. Field
+// names follow the trace-event format specification; ts/dur are in
+// microseconds (fractional — virtual time is ns-granular).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the ring as Chrome trace_event JSON, one
+// "thread" per simulated process (pid 1 is the whole simulation).
+// The output loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Spans become "X" complete events, instants "i".
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := func(v chromeEvent, last bool) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		sep := ",\n"
+		if last {
+			sep = "\n"
+		}
+		_, err = bw.WriteString(sep)
+		return err
+	}
+
+	// Thread-name metadata for every process that has a registered name
+	// or appears in an event.
+	tids := make(map[int]bool)
+	for id := range t.names {
+		tids[id] = true
+	}
+	events := t.Events()
+	for i := range events {
+		if events[i].Proc >= 0 {
+			tids[events[i].Proc] = true
+		} else {
+			tids[hardwareTid] = true
+		}
+	}
+	ids := make([]int, 0, len(tids))
+	for id := range tids {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		name := t.names[id]
+		if name == "" {
+			name = fmt.Sprintf("proc%d", id)
+		}
+		if id == hardwareTid {
+			name = "hardware"
+		}
+		meta := chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+			Args: map[string]any{"name": name},
+		}
+		if err := enc(meta, len(events) == 0 && id == ids[len(ids)-1]); err != nil {
+			return err
+		}
+	}
+
+	for i, e := range events {
+		ce := chromeEvent{
+			Name: e.Kind,
+			Cat:  e.Layer,
+			Pid:  1,
+			Tid:  e.Proc,
+			Ts:   float64(e.T) / 1e3,
+		}
+		if e.Proc < 0 {
+			// Device-level events (fabric, NIC) with no owning process
+			// land on a synthetic "hardware" thread.
+			ce.Tid = hardwareTid
+		}
+		if e.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		if e.Peer >= 0 || e.Bytes > 0 {
+			args := make(map[string]any, 2)
+			if e.Peer >= 0 {
+				args["peer"] = e.Peer
+			}
+			if e.Bytes > 0 {
+				args["bytes"] = e.Bytes
+			}
+			ce.Args = args
+		}
+		if err := enc(ce, i == len(events)-1); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// hardwareTid is the synthetic thread id used for events that have no
+// owning simulated process (Proc < 0), e.g. fabric packets.
+const hardwareTid = 1 << 20
+
+// WriteBreakdown renders rows as a plain-text per-layer time table.
+// Times print in virtual milliseconds with microsecond precision.
+func WriteBreakdown(w io.Writer, title string, rows []BreakdownRow) error {
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  %-9s %-24s %10s %14s %12s\n",
+		"layer", "kind", "count", "time(ms)", "bytes"); err != nil {
+		return err
+	}
+	lastLayer := ""
+	var layerTotal int64
+	flush := func() error {
+		if lastLayer == "" {
+			return nil
+		}
+		_, err := fmt.Fprintf(w, "  %-9s %-24s %10s %14.3f\n",
+			"", "= layer total", "", float64(layerTotal)/1e6)
+		return err
+	}
+	for _, r := range rows {
+		if r.Layer != lastLayer {
+			if err := flush(); err != nil {
+				return err
+			}
+			lastLayer = r.Layer
+			layerTotal = 0
+		}
+		layerTotal += r.Total
+		if _, err := fmt.Fprintf(w, "  %-9s %-24s %10d %14.3f %12d\n",
+			r.Layer, r.Kind, r.Count, float64(r.Total)/1e6, r.Bytes); err != nil {
+			return err
+		}
+	}
+	return flush()
+}

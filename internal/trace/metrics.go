@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+)
+
+// Counter is a monotonic event count with an associated magnitude sum
+// (bytes, virtual ns, hops — whatever the metric's unit is).
+type Counter struct {
+	N   int64 // occurrences
+	Sum int64 // summed magnitude
+}
+
+// Add records n occurrences carrying a total magnitude of sum.
+func (c *Counter) Add(n, sum int64) {
+	c.N += n
+	c.Sum += sum
+}
+
+// Inc records one occurrence of magnitude v.
+func (c *Counter) Inc(v int64) { c.Add(1, v) }
+
+// Histogram counts observations in power-of-two buckets: bucket i holds
+// values whose bit length is i (bucket 0 holds zero and negatives), so
+// bucket i covers [2^(i-1), 2^i). Good enough resolution for size-class
+// and occupancy distributions without any configuration.
+type Histogram struct {
+	Buckets [65]int64
+	N       int64
+	Sum     int64
+	Max     int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	if v <= 0 {
+		h.Buckets[0]++
+		return
+	}
+	h.Buckets[bits.Len64(uint64(v))]++
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Registry holds a simulation's counters and histograms, keyed by
+// (layer, name). Lookup creates on first use, so instrumentation sites
+// never need registration boilerplate; hot paths should capture the
+// returned pointer once instead of re-looking-up per event.
+type Registry struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+func newRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the counter layer/name.
+func (r *Registry) Counter(layer, name string) *Counter {
+	k := layer + "/" + name
+	c := r.counters[k]
+	if c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Histogram returns (creating if needed) the histogram layer/name.
+func (r *Registry) Histogram(layer, name string) *Histogram {
+	k := layer + "/" + name
+	h := r.hists[k]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// CounterNames returns every counter key ("layer/name"), sorted.
+func (r *Registry) CounterNames() []string { return sortedKeys(r.counters) }
+
+// HistogramNames returns every histogram key ("layer/name"), sorted.
+func (r *Registry) HistogramNames() []string { return sortedKeys(r.hists) }
+
+// Lookup returns the counter for key ("layer/name") or nil.
+func (r *Registry) Lookup(key string) *Counter { return r.counters[key] }
+
+// LookupHistogram returns the histogram for key ("layer/name") or nil.
+func (r *Registry) LookupHistogram(key string) *Histogram { return r.hists[key] }
+
+// WriteTo dumps every metric in deterministic (sorted) order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, k := range r.CounterNames() {
+		c := r.counters[k]
+		n, err := fmt.Fprintf(w, "counter %-40s n=%-10d sum=%d\n", k, c.N, c.Sum)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, k := range r.HistogramNames() {
+		h := r.hists[k]
+		n, err := fmt.Fprintf(w, "hist    %-40s n=%-10d mean=%.1f max=%d\n", k, h.N, h.Mean(), h.Max)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,180 @@
+// Package trace is the structured observability layer of the simulator:
+// typed events with virtual timestamps recorded into a per-simulation
+// ring buffer, plus a per-layer registry of counters and histograms.
+//
+// The package is deliberately zero-dependency (standard library only)
+// and knows nothing about the simulator: timestamps and durations are
+// raw virtual nanoseconds (int64), so every layer — from the Myrinet
+// fabric model up to the TreadMarks protocol — can emit events without
+// an import cycle. Emission sites are nil-checked: with no Tracer
+// attached the instrumentation is a pointer comparison and costs no
+// virtual time either way, so tracing cannot perturb simulated results.
+//
+// Two exporters turn a Tracer into something readable: WriteChromeTrace
+// produces Chrome trace_event JSON (one "thread" per simulated process,
+// loadable in Perfetto), and Breakdown/WriteBreakdown aggregate events
+// into a per-layer time table of the kind the paper uses to attribute
+// overheads to protocol layers.
+package trace
+
+import "sort"
+
+// Layer names, one per architectural layer of the stack. Every emitted
+// Event carries one of these in Layer; exporters group by them.
+const (
+	LayerSim       = "sim"       // scheduler: dispatch, compute, interrupts
+	LayerMyrinet   = "myrinet"   // fabric: packets on the wire, NIC occupancy
+	LayerGM        = "gm"        // GM library: sends, tokens, buffer matching
+	LayerSockets   = "sockets"   // kernel UDP/IP over Sockets-GM
+	LayerSubstrate = "substrate" // udpgm / fastgm request-reply transports
+	LayerTMK       = "tmk"       // TreadMarks: faults, diffs, locks, barriers
+)
+
+// layerRank orders layers bottom-up in reports; unknown layers sort last.
+func layerRank(layer string) int {
+	switch layer {
+	case LayerSim:
+		return 0
+	case LayerMyrinet:
+		return 1
+	case LayerGM:
+		return 2
+	case LayerSockets:
+		return 3
+	case LayerSubstrate:
+		return 4
+	case LayerTMK:
+		return 5
+	}
+	return 6
+}
+
+// Event is one traced occurrence. A zero Dur makes it an instant; a
+// positive Dur makes it a span covering [T, T+Dur] of virtual time.
+type Event struct {
+	T     int64  // virtual start time, ns
+	Dur   int64  // virtual duration, ns (0 = instant)
+	Layer string // one of the Layer* constants
+	Kind  string // event name within the layer ("advance", "packet", …)
+	Proc  int    // simulated process id (sim.Proc.ID), -1 if none
+	Peer  int    // remote rank or node involved, -1 if none
+	Bytes int    // payload size, 0 if not applicable
+}
+
+// DefaultCapacity is the ring size New(0) allocates: large enough to
+// hold every event of the microbenchmarks and the tail of app runs.
+const DefaultCapacity = 1 << 17
+
+// Tracer records events into a fixed-capacity ring buffer and owns the
+// metrics registry. It is single-threaded by construction, like the
+// simulator it observes.
+type Tracer struct {
+	ring      []Event
+	head      int   // next write position
+	n         int   // valid events, ≤ len(ring)
+	overwrote int64 // events lost to ring wrap-around
+	names     map[int]string
+	reg       *Registry
+}
+
+// New creates a tracer whose ring holds capacity events; capacity ≤ 0
+// selects DefaultCapacity.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{
+		ring:  make([]Event, capacity),
+		names: make(map[int]string),
+		reg:   newRegistry(),
+	}
+}
+
+// Emit records e, overwriting the oldest event if the ring is full.
+func (t *Tracer) Emit(e Event) {
+	if t.n == len(t.ring) {
+		t.overwrote++
+	} else {
+		t.n++
+	}
+	t.ring[t.head] = e
+	t.head++
+	if t.head == len(t.ring) {
+		t.head = 0
+	}
+}
+
+// Events returns the recorded events oldest-first. The slice is a copy.
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, t.n)
+	start := t.head - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Len returns the number of events currently held.
+func (t *Tracer) Len() int { return t.n }
+
+// Overwrote returns how many events were lost to ring wrap-around.
+func (t *Tracer) Overwrote() int64 { return t.overwrote }
+
+// SetThreadName labels a process id for the Chrome exporter (the
+// simulator registers every spawned process here).
+func (t *Tracer) SetThreadName(proc int, name string) { t.names[proc] = name }
+
+// Metrics returns the tracer's counter/histogram registry.
+func (t *Tracer) Metrics() *Registry { return t.reg }
+
+// BreakdownRow aggregates every event of one (layer, kind) pair.
+type BreakdownRow struct {
+	Layer string
+	Kind  string
+	Count int64
+	Total int64 // summed Dur, virtual ns
+	Bytes int64 // summed Bytes
+}
+
+// Breakdown aggregates the ring into per-(layer, kind) rows, ordered
+// bottom-up by layer and by descending total time within a layer. This
+// is the per-layer time attribution the paper's analysis sections build
+// their arguments on.
+func (t *Tracer) Breakdown() []BreakdownRow {
+	type key struct{ layer, kind string }
+	agg := make(map[key]*BreakdownRow)
+	start := t.head - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		e := &t.ring[(start+i)%len(t.ring)]
+		k := key{e.Layer, e.Kind}
+		r := agg[k]
+		if r == nil {
+			r = &BreakdownRow{Layer: e.Layer, Kind: e.Kind}
+			agg[k] = r
+		}
+		r.Count++
+		r.Total += e.Dur
+		r.Bytes += int64(e.Bytes)
+	}
+	rows := make([]BreakdownRow, 0, len(agg))
+	for _, r := range agg {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ri, rj := layerRank(rows[i].Layer), layerRank(rows[j].Layer)
+		if ri != rj {
+			return ri < rj
+		}
+		if rows[i].Total != rows[j].Total {
+			return rows[i].Total > rows[j].Total
+		}
+		return rows[i].Kind < rows[j].Kind
+	})
+	return rows
+}
