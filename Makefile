@@ -4,12 +4,13 @@
 
 GO       ?= go
 FUZZTIME ?= 5s
+BENCHDIR ?= .
 
-.PHONY: all check fmt vet build test race fuzz-smoke
+.PHONY: all check fmt vet build test race fuzz-smoke bench prof-smoke
 
 all: check
 
-check: fmt vet build test race fuzz-smoke
+check: fmt vet build test race fuzz-smoke prof-smoke bench
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -33,3 +34,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/msg/
 	$(GO) test -run '^$$' -fuzz '^FuzzApplyDiff$$' -fuzztime $(FUZZTIME) ./internal/tmk/
 	$(GO) test -run '^$$' -fuzz '^FuzzDiffRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/tmk/
+
+# Machine-readable bench trajectory: writes BENCH_e0/e1/e2.json into
+# BENCHDIR. Deterministic — rerunning on the same tree is byte-identical,
+# so `git diff BENCH_*.json` across commits shows real perf movement.
+bench:
+	$(GO) run ./cmd/bench -out $(BENCHDIR)
+
+# Quick end-to-end run of the protocol-entity profiler (small sizes).
+prof-smoke:
+	$(GO) run ./cmd/figures -fig prof -prof-nodes 4 -prof-small > /dev/null

@@ -1,0 +1,57 @@
+// Command bench runs the deterministic performance suites (E0 netperf,
+// E1 microbenchmarks, E2 application sweep) and writes each as a
+// machine-readable BENCH_<suite>.json (schema tmk-bench/1). The
+// simulations are deterministic, so rerunning on the same tree
+// reproduces every file byte-identically — any diff between commits is a
+// real performance change, not noise.
+//
+// Usage:
+//
+//	bench [-suite all|e0|e1|e2] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	suite := flag.String("suite", "all", "which suite to run: e0, e1, e2, all")
+	out := flag.String("out", ".", "directory to write BENCH_<suite>.json into")
+	flag.Parse()
+
+	var paths []string
+	var err error
+	switch *suite {
+	case "all":
+		paths, err = harness.BenchAll(*out)
+	case "e0", "e1", "e2":
+		var s *harness.BenchSuite
+		switch *suite {
+		case "e0":
+			s, err = harness.BenchE0()
+		case "e1":
+			s, err = harness.BenchE1()
+		case "e2":
+			s, err = harness.BenchE2([]int{2, 4, 8})
+		}
+		if err == nil {
+			var p string
+			p, err = harness.WriteBench(*out, s)
+			paths = []string{p}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, p := range paths {
+		fmt.Printf("wrote %s\n", p)
+	}
+}

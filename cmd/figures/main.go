@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	figures [-fig 0|3|4|5|e4|e5|e6|breakdown|all] [-nodes 4,8,16] [-big16]
+//	figures [-fig 0|3|4|5|e4|e5|e6|breakdown|prof|all] [-nodes 4,8,16] [-big16]
+//	        [-prof-nodes 8] [-prof-small] [-trace-cap N]
 //
 // -big16 runs the Figure 5 sweep on 16 nodes (the paper's size); without
 // it the sweep runs on 8 nodes, which regenerates the same shapes faster.
+// -fig prof reruns the applications with the protocol-entity profiler
+// attached and prints per-page/lock/barrier attribution with page×epoch
+// heatmaps (not part of "all"; -prof-small uses the smallest Table 1
+// sizes). -trace-cap sizes the breakdown runs' event ring.
 package main
 
 import (
@@ -20,9 +25,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 0, 3, 4, 5, e4, e5, e6, breakdown, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 0, 3, 4, 5, e4, e5, e6, breakdown, prof, all")
 	nodesFlag := flag.String("nodes", "4,8,16", "node counts for the Figure 4 sweep")
 	big16 := flag.Bool("big16", true, "run the Figure 5 sweep on 16 nodes (paper size)")
+	profNodes := flag.Int("prof-nodes", 8, "node count for the -fig prof runs")
+	profSmall := flag.Bool("prof-small", false, "profile the smallest Table 1 sizes instead of the defaults")
+	traceCap := flag.Int("trace-cap", 0, "event ring capacity for the breakdown runs (0 = default)")
 	flag.Parse()
 
 	var nodes []int
@@ -84,13 +92,20 @@ func main() {
 		fmt.Println()
 	}
 	if want("breakdown") {
-		bds, err := harness.BreakdownE1()
+		bds, err := harness.BreakdownE1(*traceCap)
 		exitOn(err)
 		harness.PrintBreakdowns(os.Stdout, "E1 — per-layer time breakdown (traced rerun)", bds)
 		fmt.Println()
-		bds, err = harness.BreakdownE4()
+		bds, err = harness.BreakdownE4(*traceCap)
 		exitOn(err)
 		harness.PrintBreakdowns(os.Stdout, "E4 — per-layer time breakdown (traced rerun)", bds)
+	}
+	// Entity profiles are opt-in (not part of "all"): they rerun every
+	// application and would double the default run time.
+	if *fig == "prof" {
+		runs, err := harness.ProfEntities(*profNodes, *profSmall)
+		exitOn(err)
+		harness.PrintProfEntities(os.Stdout, runs)
 	}
 }
 

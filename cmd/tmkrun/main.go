@@ -6,6 +6,13 @@
 // Usage:
 //
 //	tmkrun -app jacobi -nodes 16 -transport fastgm [-size 2] [-verify]
+//	       [-prof] [-prof-json profile.json]
+//
+// -prof attaches the protocol-entity profiler and prints the per-page /
+// per-lock / per-barrier attribution tables and the page×epoch heatmap;
+// -prof-json additionally writes the full profile as JSON (schema
+// tmk-prof/1). Profiling is observation only: the execution time and
+// statistics are identical with and without it.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/harness"
+	"repro/internal/prof"
 	"repro/internal/tmk"
 )
 
@@ -25,6 +33,8 @@ func main() {
 	sizeIdx := flag.Int("size", -1, "size ladder index 0..3 (-1 = default size)")
 	verify := flag.Bool("verify", false, "check the result against the sequential reference")
 	rendezvous := flag.Bool("rendezvous", false, "enable the FAST/GM rendezvous protocol")
+	profFlag := flag.Bool("prof", false, "attach the protocol-entity profiler and print its tables")
+	profJSON := flag.String("prof-json", "", "write the entity profile as JSON (implies -prof)")
 	flag.Parse()
 
 	var app apps.App
@@ -48,7 +58,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	mutate := func(cfg *tmk.Config) { cfg.Fast.Rendezvous = *rendezvous }
+	var pf *prof.Profiler
+	if *profFlag || *profJSON != "" {
+		pf = prof.New()
+	}
+	mutate := func(cfg *tmk.Config) {
+		cfg.Fast.Rendezvous = *rendezvous
+		cfg.Prof = pf
+	}
 	run := harness.RunApp
 	if *verify {
 		run = harness.VerifiedRun
@@ -65,5 +82,36 @@ func main() {
 	fmt.Printf("  max pinned: %.2f MB\n", float64(res.MaxPinnedBytes)/1e6)
 	if *verify {
 		fmt.Println("  verification: OK (matches sequential reference)")
+	}
+	if pf != nil {
+		pr := pf.Snapshot()
+		pr.App = app.Name()
+		pr.Size = app.Size()
+		pr.Transport = string(kind)
+		pr.Nodes = *nodes
+		pr.ExecNs = int64(res.ExecTime)
+		fmt.Println()
+		if err := pr.WriteTables(os.Stdout, 10, 5, 5); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pr.WriteHeatmap(os.Stdout, 10); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *profJSON != "" {
+			f, err := os.Create(*profJSON)
+			if err == nil {
+				err = pr.WriteJSON(f)
+			}
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote entity profile to %s\n", *profJSON)
+		}
 	}
 }

@@ -6,12 +6,15 @@
 // Usage:
 //
 //	tmktrace [-scenario counter|sharing|lockchain] [-nodes 4] [-transport fastgm]
-//	         [-out trace.json]
+//	         [-out trace.json] [-trace-cap N] [-prof] [-prof-json profile.json]
 //
 // With -out, the run also records structured events from every layer and
 // writes a Chrome trace_event JSON file loadable in Perfetto
 // (https://ui.perfetto.dev) or chrome://tracing; a per-layer time
-// breakdown is printed after the run. The printed protocol trace is
+// breakdown is printed after the run, with a warning if the event ring
+// overflowed (-trace-cap raises its capacity). -prof attaches the
+// protocol-entity profiler and prints per-page/lock/barrier attribution;
+// -prof-json writes the profile as JSON. The printed protocol trace is
 // unchanged either way.
 package main
 
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/prof"
 	"repro/internal/tmk"
 	"repro/internal/trace"
 )
@@ -29,13 +33,21 @@ func main() {
 	nodes := flag.Int("nodes", 4, "number of DSM processes")
 	transport := flag.String("transport", "fastgm", "fastgm or udpgm")
 	out := flag.String("out", "", "write a Chrome trace_event JSON file (Perfetto-loadable)")
+	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default)")
+	profFlag := flag.Bool("prof", false, "attach the protocol-entity profiler and print its tables")
+	profJSON := flag.String("prof-json", "", "write the entity profile as JSON (implies -prof)")
 	flag.Parse()
 
 	cfg := tmk.DefaultConfig(*nodes, tmk.TransportKind(*transport))
 	var tracer *trace.Tracer
 	if *out != "" {
-		tracer = trace.New(0)
+		tracer = trace.New(*traceCap)
 		cfg.Trace = tracer
+	}
+	var pf *prof.Profiler
+	if *profFlag || *profJSON != "" {
+		pf = prof.New()
+		cfg.Prof = pf
 	}
 	cluster := tmk.NewCluster(cfg)
 	cluster.Sim().SetTrace(func(format string, args ...any) {
@@ -108,6 +120,41 @@ func main() {
 		}
 		fmt.Printf("--- wrote %d events to %s (load in https://ui.perfetto.dev)\n",
 			tracer.Len(), *out)
+		if n := tracer.Overwrote(); n > 0 {
+			fmt.Printf("--- warning: ring dropped %d oldest events; rerun with -trace-cap %d for full coverage\n",
+				n, tracer.Len()+int(n))
+		}
 		trace.WriteBreakdown(os.Stdout, "per-layer breakdown", tracer.Breakdown())
+	}
+
+	if pf != nil {
+		pr := pf.Snapshot()
+		pr.App = *scenario
+		pr.Transport = *transport
+		pr.Nodes = *nodes
+		pr.ExecNs = int64(res.ExecTime)
+		fmt.Println()
+		if err := pr.WriteTables(os.Stdout, 10, 5, 5); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pr.WriteHeatmap(os.Stdout, 10); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *profJSON != "" {
+			f, err := os.Create(*profJSON)
+			if err == nil {
+				err = pr.WriteJSON(f)
+			}
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("--- wrote entity profile to %s\n", *profJSON)
+		}
 	}
 }

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/tmk"
+)
+
+// Machine-readable bench trajectory: the E0/E1/E2 headline numbers
+// serialized as BENCH_<suite>.json so successive commits can be compared
+// mechanically. Runs are deterministic simulations, so regenerating a
+// suite on the same tree reproduces the file byte-identically — any diff
+// is a real performance change, not noise.
+
+// BenchSchema identifies the JSON format of a bench suite file.
+const BenchSchema = "tmk-bench/1"
+
+// BenchSuite is one suite's results.
+type BenchSuite struct {
+	Schema  string       `json:"schema"`
+	Suite   string       `json:"suite"`
+	Entries []BenchEntry `json:"entries"`
+}
+
+// BenchEntry is one measured number.
+type BenchEntry struct {
+	Name      string `json:"name"`
+	Transport string `json:"transport,omitempty"`
+	Nodes     int    `json:"nodes,omitempty"`
+	Value     int64  `json:"value"`
+	Unit      string `json:"unit"` // "ns", "ns/op", or "B/s"
+}
+
+// BenchE0 captures the Section 3.1 latency/bandwidth numbers.
+func BenchE0() (*BenchSuite, error) {
+	rows, err := Netperf()
+	if err != nil {
+		return nil, err
+	}
+	s := &BenchSuite{Schema: BenchSchema, Suite: "e0"}
+	for _, r := range rows {
+		s.Entries = append(s.Entries,
+			BenchEntry{Name: "latency/" + r.Layer, Value: int64(r.Latency), Unit: "ns"},
+			BenchEntry{Name: "bandwidth/" + r.Layer, Value: int64(r.Bandwidth), Unit: "B/s"},
+		)
+	}
+	return s, nil
+}
+
+// BenchE1 captures the Figure 3 microbenchmark per-operation times
+// (barriers on 2/4/8 nodes to keep the suite quick).
+func BenchE1() (*BenchSuite, error) {
+	rows, err := Figure3([]int{2, 4, 8})
+	if err != nil {
+		return nil, err
+	}
+	s := &BenchSuite{Schema: BenchSchema, Suite: "e1"}
+	for _, r := range rows {
+		s.Entries = append(s.Entries,
+			BenchEntry{Name: r.Bench, Transport: string(tmk.TransportUDPGM), Value: int64(r.UDP), Unit: "ns/op"},
+			BenchEntry{Name: r.Bench, Transport: string(tmk.TransportFastGM), Value: int64(r.Fast), Unit: "ns/op"},
+		)
+	}
+	return s, nil
+}
+
+// BenchE2 captures the Figure 4 application execution times over the
+// given node counts.
+func BenchE2(nodes []int) (*BenchSuite, error) {
+	rows, err := Figure4(nodes)
+	if err != nil {
+		return nil, err
+	}
+	s := &BenchSuite{Schema: BenchSchema, Suite: "e2"}
+	for _, r := range rows {
+		s.Entries = append(s.Entries,
+			BenchEntry{Name: r.App, Nodes: r.Nodes, Transport: string(tmk.TransportUDPGM), Value: int64(r.UDP), Unit: "ns"},
+			BenchEntry{Name: r.App, Nodes: r.Nodes, Transport: string(tmk.TransportFastGM), Value: int64(r.Fast), Unit: "ns"},
+		)
+	}
+	return s, nil
+}
+
+// WriteBench writes the suite as dir/BENCH_<suite>.json and returns the
+// path. Output is byte-deterministic.
+func WriteBench(dir string, s *BenchSuite) (string, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	b = append(b, '\n')
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", s.Suite))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// BenchAll runs every suite and writes its file into dir, returning the
+// paths written.
+func BenchAll(dir string) ([]string, error) {
+	suites := []func() (*BenchSuite, error){
+		BenchE0,
+		BenchE1,
+		func() (*BenchSuite, error) { return BenchE2([]int{2, 4, 8}) },
+	}
+	var paths []string
+	for _, fn := range suites {
+		s, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		p, err := WriteBench(dir, s)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

@@ -18,16 +18,20 @@ import (
 // virtual time goes, layer by layer. Tracing is observation only, so the
 // headline numbers match the untraced tables exactly.
 
-// LayerBreakdown is one traced run's per-layer aggregation.
+// LayerBreakdown is one traced run's per-layer aggregation. Overwrote
+// is the number of events lost to ring wrap-around: nonzero means the
+// table under-counts the run's early history.
 type LayerBreakdown struct {
 	Name      string
 	Transport tmk.TransportKind
 	Rows      []trace.BreakdownRow
+	Overwrote int64
 }
 
 // BreakdownE1 reruns three E1 microbenchmarks (Barrier, Lock indirect,
-// Page) on 4 nodes for each transport, tracing enabled.
-func BreakdownE1() ([]LayerBreakdown, error) {
+// Page) on 4 nodes for each transport, tracing enabled. traceCap sizes
+// the event ring (≤ 0 selects trace.DefaultCapacity).
+func BreakdownE1(traceCap int) ([]LayerBreakdown, error) {
 	type bench struct {
 		name string
 		fn   func(cfg tmk.Config) (ubench.Result, error)
@@ -41,12 +45,13 @@ func BreakdownE1() ([]LayerBreakdown, error) {
 	for _, b := range benches {
 		for _, kind := range Transports {
 			cfg := tmk.DefaultConfig(4, kind)
-			tracer := trace.New(0)
+			tracer := trace.New(traceCap)
 			cfg.Trace = tracer
 			if _, err := b.fn(cfg); err != nil {
 				return nil, fmt.Errorf("breakdown %s %s: %w", b.name, kind, err)
 			}
-			out = append(out, LayerBreakdown{Name: b.name, Transport: kind, Rows: tracer.Breakdown()})
+			out = append(out, LayerBreakdown{Name: b.name, Transport: kind,
+				Rows: tracer.Breakdown(), Overwrote: tracer.Overwrote()})
 		}
 	}
 	return out, nil
@@ -55,11 +60,12 @@ func BreakdownE1() ([]LayerBreakdown, error) {
 // BreakdownE4 reruns the E4 Jacobi workload under each asynchronous-
 // message scheme with tracing enabled, exposing where each scheme's
 // overhead lands (interrupt service vs polling vs timer latency).
-func BreakdownE4() ([]LayerBreakdown, error) {
+// traceCap sizes the event ring (≤ 0 selects trace.DefaultCapacity).
+func BreakdownE4(traceCap int) ([]LayerBreakdown, error) {
 	app := &apps.Jacobi{N: 256, Iters: 8, CostPerPoint: 120 * sim.Nanosecond}
 	var out []LayerBreakdown
 	for _, scheme := range []fastgm.AsyncScheme{fastgm.AsyncInterrupt, fastgm.AsyncPollingThread, fastgm.AsyncTimer} {
-		tracer := trace.New(0)
+		tracer := trace.New(traceCap)
 		_, err := RunApp(app, 8, tmk.TransportFastGM, func(cfg *tmk.Config) {
 			cfg.Fast.Scheme = scheme
 			cfg.Trace = tracer
@@ -71,6 +77,7 @@ func BreakdownE4() ([]LayerBreakdown, error) {
 			Name:      fmt.Sprintf("jacobi 256² x8 [%v]", scheme),
 			Transport: tmk.TransportFastGM,
 			Rows:      tracer.Breakdown(),
+			Overwrote: tracer.Overwrote(),
 		})
 	}
 	return out, nil
@@ -82,5 +89,9 @@ func PrintBreakdowns(w io.Writer, header string, bds []LayerBreakdown) {
 	for _, bd := range bds {
 		fprintf(w, "\n")
 		trace.WriteBreakdown(w, fmt.Sprintf("%s — %s", bd.Name, bd.Transport), bd.Rows)
+		if bd.Overwrote > 0 {
+			fprintf(w, "  warning: ring dropped %d oldest events (raise -trace-cap for full coverage)\n",
+				bd.Overwrote)
+		}
 	}
 }

@@ -1,0 +1,346 @@
+// Package prof is the protocol-entity profiler of the simulator: where
+// internal/trace attributes virtual time to *layers* ("time went to
+// tmk"), prof attributes it to the individual protocol *entities* —
+// which shared page, which lock, which barrier — and segments the
+// attribution into epochs (inter-barrier phases) so the heatmaps show
+// how hotness shifts over a run. This is the classic SDSM diagnosis
+// toolkit: per-page fault/fetch/diff accounting with a false-sharing
+// score from multi-writer notices, per-lock wait-vs-hold and
+// manager-indirection rates, per-barrier arrival skew per episode.
+//
+// Like internal/trace, the package is standard-library-only and knows
+// nothing about the simulator: times are raw virtual nanoseconds
+// (int64), every hook site in internal/tmk is nil-checked, and
+// recording never charges virtual time — a profiled run is
+// bit-identical to an unprofiled one (enforced by
+// TestProfilingDoesNotPerturbResults in internal/harness).
+package prof
+
+// Profiler accumulates per-entity attribution for one DSM run. It is
+// single-threaded by construction, like the simulator it observes;
+// attach one per run via tmk.Config.Prof.
+type Profiler struct {
+	epochs []int32 // per-rank epoch = barriers crossed so far
+
+	pages    map[int32]*PageStats
+	locks    map[int32]*LockStats
+	barriers map[int32]*barrierAgg
+	episodes map[episodeKey]*episodeAgg
+
+	pageEpochs map[cellKey]*Cell
+	lockEpochs map[cellKey]*Cell
+
+	heldSince  map[holderKey]int64 // acquire-completion time per (rank, lock)
+	lastHolder map[int32]int       // previous holder per lock, for handoff counts
+}
+
+// New creates an empty profiler.
+func New() *Profiler {
+	return &Profiler{
+		pages:      make(map[int32]*PageStats),
+		locks:      make(map[int32]*LockStats),
+		barriers:   make(map[int32]*barrierAgg),
+		episodes:   make(map[episodeKey]*episodeAgg),
+		pageEpochs: make(map[cellKey]*Cell),
+		lockEpochs: make(map[cellKey]*Cell),
+		heldSince:  make(map[holderKey]int64),
+		lastHolder: make(map[int32]int),
+	}
+}
+
+// PageStats is the accumulated attribution for one shared page.
+type PageStats struct {
+	ID     int32
+	Region int32
+
+	ReadFaults  int64
+	WriteFaults int64
+	FaultNs     int64 // virtual time spent in faults on this page
+
+	Fetches          int64 // full-page fetches
+	FetchBytes       int64
+	DiffFetches      int64 // diff requests issued for this page
+	DiffBytesFetched int64
+	DiffsCreated     int64
+	DiffBytesCreated int64
+
+	Invalidations     int64 // state transitions to invalid from notices
+	Notices           int64 // write notices received for this page
+	FalseShareNotices int64 // notices from a peer while this rank also wrote
+
+	writers map[int]bool // distinct ranks observed writing the page
+}
+
+// Writers returns how many distinct ranks wrote the page.
+func (ps *PageStats) Writers() int { return len(ps.writers) }
+
+// FalseSharingScore is the fraction of received write notices that hit a
+// page the receiving rank itself writes — the multiple-writer-protocol
+// signature of false sharing. Zero for single-writer pages.
+func (ps *PageStats) FalseSharingScore() float64 {
+	if ps.Notices == 0 || len(ps.writers) < 2 {
+		return 0
+	}
+	return float64(ps.FalseShareNotices) / float64(ps.Notices)
+}
+
+// LockStats is the accumulated attribution for one distributed lock.
+type LockStats struct {
+	ID      int32
+	Manager int // statically assigned manager rank
+
+	AcquiresLocal  int64 // token already here: free re-acquire
+	AcquiresRemote int64 // grant had to travel
+	WaitNs         int64 // summed remote-acquire latency
+	Holds          int64 // completed acquire→release pairs
+	HoldNs         int64 // summed acquire→release time
+	Handoffs       int64 // acquires where the token changed rank
+	Forwards       int64 // manager indirections (3-message acquires)
+}
+
+// IndirectionRate is the fraction of remote acquires the manager had to
+// forward down the chain (the microbenchmark's "indirect" case).
+func (ls *LockStats) IndirectionRate() float64 {
+	if ls.AcquiresRemote == 0 {
+		return 0
+	}
+	return float64(ls.Forwards) / float64(ls.AcquiresRemote)
+}
+
+// Cell is one (entity, epoch) heatmap cell.
+type Cell struct {
+	Events int64 // faults (pages) or remote acquires (locks)
+	Ns     int64 // fault time (pages) or wait time (locks)
+	Bytes  int64 // page + diff bytes fetched (pages only)
+}
+
+// barrierAgg accumulates online per-barrier-id fields; skew statistics
+// are derived from the episode records at Snapshot time.
+type barrierAgg struct {
+	id          int32
+	waitNs      int64
+	intervals   int64
+	noticePages int64
+}
+
+// episodeAgg collects arrival times of one (barrier, episode).
+type episodeAgg struct {
+	barrier   int32
+	episode   int32
+	arrivals  int
+	minArrive int64
+	maxArrive int64
+}
+
+type episodeKey struct{ barrier, episode int32 }
+type cellKey struct {
+	id    int32
+	epoch int32
+}
+type holderKey struct {
+	rank int
+	lock int32
+}
+
+// epochOf returns rank's current epoch, growing the table on demand.
+func (p *Profiler) epochOf(rank int) int32 {
+	for len(p.epochs) <= rank {
+		p.epochs = append(p.epochs, 0)
+	}
+	return p.epochs[rank]
+}
+
+func (p *Profiler) page(id, region int32) *PageStats {
+	ps := p.pages[id]
+	if ps == nil {
+		ps = &PageStats{ID: id, Region: region, writers: make(map[int]bool)}
+		p.pages[id] = ps
+	}
+	return ps
+}
+
+func (p *Profiler) lockStats(id int32, manager int) *LockStats {
+	ls := p.locks[id]
+	if ls == nil {
+		ls = &LockStats{ID: id, Manager: manager}
+		p.locks[id] = ls
+	} else if manager >= 0 {
+		ls.Manager = manager
+	}
+	return ls
+}
+
+func (p *Profiler) pageCell(id int32, rank int) *Cell {
+	k := cellKey{id: id, epoch: p.epochOf(rank)}
+	c := p.pageEpochs[k]
+	if c == nil {
+		c = &Cell{}
+		p.pageEpochs[k] = c
+	}
+	return c
+}
+
+func (p *Profiler) lockCell(id int32, rank int) *Cell {
+	k := cellKey{id: id, epoch: p.epochOf(rank)}
+	c := p.lockEpochs[k]
+	if c == nil {
+		c = &Cell{}
+		p.lockEpochs[k] = c
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------
+// Page hooks (called from tmk's fault/diff paths).
+// ---------------------------------------------------------------------
+
+// PageReadFault records a completed read fault of durNs on the page.
+func (p *Profiler) PageReadFault(rank int, page, region int32, durNs int64) {
+	ps := p.page(page, region)
+	ps.ReadFaults++
+	ps.FaultNs += durNs
+	c := p.pageCell(page, rank)
+	c.Events++
+	c.Ns += durNs
+}
+
+// PageWriteFault records a completed write fault (twin creation).
+func (p *Profiler) PageWriteFault(rank int, page, region int32, durNs int64) {
+	ps := p.page(page, region)
+	ps.WriteFaults++
+	ps.FaultNs += durNs
+	ps.writers[rank] = true
+	c := p.pageCell(page, rank)
+	c.Events++
+	c.Ns += durNs
+}
+
+// PageFetch records a full-page fetch of bytes taking durNs.
+func (p *Profiler) PageFetch(rank int, page, region int32, bytes int, durNs int64) {
+	ps := p.page(page, region)
+	ps.Fetches++
+	ps.FetchBytes += int64(bytes)
+	p.pageCell(page, rank).Bytes += int64(bytes)
+}
+
+// DiffFetch records one diff request for the page returning bytes of
+// diff payload after durNs.
+func (p *Profiler) DiffFetch(rank int, page, region int32, bytes int, durNs int64) {
+	ps := p.page(page, region)
+	ps.DiffFetches++
+	ps.DiffBytesFetched += int64(bytes)
+	p.pageCell(page, rank).Bytes += int64(bytes)
+}
+
+// DiffCreated records an interval close emitting a diff for the page.
+func (p *Profiler) DiffCreated(rank int, page, region int32, bytes int) {
+	ps := p.page(page, region)
+	ps.DiffsCreated++
+	ps.DiffBytesCreated += int64(bytes)
+	ps.writers[rank] = true
+}
+
+// PageNotice records a write notice from writer arriving at rank.
+// invalidated reports whether the notice flipped a valid copy to
+// invalid; wroteHere whether the receiving rank has itself written the
+// page (the false-sharing signal under the multiple-writer protocol).
+func (p *Profiler) PageNotice(rank int, page, region int32, writer int, invalidated, wroteHere bool) {
+	ps := p.page(page, region)
+	ps.Notices++
+	ps.writers[writer] = true
+	if invalidated {
+		ps.Invalidations++
+	}
+	if wroteHere && writer != rank {
+		ps.FalseShareNotices++
+	}
+}
+
+// ---------------------------------------------------------------------
+// Lock hooks.
+// ---------------------------------------------------------------------
+
+// LockAcquireLocal records a free re-acquire (token already at rank).
+func (p *Profiler) LockAcquireLocal(rank int, lock int32, manager int, nowNs int64) {
+	ls := p.lockStats(lock, manager)
+	ls.AcquiresLocal++
+	p.noteHolder(ls, rank)
+	p.heldSince[holderKey{rank: rank, lock: lock}] = nowNs
+}
+
+// LockAcquireRemote records a remote acquire that waited waitNs before
+// the grant landed at nowNs.
+func (p *Profiler) LockAcquireRemote(rank int, lock int32, manager int, waitNs, nowNs int64) {
+	ls := p.lockStats(lock, manager)
+	ls.AcquiresRemote++
+	ls.WaitNs += waitNs
+	p.noteHolder(ls, rank)
+	p.heldSince[holderKey{rank: rank, lock: lock}] = nowNs
+	c := p.lockCell(lock, rank)
+	c.Events++
+	c.Ns += waitNs
+}
+
+// LockForward records a manager indirection: the acquire was forwarded
+// down the holder chain instead of granted directly.
+func (p *Profiler) LockForward(lock int32, manager int) {
+	p.lockStats(lock, manager).Forwards++
+}
+
+// LockRelease records the release, closing the hold that began at the
+// matching acquire.
+func (p *Profiler) LockRelease(rank int, lock int32, nowNs int64) {
+	k := holderKey{rank: rank, lock: lock}
+	if since, ok := p.heldSince[k]; ok {
+		ls := p.lockStats(lock, -1)
+		ls.Holds++
+		ls.HoldNs += nowNs - since
+		delete(p.heldSince, k)
+	}
+}
+
+func (p *Profiler) noteHolder(ls *LockStats, rank int) {
+	if prev, ok := p.lastHolder[ls.ID]; ok && prev != rank {
+		ls.Handoffs++
+	}
+	p.lastHolder[ls.ID] = rank
+}
+
+// ---------------------------------------------------------------------
+// Barrier hooks.
+// ---------------------------------------------------------------------
+
+// BarrierArrive records rank reaching barrier id in the given episode at
+// nowNs. Skew per episode is max−min of these arrival times.
+func (p *Profiler) BarrierArrive(rank int, barrier, episode int32, nowNs int64) {
+	k := episodeKey{barrier: barrier, episode: episode}
+	ea := p.episodes[k]
+	if ea == nil {
+		ea = &episodeAgg{barrier: barrier, episode: episode, minArrive: nowNs, maxArrive: nowNs}
+		p.episodes[k] = ea
+	}
+	ea.arrivals++
+	if nowNs < ea.minArrive {
+		ea.minArrive = nowNs
+	}
+	if nowNs > ea.maxArrive {
+		ea.maxArrive = nowNs
+	}
+}
+
+// BarrierDepart records rank crossing the barrier after waitNs, having
+// carried intervals interval records naming noticePages write-notice
+// page entries in its arrive payload. Crossing a barrier advances the
+// rank's epoch.
+func (p *Profiler) BarrierDepart(rank int, barrier, episode int32, waitNs int64, intervals, noticePages int) {
+	ba := p.barriers[barrier]
+	if ba == nil {
+		ba = &barrierAgg{id: barrier}
+		p.barriers[barrier] = ba
+	}
+	ba.waitNs += waitNs
+	ba.intervals += int64(intervals)
+	ba.noticePages += int64(noticePages)
+	p.epochOf(rank) // ensure the table covers rank
+	p.epochs[rank]++
+}

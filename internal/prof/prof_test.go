@@ -1,0 +1,221 @@
+package prof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPageAttributionAndFalseSharing(t *testing.T) {
+	p := New()
+	// Rank 0 and rank 1 both write page 7; rank 0 receives 4 notices from
+	// rank 1 while twinned (false sharing), plus one covered duplicate.
+	p.PageWriteFault(0, 7, 1, 100)
+	p.PageWriteFault(1, 7, 1, 150)
+	p.PageReadFault(0, 7, 1, 50)
+	for i := 0; i < 4; i++ {
+		p.PageNotice(0, 7, 1, 1, true, true)
+	}
+	p.PageNotice(0, 7, 1, 1, false, false)
+	// Page 8 has a single writer: score must stay 0 regardless of notices.
+	p.PageWriteFault(0, 8, 1, 10)
+	p.PageNotice(1, 8, 1, 0, true, false)
+
+	ps := p.pages[7]
+	if ps.Writers() != 2 {
+		t.Fatalf("writers = %d, want 2", ps.Writers())
+	}
+	if ps.ReadFaults != 1 || ps.WriteFaults != 2 || ps.FaultNs != 300 {
+		t.Fatalf("faults = %+v", ps)
+	}
+	if ps.Notices != 5 || ps.FalseShareNotices != 4 || ps.Invalidations != 4 {
+		t.Fatalf("notices = %+v", ps)
+	}
+	if got := ps.FalseSharingScore(); got != 0.8 {
+		t.Fatalf("false-sharing score = %v, want 0.8", got)
+	}
+	if got := p.pages[8].FalseSharingScore(); got != 0 {
+		t.Fatalf("single-writer score = %v, want 0", got)
+	}
+}
+
+func TestLockWaitHoldHandoffs(t *testing.T) {
+	p := New()
+	// Rank 1 (manager) acquires locally at t=100, holds 400ns.
+	p.LockAcquireLocal(1, 5, 1, 100)
+	p.LockRelease(1, 5, 500)
+	// Rank 0 acquires remotely after waiting 300ns, holds 200ns.
+	p.LockAcquireRemote(0, 5, 1, 300, 600)
+	p.LockForward(5, 1)
+	p.LockRelease(0, 5, 800)
+	// Rank 0 re-acquires: no handoff.
+	p.LockAcquireLocal(0, 5, 1, 900)
+	p.LockRelease(0, 5, 950)
+
+	ls := p.locks[5]
+	if ls.Manager != 1 {
+		t.Fatalf("manager = %d", ls.Manager)
+	}
+	if ls.AcquiresLocal != 2 || ls.AcquiresRemote != 1 {
+		t.Fatalf("acquires = %+v", ls)
+	}
+	if ls.WaitNs != 300 || ls.Holds != 3 || ls.HoldNs != 400+200+50 {
+		t.Fatalf("wait/hold = %+v", ls)
+	}
+	if ls.Handoffs != 1 {
+		t.Fatalf("handoffs = %d, want 1 (1→0 only)", ls.Handoffs)
+	}
+	if got := ls.IndirectionRate(); got != 1.0 {
+		t.Fatalf("indirection rate = %v, want 1.0", got)
+	}
+}
+
+func TestBarrierEpisodesAndEpochs(t *testing.T) {
+	p := New()
+	// Episode 0 of barrier 3: rank 0 arrives at 1000, rank 1 at 1700.
+	p.BarrierArrive(0, 3, 0, 1000)
+	p.BarrierArrive(1, 3, 0, 1700)
+	// Page activity before the departs lands in epoch 0.
+	p.PageReadFault(0, 9, 1, 10)
+	p.BarrierDepart(0, 3, 0, 900, 2, 5)
+	p.BarrierDepart(1, 3, 0, 200, 1, 3)
+	// After crossing, activity lands in epoch 1.
+	p.PageReadFault(0, 9, 1, 20)
+
+	pr := p.Snapshot()
+	if pr.MaxEpoch != 1 {
+		t.Fatalf("max epoch = %d, want 1", pr.MaxEpoch)
+	}
+	if len(pr.Episodes) != 1 {
+		t.Fatalf("episodes = %+v", pr.Episodes)
+	}
+	ep := pr.Episodes[0]
+	if ep.Barrier != 3 || ep.Arrivals != 2 || ep.StartNs != 1000 || ep.SkewNs != 700 {
+		t.Fatalf("episode = %+v", ep)
+	}
+	if len(pr.Barriers) != 1 {
+		t.Fatalf("barriers = %+v", pr.Barriers)
+	}
+	br := pr.Barriers[0]
+	if br.WaitNs != 1100 || br.SkewMaxNs != 700 || br.Episodes != 1 || br.Intervals != 3 || br.NoticePages != 8 {
+		t.Fatalf("barrier row = %+v", br)
+	}
+	if len(pr.PageEpochs) != 2 {
+		t.Fatalf("page-epoch cells = %+v", pr.PageEpochs)
+	}
+	if pr.PageEpochs[0].Epoch != 0 || pr.PageEpochs[0].Ns != 10 ||
+		pr.PageEpochs[1].Epoch != 1 || pr.PageEpochs[1].Ns != 20 {
+		t.Fatalf("cells = %+v", pr.PageEpochs)
+	}
+}
+
+func TestTopNOrdering(t *testing.T) {
+	p := New()
+	p.PageReadFault(0, 1, 0, 100)
+	p.PageReadFault(0, 2, 0, 300)
+	p.PageReadFault(0, 3, 0, 200)
+	p.LockAcquireRemote(0, 10, 0, 50, 1000)
+	p.LockAcquireRemote(0, 11, 1, 500, 1000)
+	pr := p.Snapshot()
+	top := pr.TopPages(2)
+	if len(top) != 2 || top[0].ID != 2 || top[1].ID != 3 {
+		t.Fatalf("top pages = %+v", top)
+	}
+	locks := pr.TopLocks(5)
+	if len(locks) != 2 || locks[0].ID != 11 {
+		t.Fatalf("top locks = %+v", locks)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		p := New()
+		p.PageWriteFault(1, 4, 0, 70)
+		p.PageWriteFault(0, 3, 0, 80)
+		p.PageNotice(0, 4, 0, 1, true, true)
+		p.LockAcquireRemote(0, 2, 0, 10, 100)
+		p.LockRelease(0, 2, 150)
+		p.BarrierArrive(0, 1, 0, 500)
+		p.BarrierDepart(0, 1, 0, 40, 1, 2)
+		var buf bytes.Buffer
+		if err := p.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n---\n%s", a, b)
+	}
+	if !strings.Contains(string(a), `"schema": "tmk-prof/1"`) {
+		t.Fatalf("missing schema header:\n%s", a)
+	}
+	// Rows must come out sorted by id.
+	if i3, i4 := strings.Index(string(a), `"id": 3`), strings.Index(string(a), `"id": 4`); i3 < 0 || i4 < 0 || i3 > i4 {
+		t.Fatalf("pages not sorted by id:\n%s", a)
+	}
+}
+
+func TestWriteTablesAndHeatmap(t *testing.T) {
+	p := New()
+	p.PageReadFault(0, 12, 0, 1000)
+	p.BarrierArrive(0, 1, 0, 10)
+	p.BarrierDepart(0, 1, 0, 5, 0, 0)
+	p.PageReadFault(0, 12, 0, 9000)
+	pr := p.Snapshot()
+	pr.App = "demo"
+	pr.Size = "s"
+	pr.Transport = "fastgm"
+	pr.Nodes = 1
+
+	var buf bytes.Buffer
+	if err := pr.WriteTables(&buf, 5, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"profile: demo/s", "top pages", "(no locks)", "barriers by arrival skew"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tables missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	if err := pr.WriteHeatmap(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	hm := buf.String()
+	if !strings.Contains(hm, "page x epoch heatmap") || !strings.Contains(hm, "12 |") {
+		t.Fatalf("heatmap output:\n%s", hm)
+	}
+	// Epoch 1 (9000ns) must render denser than epoch 0 (1000ns).
+	line := hm[strings.Index(hm, "12 |"):]
+	cells := line[strings.Index(line, "|")+1:]
+	if cells[0] == cells[1] {
+		t.Fatalf("heatmap intensity not graded: %q", line)
+	}
+}
+
+func TestHeatmapBucketsWideRuns(t *testing.T) {
+	p := New()
+	for e := 0; e < 200; e++ {
+		p.PageReadFault(0, 1, 0, 100)
+		p.BarrierArrive(0, 1, int32(e), int64(e))
+		p.BarrierDepart(0, 1, int32(e), 1, 0, 0)
+	}
+	var buf bytes.Buffer
+	if err := p.Snapshot().WriteHeatmap(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "per column") {
+		t.Fatalf("wide heatmap did not bucket:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.Index(line, "|"); i >= 0 {
+			row := line[i+1 : strings.LastIndex(line, "|")]
+			if len(row) > maxHeatCols {
+				t.Fatalf("heatmap row wider than %d cols: %q", maxHeatCols, row)
+			}
+		}
+	}
+}

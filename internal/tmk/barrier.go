@@ -64,6 +64,14 @@ func (tp *Proc) Barrier(id int32) {
 	start := tp.sp.Now()
 	tp.stats.Barriers++
 
+	// The episode counter at entry identifies this crossing cluster-wide
+	// (handleBarrierArrive asserts every arrival matches it); it is only
+	// incremented in phase 3 below.
+	ep := tp.barrier.episode
+	if pf := tp.prof(); pf != nil {
+		pf.BarrierArrive(tp.rank, id, ep, int64(start))
+	}
+
 	children := tp.barrierChildren()
 	parent := tp.barrierParent()
 
@@ -83,19 +91,25 @@ func (tp *Proc) Barrier(id int32) {
 				tp.rank, id, req.ReplyTo, req.Barrier))
 		}
 	}
-	episode := tp.barrier.episode
 	tp.tr.EnableAsync(tp.sp)
 
 	// Phase 2: report our subtree's new intervals upward and apply the
 	// release coming back down.
+	var pIvs, pPgs int
 	if parent >= 0 {
 		tp.tr.DisableAsync(tp.sp)
 		recs := tp.store.since(tp.lastBarrierVC)
 		tp.tr.EnableAsync(tp.sp)
+		if tp.prof() != nil {
+			pIvs = len(recs)
+			for _, r := range recs {
+				pPgs += len(r.pages)
+			}
+		}
 		rep := tp.tr.Call(tp.sp, parent, &msg.Message{
 			Kind:      msg.KBarrierArrive,
 			Barrier:   id,
-			Episode:   episode,
+			Episode:   ep,
 			VC:        tp.vc.Ints(),
 			Intervals: toWire(recs),
 		})
@@ -126,6 +140,9 @@ func (tp *Proc) Barrier(id int32) {
 	if tr := tp.tracer(); tr != nil {
 		tr.Emit(trace.Event{T: int64(start), Dur: int64(tp.sp.Now() - start),
 			Layer: trace.LayerTMK, Kind: "barrier", Proc: tp.sp.ID(), Peer: parent})
+	}
+	if pf := tp.prof(); pf != nil {
+		pf.BarrierDepart(tp.rank, id, ep, int64(tp.sp.Now()-start), pIvs, pPgs)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gm"
 	"repro/internal/myrinet"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/sockets"
 	"repro/internal/substrate"
@@ -45,6 +46,12 @@ type Config struct {
 	// Tracing is observation only — virtual-time results are identical
 	// with and without it.
 	Trace *trace.Tracer
+
+	// Prof, when non-nil, attaches the protocol-entity profiler: per-page,
+	// per-lock, and per-barrier attribution segmented into inter-barrier
+	// epochs. Like Trace it is observation only — profiled runs are
+	// bit-identical to unprofiled ones.
+	Prof *prof.Profiler
 }
 
 // DefaultConfig returns a calibrated n-process configuration.

@@ -44,6 +44,9 @@ func (tp *Proc) readFault(pm *pageMeta) {
 			Layer: trace.LayerTMK, Kind: "read-fault", Proc: tp.sp.ID(), Peer: -1,
 			Bytes: PageSize})
 	}
+	if pf := tp.prof(); pf != nil {
+		pf.PageReadFault(tp.rank, pm.id, pm.region.ID, int64(tp.sp.Now()-start))
+	}
 }
 
 // writeFault makes a page writable: valid first, then twinned. A write
@@ -71,6 +74,9 @@ func (tp *Proc) writeFault(pm *pageMeta) {
 			tr.Emit(trace.Event{T: int64(start), Dur: int64(tp.sp.Now() - start),
 				Layer: trace.LayerTMK, Kind: "write-fault", Proc: tp.sp.ID(), Peer: -1,
 				Bytes: PageSize})
+		}
+		if pf := tp.prof(); pf != nil {
+			pf.PageWriteFault(tp.rank, pm.id, pm.region.ID, int64(tp.sp.Now()-start))
 		}
 		if pm.isMissingAny(tp.rank) {
 			// A notice arrived mid-fault; fetch its diffs (they will be
@@ -122,6 +128,9 @@ func (tp *Proc) fetchPage(pm *pageMeta) {
 			Layer: trace.LayerTMK, Kind: "page-fetch", Proc: tp.sp.ID(), Peer: target,
 			Bytes: PageSize})
 	}
+	if pf := tp.prof(); pf != nil {
+		pf.PageFetch(tp.rank, pm.id, pm.region.ID, PageSize, int64(tp.sp.Now()-fetchStart))
+	}
 	if rep.Kind != msg.KPageReply || len(rep.PageData) != PageSize {
 		panic(fmt.Sprintf("tmk: bad page reply %v (%d bytes)", rep.Kind, len(rep.PageData)))
 	}
@@ -150,14 +159,17 @@ func (tp *Proc) fetchDiffs(pm *pageMeta, ranges []msg.DiffRange) {
 		if rep.Kind != msg.KDiffReply {
 			panic(fmt.Sprintf("tmk: bad diff reply %v", rep.Kind))
 		}
+		nbytes := 0
+		for _, d := range rep.Diffs {
+			nbytes += len(d.Data)
+		}
 		if tr := tp.tracer(); tr != nil {
-			n := 0
-			for _, d := range rep.Diffs {
-				n += len(d.Data)
-			}
 			tr.Emit(trace.Event{T: int64(fetchStart), Dur: int64(tp.sp.Now() - fetchStart),
 				Layer: trace.LayerTMK, Kind: "diff-fetch", Proc: tp.sp.ID(),
-				Peer: int(dr.Proc), Bytes: n})
+				Peer: int(dr.Proc), Bytes: nbytes})
+		}
+		if pf := tp.prof(); pf != nil {
+			pf.DiffFetch(tp.rank, pm.id, pm.region.ID, nbytes, int64(tp.sp.Now()-fetchStart))
 		}
 		all = append(all, rep.Diffs...)
 	}
@@ -243,6 +255,9 @@ func (tp *Proc) closeInterval() {
 				Kind: "diff-create", Proc: tp.sp.ID(), Peer: -1, Bytes: len(diff)})
 			tr.Metrics().Counter(trace.LayerTMK, "diff.bytes.created").Inc(int64(len(diff)))
 		}
+		if pf := tp.prof(); pf != nil {
+			pf.DiffCreated(tp.rank, pg, pm.region.ID, len(diff))
+		}
 		pm.twin = nil
 		pm.cover[tp.rank] = ts
 		pm.addNotice(tp.rank, ts)
@@ -283,11 +298,17 @@ func (tp *Proc) applyIntervals(ivs []msg.Interval) {
 			if pm == nil {
 				continue // region not mapped here (never accessed)
 			}
+			invalidated := false
 			if pm.addNotice(int(rec.proc), rec.ts) {
 				if pm.state != pageInvalid {
 					pm.state = pageInvalid
 					tp.stats.Invalidations++
+					invalidated = true
 				}
+			}
+			if pf := tp.prof(); pf != nil {
+				wroteHere := pm.twin != nil || len(pm.notices[tp.rank]) > 0
+				pf.PageNotice(tp.rank, pg, pm.region.ID, int(rec.proc), invalidated, wroteHere)
 			}
 		}
 	}

@@ -60,6 +60,9 @@ func (tp *Proc) LockAcquire(id int32) {
 		if tr := tp.tracer(); tr != nil {
 			tr.Metrics().Counter(trace.LayerTMK, "lock.acquire.local").Inc(0)
 		}
+		if pf := tp.prof(); pf != nil {
+			pf.LockAcquireLocal(tp.rank, id, tp.lockManager(id), int64(tp.sp.Now()))
+		}
 		tp.sp.Sim().Tracef("tmk: rank %d acquire lock %d locally", tp.rank, id)
 		return
 	}
@@ -88,6 +91,9 @@ func (tp *Proc) LockAcquire(id int32) {
 		tr.Emit(trace.Event{T: int64(start), Dur: int64(tp.sp.Now() - start),
 			Layer: trace.LayerTMK, Kind: "lock-acquire", Proc: tp.sp.ID(), Peer: mgr})
 	}
+	if pf := tp.prof(); pf != nil {
+		pf.LockAcquireRemote(tp.rank, id, mgr, int64(tp.sp.Now()-start), int64(tp.sp.Now()))
+	}
 }
 
 // LockRelease releases the lock. The release itself is local; if a
@@ -100,6 +106,9 @@ func (tp *Proc) LockRelease(id int32) {
 	}
 	ls.held = false
 	tp.stats.LockReleases++
+	if pf := tp.prof(); pf != nil {
+		pf.LockRelease(tp.rank, id, int64(tp.sp.Now()))
+	}
 	tp.serveLockWaiters(ls)
 }
 
@@ -149,6 +158,9 @@ func (tp *Proc) handleLockAcquire(req *msg.Message) {
 				tr.Emit(trace.Event{T: int64(tp.sp.Now()), Layer: trace.LayerTMK,
 					Kind: "lock-forward", Proc: tp.sp.ID(), Peer: tail})
 				tr.Metrics().Counter(trace.LayerTMK, "lock.forward.hops").Inc(0)
+			}
+			if pf := tp.prof(); pf != nil {
+				pf.LockForward(id, tp.rank)
 			}
 			tp.tr.Forward(tp.sp, tail, req)
 			return

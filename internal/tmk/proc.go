@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/msg"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/substrate"
 	"repro/internal/trace"
@@ -61,6 +62,9 @@ func (tp *Proc) Stats() *Stats { return &tp.stats }
 
 // tracer returns the simulation's structured tracer, or nil.
 func (tp *Proc) tracer() *trace.Tracer { return tp.sp.Sim().Tracer() }
+
+// prof returns the run's protocol-entity profiler, or nil.
+func (tp *Proc) prof() *prof.Profiler { return tp.cluster.cfg.Prof }
 
 func newProc(c *Cluster, rank int, sp *sim.Proc, tr substrate.Transport, cpu CPUParams) *Proc {
 	return &Proc{

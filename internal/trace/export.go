@@ -136,8 +136,8 @@ func WriteBreakdown(w io.Writer, title string, rows []BreakdownRow) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "  %-9s %-24s %10s %14s %12s\n",
-		"layer", "kind", "count", "time(ms)", "bytes"); err != nil {
+	if _, err := fmt.Fprintf(w, "  %-9s %-24s %10s %14s %11s %11s %12s\n",
+		"layer", "kind", "count", "time(ms)", "p50(us)", "p95(us)", "bytes"); err != nil {
 		return err
 	}
 	lastLayer := ""
@@ -159,8 +159,9 @@ func WriteBreakdown(w io.Writer, title string, rows []BreakdownRow) error {
 			layerTotal = 0
 		}
 		layerTotal += r.Total
-		if _, err := fmt.Fprintf(w, "  %-9s %-24s %10d %14.3f %12d\n",
-			r.Layer, r.Kind, r.Count, float64(r.Total)/1e6, r.Bytes); err != nil {
+		if _, err := fmt.Fprintf(w, "  %-9s %-24s %10d %14.3f %11.3f %11.3f %12d\n",
+			r.Layer, r.Kind, r.Count, float64(r.Total)/1e6,
+			float64(r.P50)/1e3, float64(r.P95)/1e3, r.Bytes); err != nil {
 			return err
 		}
 	}

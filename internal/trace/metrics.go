@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 )
@@ -55,6 +56,45 @@ func (h *Histogram) Mean() float64 {
 	}
 	return float64(h.Sum) / float64(h.N)
 }
+
+// Percentile returns an upper bound for the q-th quantile (0 < q ≤ 1)
+// under nearest-rank semantics: the upper edge of the power-of-two bucket
+// holding the ranked observation, clamped to the exact Max. The bound is
+// within 2× of the true value — enough to expose tail/median separation
+// (a lock-wait distribution whose p95 is 100× its p50) that Mean hides.
+func (h *Histogram) Percentile(q float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.N)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.N {
+		rank = h.N
+	}
+	var cum int64
+	for i, b := range h.Buckets {
+		cum += b
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			ub := int64(1)<<uint(i) - 1 // top of [2^(i-1), 2^i)
+			if ub > h.Max {
+				ub = h.Max
+			}
+			return ub
+		}
+	}
+	return h.Max
+}
+
+// P50 returns the (bucketed) median.
+func (h *Histogram) P50() int64 { return h.Percentile(0.50) }
+
+// P95 returns the (bucketed) 95th percentile.
+func (h *Histogram) P95() int64 { return h.Percentile(0.95) }
 
 // Registry holds a simulation's counters and histograms, keyed by
 // (layer, name). Lookup creates on first use, so instrumentation sites
@@ -119,7 +159,8 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, k := range r.HistogramNames() {
 		h := r.hists[k]
-		n, err := fmt.Fprintf(w, "hist    %-40s n=%-10d mean=%.1f max=%d\n", k, h.N, h.Mean(), h.Max)
+		n, err := fmt.Fprintf(w, "hist    %-40s n=%-10d mean=%.1f p50=%d p95=%d max=%d\n",
+			k, h.N, h.Mean(), h.P50(), h.P95(), h.Max)
 		total += int64(n)
 		if err != nil {
 			return total, err

@@ -17,7 +17,10 @@
 // overheads to protocol layers.
 package trace
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Layer names, one per architectural layer of the stack. Every emitted
 // Event carries one of these in Layer; exporters group by them.
@@ -130,13 +133,36 @@ func (t *Tracer) SetThreadName(proc int, name string) { t.names[proc] = name }
 // Metrics returns the tracer's counter/histogram registry.
 func (t *Tracer) Metrics() *Registry { return t.reg }
 
-// BreakdownRow aggregates every event of one (layer, kind) pair.
+// BreakdownRow aggregates every event of one (layer, kind) pair. The
+// percentiles are exact (computed from every recorded duration, not from
+// buckets) under nearest-rank semantics; they expose the tails a mean
+// hides — a lock-acquire row whose P95 dwarfs its P50 is a contended
+// lock, not a uniformly slow one.
 type BreakdownRow struct {
 	Layer string
 	Kind  string
 	Count int64
 	Total int64 // summed Dur, virtual ns
 	Bytes int64 // summed Bytes
+	P50   int64 // median Dur, virtual ns
+	P95   int64 // 95th-percentile Dur, virtual ns
+	Max   int64 // largest Dur, virtual ns
+}
+
+// pctNearestRank returns the q-th quantile of sorted (ascending) values
+// under nearest-rank semantics; 0 when empty.
+func pctNearestRank(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 // Breakdown aggregates the ring into per-(layer, kind) rows, ordered
@@ -146,6 +172,7 @@ type BreakdownRow struct {
 func (t *Tracer) Breakdown() []BreakdownRow {
 	type key struct{ layer, kind string }
 	agg := make(map[key]*BreakdownRow)
+	durs := make(map[key][]int64)
 	start := t.head - t.n
 	if start < 0 {
 		start += len(t.ring)
@@ -161,9 +188,15 @@ func (t *Tracer) Breakdown() []BreakdownRow {
 		r.Count++
 		r.Total += e.Dur
 		r.Bytes += int64(e.Bytes)
+		durs[k] = append(durs[k], e.Dur)
 	}
 	rows := make([]BreakdownRow, 0, len(agg))
-	for _, r := range agg {
+	for k, r := range agg {
+		ds := durs[k]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		r.P50 = pctNearestRank(ds, 0.50)
+		r.P95 = pctNearestRank(ds, 0.95)
+		r.Max = ds[len(ds)-1]
 		rows = append(rows, *r)
 	}
 	sort.Slice(rows, func(i, j int) bool {

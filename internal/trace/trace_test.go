@@ -174,6 +174,76 @@ func TestWriteChromeTraceEmpty(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	if h.P50() != 0 || h.P95() != 0 {
+		t.Fatalf("empty histogram percentiles nonzero: p50=%d p95=%d", h.P50(), h.P95())
+	}
+	// 19 observations at 3 (bucket 2: [2,4)) and one huge outlier.
+	for i := 0; i < 19; i++ {
+		h.Observe(3)
+	}
+	h.Observe(1 << 20)
+	// p50 lands in bucket 2, whose upper edge is 3.
+	if got := h.P50(); got != 3 {
+		t.Errorf("P50 = %d, want 3", got)
+	}
+	// p95 (rank 19 of 20) is still in the small bucket; p99 hits the outlier.
+	if got := h.P95(); got != 3 {
+		t.Errorf("P95 = %d, want 3", got)
+	}
+	if got := h.Percentile(0.999); got != 1<<20 {
+		t.Errorf("P99.9 = %d, want %d (clamped to Max)", got, 1<<20)
+	}
+	// Zero-only histogram stays in bucket 0.
+	var z Histogram
+	z.Observe(0)
+	if z.P50() != 0 || z.P95() != 0 {
+		t.Errorf("zero histogram percentiles: p50=%d p95=%d", z.P50(), z.P95())
+	}
+}
+
+func TestRegistryWriteToIncludesPercentiles(t *testing.T) {
+	tr := New(1)
+	h := tr.Metrics().Histogram(LayerTMK, "lock.wait")
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.Metrics().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p50=", "p95=", "max=100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteTo missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBreakdownPercentilesExact(t *testing.T) {
+	tr := New(32)
+	// 19 fast barriers, one slow straggler: mean hides it, p95 must not.
+	for i := 0; i < 19; i++ {
+		tr.Emit(Event{T: int64(i), Dur: 10, Layer: LayerTMK, Kind: "barrier"})
+	}
+	tr.Emit(Event{T: 100, Dur: 5000, Layer: LayerTMK, Kind: "barrier"})
+	rows := tr.Breakdown()
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.P50 != 10 {
+		t.Errorf("P50 = %d, want 10", r.P50)
+	}
+	if r.P95 != 10 {
+		t.Errorf("P95 = %d, want 10 (rank 19 of 20)", r.P95)
+	}
+	if r.Max != 5000 {
+		t.Errorf("Max = %d, want 5000", r.Max)
+	}
+}
+
 func TestWriteBreakdown(t *testing.T) {
 	tr := New(8)
 	tr.Emit(Event{T: 0, Dur: 2_000_000, Layer: LayerGM, Kind: "send"})
