@@ -6,11 +6,11 @@ GO       ?= go
 FUZZTIME ?= 5s
 BENCHDIR ?= .
 
-.PHONY: all check fmt vet build test race fuzz-smoke bench prof-smoke
+.PHONY: all check fmt vet build test race fuzz-smoke bench prof-smoke chaos-smoke
 
 all: check
 
-check: fmt vet build test race fuzz-smoke prof-smoke bench
+check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke bench
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -34,6 +34,14 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/msg/
 	$(GO) test -run '^$$' -fuzz '^FuzzApplyDiff$$' -fuzztime $(FUZZTIME) ./internal/tmk/
 	$(GO) test -run '^$$' -fuzz '^FuzzDiffRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/tmk/
+	$(GO) test -run '^$$' -fuzz '^FuzzHandleAsyncFrame$$' -fuzztime $(FUZZTIME) ./internal/substrate/fastgm/
+
+# Chaos sweep: all four applications on both transports over a seeded
+# lossy fabric (drop, corruption, latency spikes, a timed blackout),
+# asserting bit-correct results, active recovery, no residual disabled
+# ports, and zero-probability fault-config identity.
+chaos-smoke:
+	$(GO) run ./cmd/tmkrun -chaos
 
 # Machine-readable bench trajectory: writes BENCH_e0/e1/e2.json into
 # BENCHDIR. Deterministic — rerunning on the same tree is byte-identical,

@@ -6,13 +6,20 @@
 // Usage:
 //
 //	tmkrun -app jacobi -nodes 16 -transport fastgm [-size 2] [-verify]
-//	       [-prof] [-prof-json profile.json]
+//	       [-seed N] [-prof] [-prof-json profile.json]
+//	tmkrun -chaos [-seed N] [-nodes 4]
 //
 // -prof attaches the protocol-entity profiler and prints the per-page /
 // per-lock / per-barrier attribution tables and the page×epoch heatmap;
 // -prof-json additionally writes the full profile as JSON (schema
 // tmk-prof/1). Profiling is observation only: the execution time and
 // statistics are identical with and without it.
+//
+// -chaos ignores -app/-size/-verify and instead runs the chaos sweep: all
+// four applications on both transports over a seeded lossy fabric (drop,
+// corruption, latency spikes, a timed blackout), verifying bit-correct
+// results, active recovery, and no residual disabled ports. -seed varies
+// the fault schedule; -nodes sets the sweep's cluster size.
 package main
 
 import (
@@ -33,9 +40,26 @@ func main() {
 	sizeIdx := flag.Int("size", -1, "size ladder index 0..3 (-1 = default size)")
 	verify := flag.Bool("verify", false, "check the result against the sequential reference")
 	rendezvous := flag.Bool("rendezvous", false, "enable the FAST/GM rendezvous protocol")
+	seed := flag.Int64("seed", 1, "simulation RNG seed (fault schedules, tie-breaking)")
+	chaos := flag.Bool("chaos", false, "run the chaos sweep (all apps × transports on a lossy fabric)")
 	profFlag := flag.Bool("prof", false, "attach the protocol-entity profiler and print its tables")
 	profJSON := flag.String("prof-json", "", "write the entity profile as JSON (implies -prof)")
 	flag.Parse()
+
+	if *chaos {
+		spec := harness.DefaultChaosSpec()
+		spec.Seed = *seed
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "nodes" {
+				spec.Nodes = *nodes
+			}
+		})
+		if err := harness.Chaos(os.Stdout, spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var app apps.App
 	if *sizeIdx >= 0 {
@@ -63,6 +87,7 @@ func main() {
 		pf = prof.New()
 	}
 	mutate := func(cfg *tmk.Config) {
+		cfg.Seed = *seed
 		cfg.Fast.Rendezvous = *rendezvous
 		cfg.Prof = pf
 	}

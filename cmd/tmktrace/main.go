@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tmktrace [-scenario counter|sharing|lockchain] [-nodes 4] [-transport fastgm]
-//	         [-out trace.json] [-trace-cap N] [-prof] [-prof-json profile.json]
+//	         [-seed N] [-out trace.json] [-trace-cap N] [-prof] [-prof-json profile.json]
 //
 // With -out, the run also records structured events from every layer and
 // writes a Chrome trace_event JSON file loadable in Perfetto
@@ -34,11 +34,13 @@ func main() {
 	transport := flag.String("transport", "fastgm", "fastgm or udpgm")
 	out := flag.String("out", "", "write a Chrome trace_event JSON file (Perfetto-loadable)")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default)")
+	seed := flag.Int64("seed", 1, "simulation RNG seed")
 	profFlag := flag.Bool("prof", false, "attach the protocol-entity profiler and print its tables")
 	profJSON := flag.String("prof-json", "", "write the entity profile as JSON (implies -prof)")
 	flag.Parse()
 
 	cfg := tmk.DefaultConfig(*nodes, tmk.TransportKind(*transport))
+	cfg.Seed = *seed
 	var tracer *trace.Tracer
 	if *out != "" {
 		tracer = trace.New(*traceCap)

@@ -74,6 +74,8 @@ type PortStats struct {
 	Interrupts    int64
 	TokenStalls   int64 // Send calls rejected for lack of tokens
 	BuffersPosted int64
+	Resumes       int64 // re-enables after a timeout disabled the port
+	Aborted       int64 // in-flight sends aborted by a port disable
 }
 
 // Port is one GM communication endpoint on a node.
@@ -88,6 +90,10 @@ type Port struct {
 
 	posted map[int][]*Buffer    // class → preposted receive buffers
 	parked map[int][]*parkedMsg // class → arrivals awaiting a buffer
+
+	// inflight are the unresolved sends, in send order (a slice, not a
+	// map, so the disable-time abort cascade is deterministic).
+	inflight []*sendRecord
 
 	intrProc    *sim.Proc
 	intrEnabled bool
@@ -122,18 +128,46 @@ func (p *Port) Tokens() int { return p.tokens }
 func (p *Port) Stats() PortStats { return p.stats }
 
 // Resume re-enables a port disabled by a send timeout. GM must probe the
-// network to do this, which is expensive.
+// network to do this, which is expensive (gm_resume_sending).
 func (p *Port) Resume(proc *sim.Proc) {
 	if p.enabled {
 		return
 	}
 	proc.Advance(p.node.sys.params.ResumeCost)
 	p.enabled = true
+	p.stats.Resumes++
+	p.traceResume()
 }
 
 // ForceResume re-enables the port with no process charged. Kernel-owned
-// ports use this after scheduling the probe delay on the event clock.
-func (p *Port) ForceResume() { p.enabled = true }
+// ports (and user transports that model the probe delay on the event
+// clock themselves) use this.
+func (p *Port) ForceResume() {
+	if p.enabled {
+		return
+	}
+	p.enabled = true
+	p.stats.Resumes++
+	p.traceResume()
+}
+
+func (p *Port) traceResume() {
+	if tr := p.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(p.node.sys.s.Now()), Layer: trace.LayerGM,
+			Kind: "port-resume", Proc: -1, Peer: int(p.node.id)})
+		tr.Metrics().Counter(trace.LayerGM, "port.resumes").Inc(1)
+	}
+}
+
+// dropInflight removes a resolved send record from the in-flight list.
+func (p *Port) dropInflight(rec *sendRecord) {
+	for i, r := range p.inflight {
+		if r == rec {
+			p.inflight = append(p.inflight[:i], p.inflight[i+1:]...)
+			return
+		}
+	}
+}
 
 // ProvideReceiveBuffer preposts b for messages of b's size class. If a
 // message of that class is already parked waiting, it is accepted
@@ -207,6 +241,7 @@ func (p *Port) send(proc *sim.Proc, dst myrinet.NodeID, dstPort int, b *Buffer, 
 	}
 
 	rec := &sendRecord{port: p, cb: cb}
+	p.inflight = append(p.inflight, rec)
 	p.node.nextMsgID++
 	msgID := p.node.nextMsgID
 	meta := msgMeta{class: class, srcPort: p.id, sendRec: rec}
@@ -244,13 +279,17 @@ func (r *sendRecord) complete() {
 	if r.timeout != nil {
 		r.timeout.Cancel()
 	}
+	r.port.dropInflight(r)
 	r.port.tokens++
 	if r.cb != nil {
 		r.cb(SendOK)
 	}
 }
 
-// fail finishes a send unsuccessfully and disables the sending port.
+// fail finishes a send unsuccessfully. A resend timeout (SendTimedOut)
+// disables the sending port — real GM's drastic reaction — and then
+// aborts every other in-flight send on the port with SendPortDisabled
+// rather than letting each time out serially.
 func (r *sendRecord) fail(st SendStatus) {
 	if r.completed {
 		return
@@ -259,16 +298,37 @@ func (r *sendRecord) fail(st SendStatus) {
 	if r.timeout != nil {
 		r.timeout.Cancel()
 	}
-	r.port.tokens++
-	r.port.stats.Timeouts++
-	r.port.enabled = false
-	if tr := r.port.tracer(); tr != nil {
-		tr.Emit(trace.Event{T: int64(r.port.node.sys.s.Now()), Layer: trace.LayerGM,
-			Kind: "send-timeout", Proc: -1, Peer: int(r.port.node.id)})
+	p := r.port
+	p.dropInflight(r)
+	p.tokens++
+	if st != SendTimedOut {
+		p.stats.Aborted++
+		if tr := p.tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(p.node.sys.s.Now()), Layer: trace.LayerGM,
+				Kind: "send-aborted", Proc: -1, Peer: int(p.node.id)})
+			tr.Metrics().Counter(trace.LayerGM, "send.aborted").Inc(1)
+		}
+		if r.cb != nil {
+			r.cb(st)
+		}
+		return
+	}
+	p.stats.Timeouts++
+	wasEnabled := p.enabled
+	p.enabled = false
+	if tr := p.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(p.node.sys.s.Now()), Layer: trace.LayerGM,
+			Kind: "send-timeout", Proc: -1, Peer: int(p.node.id)})
 		tr.Metrics().Counter(trace.LayerGM, "send.timeouts").Inc(0)
 	}
 	if r.cb != nil {
 		r.cb(st)
+	}
+	if wasEnabled {
+		doomed := append([]*sendRecord(nil), p.inflight...)
+		for _, d := range doomed {
+			d.fail(SendPortDisabled)
+		}
 	}
 }
 

@@ -47,14 +47,15 @@ func (sys *System) Node(id myrinet.NodeID) *Node { return sys.nodes[id] }
 
 // Node is one host's GM endpoint.
 type Node struct {
-	sys            *System
-	id             myrinet.NodeID
-	nic            *myrinet.NIC
-	ports          [NumPorts]*Port
-	nextMsgID      uint64
-	pinnedBytes    int64
-	maxPinnedBytes int64
-	reassembly     map[reassemblyKey]*partialMsg
+	sys               *System
+	id                myrinet.NodeID
+	nic               *myrinet.NIC
+	ports             [NumPorts]*Port
+	nextMsgID         uint64
+	pinnedBytes       int64
+	maxPinnedBytes    int64
+	reassembly        map[reassemblyKey]*partialMsg
+	reassemblyExpired int64
 }
 
 type reassemblyKey struct {
@@ -71,6 +72,10 @@ type partialMsg struct {
 
 // ID returns the node's GM node ID (as assigned by the mapper).
 func (n *Node) ID() myrinet.NodeID { return n.id }
+
+// ReassemblyExpired counts partial messages reclaimed because a fragment
+// was lost in the fabric (only possible with fault injection enabled).
+func (n *Node) ReassemblyExpired() int64 { return n.reassemblyExpired }
 
 // System returns the owning GM system.
 func (n *Node) System() *System { return n.sys }
@@ -120,6 +125,17 @@ func (n *Node) handlePacket(pkt *myrinet.Packet) {
 			pm.meta = meta
 		}
 		n.reassembly[key] = pm
+		if pkt.NumFrags > 1 && n.sys.fabric.FaultsEnabled() {
+			// On a lossy fabric a sibling fragment may never arrive; reclaim
+			// the entry once the sender has certainly given up (its resend
+			// timer fired), so partial messages cannot accumulate forever.
+			n.sys.s.After(n.sys.params.ResendTimeout, func() {
+				if n.reassembly[key] == pm {
+					delete(n.reassembly, key)
+					n.reassemblyExpired++
+				}
+			})
+		}
 	}
 	off := pkt.Frag * n.sys.fabric.Params().MTU
 	copy(pm.data[off:], pkt.Payload)

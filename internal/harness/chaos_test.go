@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/myrinet"
+	"repro/internal/tmk"
+)
+
+// TestChaosSweep is the robustness tentpole's end-to-end gate: all four
+// applications on both transports over the default lossy fabric, with
+// every invariant (correctness, recovery activity, no residual disabled
+// ports, zero-probability identity) checked by Chaos itself.
+func TestChaosSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Chaos(&buf, DefaultChaosSpec()); err != nil {
+		t.Fatalf("%v\nreport so far:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "all invariants held") {
+		t.Errorf("report missing verdict:\n%s", buf.String())
+	}
+}
+
+// TestChaosDeterministic: the same spec and seed must reproduce the exact
+// same faulted run — drops, stalls, recoveries and all. This is what
+// makes a chaos failure replayable.
+func TestChaosDeterministic(t *testing.T) {
+	spec := DefaultChaosSpec()
+	app := chaosApps()[1] // SOR: the heaviest recovery traffic in the sweep
+	run := func() *tmk.Result {
+		res, err := VerifiedRun(app, spec.Nodes, tmk.TransportFastGM, spec.Mutate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if err := sameResult(a, b); err != nil {
+		t.Fatalf("same seed, different faulted run: %v", err)
+	}
+	if a.NetFaults != b.NetFaults {
+		t.Fatalf("fault schedule diverged: %+v vs %+v", a.NetFaults, b.NetFaults)
+	}
+}
+
+// TestChaosSeedChangesFaultSchedule: a different seed must explore a
+// different fault schedule (otherwise the -seed flag is theater).
+func TestChaosSeedChangesFaultSchedule(t *testing.T) {
+	spec := DefaultChaosSpec()
+	app := chaosApps()[1]
+	res1, err := VerifiedRun(app, spec.Nodes, tmk.TransportFastGM, spec.Mutate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := spec
+	spec2.Seed = 7
+	res2, err := VerifiedRun(app, spec2.Nodes, tmk.TransportFastGM, spec2.Mutate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.NetFaults == res2.NetFaults && res1.ExecTime == res2.ExecTime {
+		t.Errorf("seeds 1 and 7 produced identical fault schedules and timings: %+v", res1.NetFaults)
+	}
+}
+
+// TestChaosSpecFaults: the spec→FaultConfig rendering.
+func TestChaosSpecFaults(t *testing.T) {
+	fc := DefaultChaosSpec().Faults()
+	if !fc.Enabled() {
+		t.Fatal("default chaos spec renders a disabled fault config")
+	}
+	if len(fc.Blackouts) != 1 || fc.Blackouts[0].Dst != 0 || fc.Blackouts[0].Src != -1 {
+		t.Errorf("blackout should target every link into node 0: %+v", fc.Blackouts)
+	}
+	none := ChaosSpec{Nodes: 4, Seed: 1}
+	if nfc := none.Faults(); nfc.Enabled() {
+		t.Errorf("zero spec must render a disabled fault config: %+v", nfc)
+	}
+	zero := myrinet.FaultConfig{}
+	if zero.Enabled() {
+		t.Error("zero FaultConfig reports enabled")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/tmk"
 	"repro/internal/trace"
@@ -56,6 +57,57 @@ func TestTracingDoesNotPerturbResults(t *testing.T) {
 					}
 				})
 			}
+		}
+	}
+}
+
+// TestZeroFaultConfigIsBitIdentical is the fault-injection layer's
+// central invariant: a fault configuration whose every probability is
+// zero must be pure plumbing. Two variants are checked against a plain
+// run — the empty config (the injector is never consulted at all) and an
+// all-zero per-link rule (the injector IS consulted per packet, stamps
+// CRCs, but draws no randomness and changes no event) — both must be
+// bit-identical in timings and every counter.
+func TestZeroFaultConfigIsBitIdentical(t *testing.T) {
+	variants := []struct {
+		name   string
+		faults myrinet.FaultConfig
+	}{
+		{"empty-config", myrinet.FaultConfig{}},
+		{"zero-prob-link-rule", myrinet.FaultConfig{Links: []myrinet.LinkFault{{Src: -1, Dst: -1}}}},
+	}
+	app := &apps.SOR{M: 64, N: 32, Iters: 3, Omega: 1.25, CostPerPoint: 35 * sim.Nanosecond}
+	for _, kind := range Transports {
+		plain, err := RunApp(app, 4, kind, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range variants {
+			t.Run(fmt.Sprintf("%s/%s", kind, v.name), func(t *testing.T) {
+				faulted, err := RunApp(app, 4, kind, func(cfg *tmk.Config) {
+					cfg.Net.Faults = v.faults
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plain.ExecTime != faulted.ExecTime {
+					t.Errorf("ExecTime diverged: plain %v faulted %v", plain.ExecTime, faulted.ExecTime)
+				}
+				if plain.Stats != faulted.Stats {
+					t.Errorf("tmk.Stats diverged:\nplain   %+v\nfaulted %+v", plain.Stats, faulted.Stats)
+				}
+				if plain.Transport != faulted.Transport {
+					t.Errorf("substrate.Stats diverged:\nplain   %+v\nfaulted %+v", plain.Transport, faulted.Transport)
+				}
+				for i := range plain.PerProc {
+					if plain.PerProc[i] != faulted.PerProc[i] {
+						t.Errorf("rank %d time diverged: plain %v faulted %v", i, plain.PerProc[i], faulted.PerProc[i])
+					}
+				}
+				if nf := faulted.NetFaults; nf != (myrinet.FaultStats{}) {
+					t.Errorf("zero-probability config injected faults: %+v", nf)
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,169 @@
+package myrinet
+
+import (
+	"hash/crc32"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Fault injection for the fabric model. The real system's central hazard
+// (paper Section 2.2) is GM's reaction to lost traffic: a message that is
+// never accepted times out after 3 s and disables the sending port. The
+// production stack above this model must survive exactly that, so the
+// fabric can be configured to lose, corrupt, and delay packets — and to
+// black out whole links for a window of virtual time — under the
+// simulator's deterministic RNG: the same seed always produces the same
+// fault schedule, so any chaos failure replays exactly.
+//
+// With every probability zero and no blackout windows the injector is
+// never consulted: no RNG draws, no CRC work, no extra events — runs are
+// bit-identical to a fabric built without a FaultConfig at all.
+
+// LinkFault overrides the global fault probabilities for one directed
+// link. Src or Dst may be -1 to match any node; the first matching rule
+// wins.
+type LinkFault struct {
+	Src, Dst  NodeID // -1 = wildcard
+	Drop      float64
+	Corrupt   float64
+	DelayProb float64
+	DelayMax  sim.Time
+}
+
+// Blackout is a window of virtual time during which every packet injected
+// on a matching directed link is lost (a cable pull / switch port flap).
+// Src or Dst may be -1 to match any node. The window is half-open:
+// packets injected at t with From ≤ t < To are lost.
+type Blackout struct {
+	Src, Dst NodeID // -1 = wildcard
+	From, To sim.Time
+}
+
+// FaultConfig is the fabric-wide fault schedule.
+type FaultConfig struct {
+	Drop      float64  // per-packet loss probability
+	Corrupt   float64  // per-packet payload-corruption probability
+	DelayProb float64  // per-packet latency-spike probability
+	DelayMax  sim.Time // spike size: uniform in (0, DelayMax]
+
+	Blackouts []Blackout  // timed link outages
+	Links     []LinkFault // per-link probability overrides
+}
+
+// Enabled reports whether the configuration can ever inject a fault (or
+// requires per-packet bookkeeping such as CRC stamping). Disabled configs
+// cost nothing: SendPacket never consults the RNG.
+func (fc *FaultConfig) Enabled() bool {
+	return fc.Drop > 0 || fc.Corrupt > 0 || fc.DelayProb > 0 ||
+		len(fc.Blackouts) > 0 || len(fc.Links) > 0
+}
+
+// probsFor resolves the effective probabilities for a directed link.
+func (fc *FaultConfig) probsFor(src, dst NodeID) (drop, corrupt, delayProb float64, delayMax sim.Time) {
+	for i := range fc.Links {
+		l := &fc.Links[i]
+		if (l.Src == -1 || l.Src == src) && (l.Dst == -1 || l.Dst == dst) {
+			return l.Drop, l.Corrupt, l.DelayProb, l.DelayMax
+		}
+	}
+	return fc.Drop, fc.Corrupt, fc.DelayProb, fc.DelayMax
+}
+
+// inBlackout reports whether the directed link is blacked out at t.
+func (fc *FaultConfig) inBlackout(src, dst NodeID, t sim.Time) bool {
+	for i := range fc.Blackouts {
+		b := &fc.Blackouts[i]
+		if (b.Src == -1 || b.Src == src) && (b.Dst == -1 || b.Dst == dst) &&
+			t >= b.From && t < b.To {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultStats counts injected faults fabric-wide.
+type FaultStats struct {
+	Dropped   int64 // packets lost to random drop
+	Blackout  int64 // packets lost inside a blackout window
+	Corrupted int64 // packets whose payload was flipped in flight
+	CRCDrops  int64 // corrupted packets discarded at the NIC/GM boundary
+	Delayed   int64 // packets given a latency spike
+}
+
+// injection is the fault decision for one packet, made at send time with
+// deterministic RNG draws (one per configured, non-zero probability).
+type injection struct {
+	drop    bool
+	corrupt bool
+	delay   sim.Time
+}
+
+// inject decides this packet's fate and applies payload corruption to the
+// already-copied payload. Called only when faults are enabled.
+func (f *Fabric) inject(now sim.Time, src, dst NodeID, payload []byte, crc *uint32) injection {
+	var in injection
+	fc := &f.faults
+	if fc.inBlackout(src, dst, now) {
+		f.fstats.Blackout++
+		f.traceFault("fault-blackout", src, dst, len(payload))
+		in.drop = true
+		return in
+	}
+	drop, corrupt, delayProb, delayMax := fc.probsFor(src, dst)
+	rng := f.s.Rand()
+	if drop > 0 && rng.Float64() < drop {
+		f.fstats.Dropped++
+		f.traceFault("fault-drop", src, dst, len(payload))
+		in.drop = true
+		return in
+	}
+	if corrupt > 0 && rng.Float64() < corrupt {
+		f.fstats.Corrupted++
+		f.traceFault("fault-corrupt", src, dst, len(payload))
+		in.corrupt = true
+		if len(payload) > 0 {
+			payload[len(payload)/2] ^= 0xFF
+		} else {
+			*crc ^= 1 // empty payload: corrupt the frame check sequence
+		}
+	}
+	if delayProb > 0 && rng.Float64() < delayProb {
+		in.delay = sim.Time(rng.Float64() * float64(delayMax))
+		f.fstats.Delayed++
+		f.traceFault("fault-delay", src, dst, len(payload))
+	}
+	return in
+}
+
+// traceFault records one injected fault as a trace event plus counter.
+func (f *Fabric) traceFault(kind string, src, dst NodeID, bytes int) {
+	if tr := f.s.Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(f.s.Now()),
+			Layer: trace.LayerMyrinet, Kind: kind,
+			Proc: int(src), Peer: int(dst), Bytes: bytes})
+		tr.Metrics().Counter(trace.LayerMyrinet, "faults."+kind).Inc(1)
+	}
+}
+
+// packetCRC is the frame check sequence the NIC stamps on injection and
+// verifies before handing the packet to GM; a mismatch is a silent
+// link-level discard (GM never sees the packet, so its loss semantics —
+// resend timeout, port disable — take over).
+func packetCRC(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }
+
+// FaultStats returns a copy of the fabric-wide fault counters.
+func (f *Fabric) FaultStats() FaultStats { return f.fstats }
+
+// Faults returns the active fault configuration.
+func (f *Fabric) Faults() FaultConfig { return f.faults }
+
+// FaultsEnabled reports whether fault injection is configured at all.
+func (f *Fabric) FaultsEnabled() bool { return f.faultsOn }
+
+// SetFaults installs (or with a zero config clears) the fault schedule.
+// May be called mid-simulation; it affects packets injected afterwards.
+func (f *Fabric) SetFaults(fc FaultConfig) {
+	f.faults = fc
+	f.faultsOn = fc.Enabled()
+}

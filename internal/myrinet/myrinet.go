@@ -46,6 +46,9 @@ type Params struct {
 	TxDMASetup     sim.Time // DMA descriptor setup per packet, send side
 	RxDMASetup     sim.Time // DMA descriptor setup per packet, receive side
 	SwitchArb      sim.Time // per-packet arbitration gap on the tx link
+
+	// Faults is the fault-injection schedule (zero value: perfect fabric).
+	Faults FaultConfig
 }
 
 // DefaultParams returns the calibrated testbed constants.
@@ -137,6 +140,10 @@ type Fabric struct {
 	s    *sim.Simulator
 	p    Params
 	nics []*NIC
+
+	faults   FaultConfig
+	faultsOn bool
+	fstats   FaultStats
 }
 
 // NewFabric builds a fabric of n nodes attached to one crossbar switch.
@@ -145,6 +152,7 @@ func NewFabric(s *sim.Simulator, p Params, n int) *Fabric {
 		panic("myrinet: MTU must be positive")
 	}
 	f := &Fabric{s: s, p: p}
+	f.SetFaults(p.Faults)
 	for i := 0; i < n; i++ {
 		f.nics = append(f.nics, &NIC{fabric: f, id: NodeID(i)})
 	}
@@ -184,6 +192,18 @@ func (n *NIC) SendPacket(pkt *Packet) (txDone sim.Time) {
 	cp := *pkt
 	cp.Payload = append([]byte(nil), pkt.Payload...)
 
+	// Fault injection (faults.go). The decision is made at injection time
+	// with deterministic RNG draws; a perfect fabric never reaches this
+	// code's RNG or CRC paths, so fault-free runs are bit-identical to a
+	// fabric without fault support.
+	var inj injection
+	var crc uint32
+	faults := n.fabric.faultsOn
+	if faults {
+		crc = packetCRC(cp.Payload)
+		inj = n.fabric.inject(now, n.id, cp.Dst, cp.Payload, &crc)
+	}
+
 	wireBytes := len(cp.Payload) + p.PacketHeader
 
 	// Host memory → NIC SRAM.
@@ -192,17 +212,26 @@ func (n *NIC) SendPacket(pkt *Packet) (txDone sim.Time) {
 	_, e2 := n.lanaiTx.acquire(e1, p.LanaiTx)
 	// Serialize onto our link (plus switch arbitration overhead).
 	s3, e3 := n.txLink.acquire(e2, sim.BytesTime(wireBytes, p.LinkBandwidth)+p.SwitchArb)
-	// Cut-through: the head flit reaches the destination link after the
-	// wire+switch latency; the destination link then serializes the body.
-	headAt := s3 + p.WireLatency
-	_, e4 := dst.rxLink.acquire(headAt, sim.BytesTime(wireBytes, p.LinkBandwidth))
-	// Receive-side LANai processing, then DMA into a host buffer.
-	_, e5 := dst.lanaiRx.acquire(e4, p.LanaiRx)
-	_, e6 := dst.rxDMA.acquire(e5, p.RxDMASetup+sim.BytesTime(wireBytes, p.RxDMABandwidth))
 
 	n.stats.PacketsSent++
 	n.stats.BytesSent += int64(len(cp.Payload))
 	n.stats.WireBytes += int64(wireBytes)
+
+	if inj.drop {
+		// The sender pays the full tx pipeline, but the packet vanishes in
+		// the fabric: no rx-side resources, no delivery. The layer above
+		// only learns via its own timeout machinery (GM resend timeout).
+		return e3
+	}
+
+	// Cut-through: the head flit reaches the destination link after the
+	// wire+switch latency (plus any injected latency spike); the
+	// destination link then serializes the body.
+	headAt := s3 + p.WireLatency + inj.delay
+	_, e4 := dst.rxLink.acquire(headAt, sim.BytesTime(wireBytes, p.LinkBandwidth))
+	// Receive-side LANai processing, then DMA into a host buffer.
+	_, e5 := dst.lanaiRx.acquire(e4, p.LanaiRx)
+	_, e6 := dst.rxDMA.acquire(e5, p.RxDMASetup+sim.BytesTime(wireBytes, p.RxDMABandwidth))
 
 	if tr := n.fabric.s.Tracer(); tr != nil {
 		// One span per packet covering injection to host-memory delivery
@@ -216,6 +245,13 @@ func (n *NIC) SendPacket(pkt *Packet) (txDone sim.Time) {
 	}
 
 	n.fabric.s.At(e6, func() {
+		if faults && packetCRC(cp.Payload) != crc {
+			// The NIC's frame check sequence catches in-flight corruption;
+			// the packet is discarded before GM ever sees it.
+			n.fabric.fstats.CRCDrops++
+			n.fabric.traceFault("crc-drop", n.id, dst.id, len(cp.Payload))
+			return
+		}
 		dst.stats.PacketsRecvd++
 		dst.stats.BytesRecvd += int64(len(cp.Payload))
 		if dst.handler == nil {

@@ -46,6 +46,13 @@ type Params struct {
 	// DropProbability injects random datagram loss on the receive path
 	// (fault injection for the user-level retransmission machinery).
 	DropProbability float64
+	// SendDropProbability injects loss symmetrically on the send path:
+	// the datagram leaves the socket layer but never reaches the wire.
+	SendDropProbability float64
+	// CorruptProbability injects payload corruption on the send path; the
+	// receiver's UDP checksum discards such datagrams, so corruption is
+	// observed as loss (plus a distinct counter).
+	CorruptProbability float64
 }
 
 // DefaultParams returns constants calibrated to give UDP/GM a one-way
@@ -86,13 +93,15 @@ type Datagram struct {
 
 // StackStats aggregates node-level socket statistics.
 type StackStats struct {
-	DatagramsSent   int64
-	DatagramsRecvd  int64
-	DatagramsDrop   int64 // dropped: receive buffer overflow
-	DatagramsNoSock int64 // dropped: no socket bound to the port
-	BytesSent       int64
-	BytesRecvd      int64
-	SigiosRaised    int64
+	DatagramsSent     int64
+	DatagramsRecvd    int64
+	DatagramsDrop     int64 // dropped: receive buffer overflow
+	DatagramsNoSock   int64 // dropped: no socket bound to the port
+	DatagramsSendDrop int64 // dropped: injected send-path loss
+	DatagramsCorrupt  int64 // dropped: injected corruption (UDP checksum)
+	BytesSent         int64
+	BytesRecvd        int64
+	SigiosRaised      int64
 }
 
 // Stack is one node's kernel UDP implementation.
@@ -342,6 +351,19 @@ func (sk *Socket) SendTo(p *sim.Proc, dst myrinet.NodeID, dstPort int, data []by
 	if tr := st.s.Tracer(); tr != nil {
 		tr.Metrics().Counter(trace.LayerSockets, "datagrams.sent").Inc(int64(len(data)))
 	}
+	// Injected send-path faults (deterministic: simulator RNG, drawn only
+	// when the corresponding probability is configured). Both present as
+	// silent loss to the caller — UDP semantics.
+	if st.params.SendDropProbability > 0 && st.s.Rand().Float64() < st.params.SendDropProbability {
+		st.stats.DatagramsSendDrop++
+		st.traceDrop("drop-send", dst, len(data))
+		return nil
+	}
+	if st.params.CorruptProbability > 0 && st.s.Rand().Float64() < st.params.CorruptProbability {
+		st.stats.DatagramsCorrupt++
+		st.traceDrop("drop-corrupt", dst, len(data))
+		return nil
+	}
 	st.transmit(p, dst, payload)
 	return nil
 }
@@ -358,11 +380,25 @@ func (st *Stack) transmit(p *sim.Proc, dst myrinet.NodeID, payload []byte) {
 	b := bufs[len(bufs)-1]
 	st.sendBufs[class] = bufs[:len(bufs)-1]
 	copy(b.Bytes(), payload)
-	err := st.port.Send(p, dst, KernelPort, b, len(payload), func(status gm.SendStatus) {
+	err := st.port.Send(p, dst, KernelPort, b, len(payload), st.kernelSendDone(class, b))
+	if err != nil {
+		// Token exhaustion or disabled port: queue and let completions or
+		// recovery drain it. The buffer goes back to the pool.
+		st.sendBufs[class] = append(st.sendBufs[class], b)
+		st.txQueue = append(st.txQueue, pendingTx{dst: dst, payload: payload})
+	}
+}
+
+// kernelSendDone builds the completion for one kernel GM send: the tx
+// buffer returns to the pool, and if the send failed with the port
+// disabled (GM's resend timeout fired, or the disable cascaded into this
+// in-flight send) the kernel transparently recovers the port after the
+// probe delay. The datagram itself is not retried — UDP loss semantics —
+// but queued traffic drains after the resume.
+func (st *Stack) kernelSendDone(class int, b *gm.Buffer) gm.SendCallback {
+	return func(status gm.SendStatus) {
 		st.sendBufs[class] = append(st.sendBufs[class], b)
 		if status != gm.SendOK && !st.port.Enabled() {
-			// The kernel transparently recovers a disabled port after the
-			// probe delay; queued traffic then drains.
 			st.s.After(st.node.System().Params().ResumeCost, func() {
 				st.forceResume()
 				st.drainTxQueue()
@@ -370,12 +406,6 @@ func (st *Stack) transmit(p *sim.Proc, dst myrinet.NodeID, payload []byte) {
 			return
 		}
 		st.drainTxQueue()
-	})
-	if err != nil {
-		// Token exhaustion or disabled port: queue and let completions or
-		// recovery drain it. The buffer goes back to the pool.
-		st.sendBufs[class] = append(st.sendBufs[class], b)
-		st.txQueue = append(st.txQueue, pendingTx{dst: dst, payload: payload})
 	}
 }
 
@@ -398,11 +428,7 @@ func (st *Stack) drainTxQueue() {
 		b := bufs[len(bufs)-1]
 		st.sendBufs[class] = bufs[:len(bufs)-1]
 		copy(b.Bytes(), tx.payload)
-		dst := tx.dst
-		st.port.SendFromKernel(dst, KernelPort, b, len(tx.payload), func(status gm.SendStatus) {
-			st.sendBufs[class] = append(st.sendBufs[class], b)
-			st.drainTxQueue()
-		})
+		st.port.SendFromKernel(tx.dst, KernelPort, b, len(tx.payload), st.kernelSendDone(class, b))
 	}
 }
 

@@ -85,6 +85,23 @@ type Config struct {
 	CopyBandwidth float64
 	// DispatchCost is the per-request decode/dispatch CPU.
 	DispatchCost sim.Time
+
+	// Recovery protocol (only exercised on a faulty fabric; with the
+	// preposting invariant intact on a perfect network none of these paths
+	// run). A GM send failure — the resend timeout fired and disabled the
+	// port — triggers a port resume after GM's probe delay plus an
+	// idempotent retransmission of the frame with exponential backoff;
+	// receivers filter the resulting duplicates by (origin, seq).
+
+	// MaxSendRetries bounds per-frame retransmission attempts; past it the
+	// fault is considered permanent and the transport fail-stops.
+	MaxSendRetries int
+	// RetryBackoff is the delay before the first retransmission, doubling
+	// per attempt up to RetryBackoffMax.
+	RetryBackoff    sim.Time
+	RetryBackoffMax sim.Time
+	// DupCacheSize bounds the receiver-side duplicate-request filter.
+	DupCacheSize int
 }
 
 // DefaultConfig returns the paper's adopted design: interrupt-driven
@@ -101,5 +118,9 @@ func DefaultConfig() Config {
 		SmallPerPeer:     4,
 		CopyBandwidth:    800e6,
 		DispatchCost:     sim.Micro(0.5),
+		MaxSendRetries:   16,
+		RetryBackoff:     5 * sim.Millisecond,
+		RetryBackoffMax:  200 * sim.Millisecond,
+		DupCacheSize:     1024,
 	}
 }

@@ -47,6 +47,13 @@ type Transport struct {
 
 	rv rendezvousState
 
+	// Recovery state (recovery.go): receiver-side duplicate filter,
+	// one-resume-per-port guard, and the cond senders park on while their
+	// port is disabled.
+	dup      *substrate.DupCache
+	resuming map[*gm.Port]bool
+	portCond *sim.Cond
+
 	seq   uint32
 	stats substrate.Stats
 }
@@ -59,6 +66,8 @@ func New(node *gm.Node, rank, size int, cfg Config) *Transport {
 		rank:     rank,
 		size:     size,
 		sendPool: make(map[int][]*gm.Buffer),
+		dup:      substrate.NewDupCache(cfg.DupCacheSize),
+		resuming: make(map[*gm.Port]bool),
 	}
 }
 
@@ -93,6 +102,7 @@ func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
 	t.handler = h
 	t.sendCond = sim.NewCond(fmt.Sprintf("fastgm:%d:sendpool", t.rank))
 	t.tokenCond = sim.NewCond(fmt.Sprintf("fastgm:%d:tokens", t.rank))
+	t.portCond = sim.NewCond(fmt.Sprintf("fastgm:%d:port", t.rank))
 	t.rv.init(t)
 
 	var err error
@@ -206,10 +216,13 @@ func (t *Transport) drainAsync(p *sim.Proc) {
 }
 
 // handleAsyncFrame dispatches one async-port message: a request frame, a
-// rendezvous RTS, or rendezvous bulk data for a large request.
+// rendezvous RTS, or rendezvous bulk data for a large request. Malformed
+// frames are rejected (counted, buffer recycled), never fail-stop: on a
+// faulty fabric the layer below may hand us anything.
 func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
 	if len(rv.Data) == 0 {
-		panic("fastgm: empty frame")
+		t.rejectFrame(p, rv, "empty")
+		return
 	}
 	tag, body := rv.Data[0], rv.Data[1:]
 	switch tag {
@@ -217,12 +230,19 @@ func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
 		p.Advance(t.cfg.DispatchCost)
 		m, err := msg.Decode(body)
 		if err != nil {
-			panic(fmt.Sprintf("fastgm: corrupt request on node %d: %v", t.rank, err))
+			t.rejectFrame(p, rv, "decode")
+			return
 		}
+		key := substrate.DupKey{Origin: m.ReplyTo, Seq: m.Seq}
+		if e, seen := t.dup.Lookup(key); seen {
+			t.dupRequest(p, rv, tag, m, e)
+			return
+		}
+		t.dup.Insert(key)
 		t.stats.RequestsRecvd++
 		t.stats.BytesRecvd += int64(len(rv.Data))
 		if tag == frameData {
-			t.rv.finishReceive(p, rv.Buffer)
+			t.rv.finishReceive(p, t.asyncPort, rv.Buffer)
 		} else {
 			// Requests are processed in place (no copy); recycle the
 			// buffer after the handler consumed the decoded form.
@@ -243,7 +263,7 @@ func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
 		t.rv.onCTS(p, rv.Data[1:])
 		t.asyncPort.ProvideReceiveBuffer(rv.Buffer)
 	default:
-		panic(fmt.Sprintf("fastgm: unexpected async frame tag %d", tag))
+		t.rejectFrame(p, rv, "tag")
 	}
 }
 
@@ -278,19 +298,33 @@ func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
 }
 
 // Reply implements substrate.Transport: replies go to the originator's
-// synchronous port.
+// synchronous port. The encoded reply is cached in the duplicate filter
+// so a redelivered request can be answered without re-executing it.
 func (t *Transport) Reply(p *sim.Proc, req *msg.Message, rep *msg.Message) {
 	rep.Seq = req.Seq
 	rep.From = int32(t.rank)
 	rep.ReplyTo = int32(t.rank)
+	body := rep.Encode()
+	key := substrate.DupKey{Origin: req.ReplyTo, Seq: req.Seq}
+	e, ok := t.dup.Lookup(key)
+	if !ok {
+		e = t.dup.Insert(key)
+	}
+	e.Done = true
+	e.Reply = body
+	e.To = int(req.ReplyTo)
 	t.stats.RepliesSent++
-	t.transmit(p, int(req.ReplyTo), SyncPort, frameMsg, rep)
+	t.transmitBody(p, int(req.ReplyTo), SyncPort, frameMsg, rep.Kind, body)
 }
 
 // Forward implements substrate.Transport: relays a request, preserving
-// the originator.
+// the originator. The relay target is recorded so a duplicate of the
+// request re-triggers the forward if the first relay chain was lost.
 func (t *Transport) Forward(p *sim.Proc, dst int, req *msg.Message) {
 	req.From = int32(t.rank)
+	if e, ok := t.dup.Lookup(substrate.DupKey{Origin: req.ReplyTo, Seq: req.Seq}); ok {
+		e.ForwardedTo = dst
+	}
 	t.stats.ForwardsSent++
 	t.transmit(p, dst, AsyncPort, frameMsg, req)
 }
@@ -306,44 +340,66 @@ func (t *Transport) Send(p *sim.Proc, dst int, req *msg.Message) {
 }
 
 // waitReply polls the synchronous port until the reply matching seq
-// arrives. GM is reliable, so a mismatched sequence number is a protocol
-// bug (fail-stop).
+// arrives. Stale replies (duplicates of an already-consumed reply,
+// produced by GM-level retransmission) and malformed frames are skipped
+// with their buffers recycled.
 func (t *Transport) waitReply(p *sim.Proc, seq uint32) *msg.Message {
-	rv := t.syncPort.WaitRecv(p)
-	tag, body := rv.Data[0], rv.Data[1:]
-	if tag != frameMsg && tag != frameData {
-		panic(fmt.Sprintf("fastgm: unexpected sync frame tag %d", tag))
+	for {
+		rv := t.syncPort.WaitRecv(p)
+		if len(rv.Data) == 0 {
+			t.stats.CorruptFrames++
+			t.syncPort.ProvideReceiveBuffer(rv.Buffer)
+			continue
+		}
+		tag, body := rv.Data[0], rv.Data[1:]
+		if tag != frameMsg && tag != frameData {
+			t.stats.CorruptFrames++
+			t.syncPort.ProvideReceiveBuffer(rv.Buffer)
+			continue
+		}
+		// Replies are copied out of the receive buffer into TreadMarks
+		// structures (the paper's extra-copy design).
+		p.Advance(t.cfg.DispatchCost + sim.BytesTime(len(body), t.cfg.CopyBandwidth))
+		m, err := msg.Decode(body)
+		if err != nil {
+			t.stats.CorruptFrames++
+			t.syncPort.ProvideReceiveBuffer(rv.Buffer)
+			continue
+		}
+		t.stats.BytesRecvd += int64(len(rv.Data))
+		if tag == frameData {
+			t.rv.finishReceive(p, t.syncPort, rv.Buffer)
+		} else {
+			t.syncPort.ProvideReceiveBuffer(rv.Buffer)
+		}
+		if m.Seq != seq {
+			t.stats.StaleReplies++
+			if tr := p.Sim().Tracer(); tr != nil {
+				tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
+					Kind: "stale-reply", Proc: p.ID(), Peer: int(m.From)})
+				tr.Metrics().Counter(trace.LayerSubstrate, "stale.replies").Inc(1)
+			}
+			continue
+		}
+		return m
 	}
-	// Replies are copied out of the receive buffer into TreadMarks
-	// structures (the paper's extra-copy design).
-	p.Advance(t.cfg.DispatchCost + sim.BytesTime(len(body), t.cfg.CopyBandwidth))
-	m, err := msg.Decode(body)
-	if err != nil {
-		panic(fmt.Sprintf("fastgm: corrupt reply on node %d: %v", t.rank, err))
-	}
-	t.stats.BytesRecvd += int64(len(rv.Data))
-	if tag == frameData {
-		t.rv.finishReceive(p, rv.Buffer)
-	} else {
-		t.syncPort.ProvideReceiveBuffer(rv.Buffer)
-	}
-	if m.Seq != seq {
-		t.stats.StaleReplies++
-		panic(fmt.Sprintf("fastgm: node %d: reply seq %d, want %d (kind %v)", t.rank, m.Seq, seq, m.Kind))
-	}
-	return m
 }
 
 // transmit frames, stages, and sends one message to (dst, dstPort),
 // applying the rendezvous protocol for oversized frames when enabled.
 func (t *Transport) transmit(p *sim.Proc, dst, dstPort int, tag byte, m *msg.Message) {
-	body := m.Encode()
+	t.transmitBody(p, dst, dstPort, tag, m.Kind, m.Encode())
+}
+
+// transmitBody is transmit for an already-encoded message (the recovery
+// path resends cached replies without re-encoding).
+func (t *Transport) transmitBody(p *sim.Proc, dst, dstPort int, tag byte, kind msg.Kind, body []byte) {
 	n := len(body) + 1
 	params := t.node.System().Params()
 	if n > params.MaxMessage() {
 		panic(fmt.Sprintf("fastgm: %v message of %d bytes exceeds TreadMarks' %d-byte cap "+
 			"(too many consistency intervals in one exchange; coarsen the application's "+
-			"synchronization grain)", m.Kind, n, params.MaxMessage()))
+			"synchronization grain)", kind, n, params.MaxMessage()))
 	}
 	class := params.ClassFor(n)
 	if t.cfg.Rendezvous && class >= t.cfg.RendezvousClass {
@@ -370,28 +426,29 @@ func (t *Transport) portFor(dstPort int) *gm.Port {
 }
 
 // gmSend performs the GM send, waiting for tokens if necessary, and
-// returns the buffer to the pool on completion. A timed-out send means
-// the preposting invariant was violated — fail-stop, as the paper says
-// this "has to be avoided at all costs".
+// returns the buffer to the pool on completion. On a perfect fabric the
+// preposting invariant means the completion always reports SendOK; on a
+// faulty one the completion hands the frame to the recovery machinery
+// (recovery.go) — resume the port, retransmit with backoff, let the
+// receiver's duplicate filter absorb redeliveries.
 func (t *Transport) gmSend(p *sim.Proc, port *gm.Port, dst, dstPort int, buf *gm.Buffer, n, class int) {
+	ps := &pendingSend{port: port, dst: dst, dstPort: dstPort, buf: buf, n: n, class: class}
 	for {
-		err := port.Send(p, myrinet.NodeID(dst), dstPort, buf, n, func(st gm.SendStatus) {
-			if st != gm.SendOK {
-				panic(fmt.Sprintf("fastgm: node %d → %d port %d send %v: preposting invariant violated",
-					t.rank, dst, dstPort, st))
-			}
-			t.sendPool[class] = append(t.sendPool[class], buf)
-			t.sendCond.Broadcast()
-			t.tokenCond.Broadcast()
-		})
+		err := port.Send(p, myrinet.NodeID(dst), dstPort, buf, n, t.completion(ps))
 		if err == nil {
 			return
 		}
-		if err == gm.ErrNoSendTokens {
+		switch err {
+		case gm.ErrNoSendTokens:
 			p.WaitOn(t.tokenCond)
-			continue
+		case gm.ErrPortDisabled:
+			// An earlier failure disabled our port; a resume is (or is now)
+			// pending. Park until it fires rather than spinning.
+			t.ensureResume(port)
+			p.WaitOn(t.portCond)
+		default:
+			panic(fmt.Sprintf("fastgm: send: %v", err))
 		}
-		panic(fmt.Sprintf("fastgm: send: %v", err))
 	}
 }
 

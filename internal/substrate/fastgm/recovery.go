@@ -1,0 +1,173 @@
+package fastgm
+
+import (
+	"fmt"
+
+	"repro/internal/gm"
+	"repro/internal/msg"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/substrate"
+	"repro/internal/trace"
+)
+
+// GM-level recovery (the tentpole of the paper's robustness story). On a
+// perfect fabric the preposting invariant guarantees every send is
+// accepted and none of this code runs. On a lossy one, a lost or parked
+// frame makes GM's resend timer fire, which disables the sending port
+// and fails the send callback. The transport then:
+//
+//  1. schedules gm_resume_sending after GM's probe delay (once per port,
+//     however many sends failed — the disable cascades to every in-flight
+//     send with SendPortDisabled);
+//  2. retransmits the frame from kernel/event context with exponential
+//     backoff, bounded by MaxSendRetries;
+//  3. relies on the receiver-side duplicate filter: a frame can be
+//     delivered twice when the original is accepted from the park queue
+//     after the sender's timer already fired, so every request carries
+//     its cluster-wide (origin, seq) identity and receivers answer
+//     duplicates idempotently (cached reply / re-forward).
+//
+// The send buffer stays checked out across retries and returns to the
+// pool only on SendOK, so retransmission needs no re-copy.
+
+// pendingSend tracks one framed GM send until it completes.
+type pendingSend struct {
+	port     *gm.Port
+	dst      int
+	dstPort  int
+	buf      *gm.Buffer
+	n        int
+	class    int
+	attempts int
+}
+
+// completion builds the send callback for ps: recycle on success,
+// recover on failure.
+func (t *Transport) completion(ps *pendingSend) gm.SendCallback {
+	return func(st gm.SendStatus) {
+		if st == gm.SendOK {
+			t.sendPool[ps.class] = append(t.sendPool[ps.class], ps.buf)
+			t.sendCond.Broadcast()
+			t.tokenCond.Broadcast()
+			return
+		}
+		t.onSendFailure(ps, st)
+	}
+}
+
+// onSendFailure runs in scheduler context when GM reports a failed send.
+func (t *Transport) onSendFailure(ps *pendingSend, st gm.SendStatus) {
+	t.stats.GMSendFailures++
+	ps.attempts++
+	if ps.attempts > t.cfg.MaxSendRetries {
+		panic(fmt.Sprintf("fastgm: node %d → %d port %d: send failed %d times (%v): fault is not transient",
+			t.rank, ps.dst, ps.dstPort, ps.attempts, st))
+	}
+	if tr := t.proc.Sim().Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(t.proc.Sim().Now()), Layer: trace.LayerSubstrate,
+			Kind: "gm-send-failed", Proc: -1, Peer: ps.dst, Bytes: ps.n})
+		tr.Metrics().Counter(trace.LayerSubstrate, "gm.send.failures").Inc(1)
+	}
+	t.ensureResume(ps.port)
+	t.scheduleRetransmit(ps)
+}
+
+// retryBackoff returns the delay before the attempts-th retransmission.
+func (t *Transport) retryBackoff(attempts int) sim.Time {
+	d := t.cfg.RetryBackoff
+	for i := 1; i < attempts; i++ {
+		d *= 2
+		if d >= t.cfg.RetryBackoffMax {
+			return t.cfg.RetryBackoffMax
+		}
+	}
+	return d
+}
+
+// scheduleRetransmit re-sends ps's frame after the backoff, deferring
+// further (same attempt) while the port is still disabled or out of
+// tokens.
+func (t *Transport) scheduleRetransmit(ps *pendingSend) {
+	s := t.proc.Sim()
+	s.After(t.retryBackoff(ps.attempts), func() {
+		if !ps.port.Enabled() {
+			t.ensureResume(ps.port)
+			t.scheduleRetransmit(ps)
+			return
+		}
+		err := ps.port.SendFromKernel(myrinet.NodeID(ps.dst), ps.dstPort, ps.buf, ps.n, t.completion(ps))
+		if err != nil {
+			t.scheduleRetransmit(ps)
+			return
+		}
+		t.stats.GMRetransmits++
+		if tr := s.Tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(s.Now()), Layer: trace.LayerSubstrate,
+				Kind: "gm-retransmit", Proc: -1, Peer: ps.dst, Bytes: ps.n})
+			tr.Metrics().Counter(trace.LayerSubstrate, "gm.retransmits").Inc(1)
+		}
+	})
+}
+
+// ensureResume schedules exactly one pending gm_resume_sending for a
+// disabled port; the probe delay runs on the event clock (no process is
+// blocked on it — senders park on portCond instead).
+func (t *Transport) ensureResume(port *gm.Port) {
+	if port.Enabled() || t.resuming[port] {
+		return
+	}
+	t.resuming[port] = true
+	s := t.proc.Sim()
+	s.After(t.node.System().Params().ResumeCost, func() {
+		t.resuming[port] = false
+		port.ForceResume()
+		t.stats.PortResumes++
+		if tr := s.Tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(s.Now()), Layer: trace.LayerSubstrate,
+				Kind: "transport-resume", Proc: -1, Peer: t.rank})
+			tr.Metrics().Counter(trace.LayerSubstrate, "port.resumes").Inc(1)
+		}
+		t.portCond.Broadcast()
+	})
+}
+
+// rejectFrame counts and discards a truncated/corrupt/unknown async
+// frame, returning its buffer to the prepost ring so the class cannot
+// starve (prepost replenishment on drop).
+func (t *Transport) rejectFrame(p *sim.Proc, rv *gm.Recv, why string) {
+	t.stats.CorruptFrames++
+	if tr := p.Sim().Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
+			Kind: "frame-reject:" + why, Proc: p.ID(), Peer: int(rv.From), Bytes: len(rv.Data)})
+		tr.Metrics().Counter(trace.LayerSubstrate, "frame.rejects").Inc(1)
+	}
+	t.asyncPort.ProvideReceiveBuffer(rv.Buffer)
+}
+
+// dupRequest answers a redelivered request idempotently: resend the
+// cached reply if we already answered, re-relay if we forwarded, or
+// drop it if the original is still being served (the eventual reply
+// covers both copies).
+func (t *Transport) dupRequest(p *sim.Proc, rv *gm.Recv, tag byte, m *msg.Message, e *substrate.DupEntry) {
+	t.stats.DupRequests++
+	if tr := p.Sim().Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
+			Kind: "dup-request", Proc: p.ID(), Peer: int(m.From), Bytes: len(rv.Data)})
+		tr.Metrics().Counter(trace.LayerSubstrate, "dup.requests").Inc(1)
+	}
+	// Recycle to the prepost ring. For a duplicate rendezvous data frame
+	// the buffer stays in rv.pinned: the duplicate may have consumed a
+	// buffer pinned for another in-flight transfer of the same class, and
+	// re-preposting (rather than deregistering) lets that transfer's
+	// retransmission land.
+	t.asyncPort.ProvideReceiveBuffer(rv.Buffer)
+	if e.Done {
+		t.transmitBody(p, e.To, SyncPort, frameMsg, m.Kind, e.Reply)
+	} else if e.ForwardedTo >= 0 {
+		fwd := *m
+		fwd.From = int32(t.rank)
+		t.stats.ForwardsSent++
+		t.transmit(p, e.ForwardedTo, AsyncPort, frameMsg, &fwd)
+	}
+}

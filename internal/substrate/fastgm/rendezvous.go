@@ -2,7 +2,6 @@ package fastgm
 
 import (
 	"encoding/binary"
-	"fmt"
 
 	"repro/internal/gm"
 	"repro/internal/sim"
@@ -28,7 +27,16 @@ type rendezvousState struct {
 	staged   map[uint32]*stagedSend
 	pinned   map[*gm.Buffer]*gm.Memory
 	shutdown bool
+
+	// seenRTS filters redelivered RTS frames by (src, id) so a duplicate
+	// cannot pin a second buffer; FIFO-bounded like the request filter.
+	seenRTS  map[uint64]bool
+	rtsOrder []uint64
 }
+
+// rtsFilterMax bounds seenRTS (ids are per-sender monotonic, so old
+// entries are never consulted again once the transfer completed).
+const rtsFilterMax = 4096
 
 type stagedSend struct {
 	dst     int
@@ -40,6 +48,7 @@ func (rv *rendezvousState) init(t *Transport) {
 	rv.t = t
 	rv.staged = make(map[uint32]*stagedSend)
 	rv.pinned = make(map[*gm.Buffer]*gm.Memory)
+	rv.seenRTS = make(map[uint64]bool)
 }
 
 // sendLarge stages body and sends the RTS. The bulk transfer completes
@@ -67,16 +76,35 @@ func (rv *rendezvousState) sendLarge(p *sim.Proc, dst, dstPort int, body []byte)
 // onRTS runs in the receiver's interrupt context: pin a buffer of the
 // announced class, prepost it to the announced port, and send the CTS.
 // The registration cost lands on the receiving process — the overhead
-// the paper trades for the smaller pinned footprint.
+// the paper trades for the smaller pinned footprint. Malformed RTS
+// frames are rejected; redelivered ones are dropped (the first pin and
+// CTS stand — our CTS send is itself covered by GM-level recovery).
 func (rv *rendezvousState) onRTS(p *sim.Proc, recv *gm.Recv) {
 	t := rv.t
 	body := recv.Data[1:]
 	if len(body) < 6 {
-		panic("fastgm: short RTS")
+		t.stats.CorruptFrames++
+		return
 	}
 	id := binary.LittleEndian.Uint32(body)
 	class := int(body[4])
 	dstPort := int(body[5])
+	if class < 0 || class > t.node.System().Params().MaxClass ||
+		(dstPort != AsyncPort && dstPort != SyncPort) {
+		t.stats.CorruptFrames++
+		return
+	}
+	key := uint64(recv.From)<<32 | uint64(id)
+	if rv.seenRTS[key] {
+		t.stats.DupRequests++
+		return
+	}
+	if len(rv.rtsOrder) >= rtsFilterMax {
+		delete(rv.seenRTS, rv.rtsOrder[0])
+		rv.rtsOrder = rv.rtsOrder[:copy(rv.rtsOrder, rv.rtsOrder[1:])]
+	}
+	rv.seenRTS[key] = true
+	rv.rtsOrder = append(rv.rtsOrder, key)
 
 	mem := t.node.Register(p, gm.ClassCapacity(class))
 	buf := mem.SubBuffer(0, class)
@@ -89,16 +117,19 @@ func (rv *rendezvousState) onRTS(p *sim.Proc, recv *gm.Recv) {
 }
 
 // onCTS runs in the original sender's interrupt context: ship the staged
-// bulk data to the now-pinned buffer.
+// bulk data to the now-pinned buffer. A CTS with no staged transfer is a
+// duplicate (GM-level redelivery) — the data already shipped.
 func (rv *rendezvousState) onCTS(p *sim.Proc, body []byte) {
 	t := rv.t
 	if len(body) < 4 {
-		panic("fastgm: short CTS")
+		t.stats.CorruptFrames++
+		return
 	}
 	id := binary.LittleEndian.Uint32(body)
 	st := rv.staged[id]
 	if st == nil {
-		panic(fmt.Sprintf("fastgm: CTS for unknown rendezvous %d", id))
+		t.stats.DupRequests++
+		return
 	}
 	delete(rv.staged, id)
 
@@ -113,11 +144,15 @@ func (rv *rendezvousState) onCTS(p *sim.Proc, body []byte) {
 }
 
 // finishReceive deregisters the dynamically pinned buffer a rendezvous
-// data frame landed in.
-func (rv *rendezvousState) finishReceive(p *sim.Proc, buf *gm.Buffer) {
+// data frame landed in. A data frame in a non-pinned buffer (possible
+// only for malformed traffic) is recycled to port's prepost ring instead
+// of fail-stopping.
+func (rv *rendezvousState) finishReceive(p *sim.Proc, port *gm.Port, buf *gm.Buffer) {
 	mem := rv.pinned[buf]
 	if mem == nil {
-		panic("fastgm: rendezvous data in non-pinned buffer")
+		rv.t.stats.CorruptFrames++
+		port.ProvideReceiveBuffer(buf)
+		return
 	}
 	delete(rv.pinned, buf)
 	mem.Deregister(p)

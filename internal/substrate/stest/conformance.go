@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/gm"
 	"repro/internal/msg"
+	"repro/internal/myrinet"
 	"repro/internal/sim"
 	"repro/internal/substrate"
 	"repro/internal/substrate/fastgm"
@@ -24,6 +26,186 @@ func RunConformance(t *testing.T, build Builder) {
 	t.Run("ServiceWhileWaiting", func(t *testing.T) { ConformanceServiceWhileWaiting(t, build) })
 	t.Run("PrepostExhaustionRecovery", func(t *testing.T) { ConformancePrepostExhaustionRecovery(t, build) })
 	t.Run("OverflowRetransmission", func(t *testing.T) { ConformanceOverflowRetransmission(t, build) })
+	t.Run("DropStormPageFetch", func(t *testing.T) { ConformanceDropStormPageFetch(t, build) })
+	t.Run("CorruptedReplyCRC", func(t *testing.T) { ConformanceCorruptedReplyCRC(t, build) })
+	t.Run("PortDisabledMidBurstResumed", func(t *testing.T) { ConformancePortDisabledMidBurstResumed(t, build) })
+}
+
+// requireAllPortsEnabled asserts the residual-damage invariant after a
+// fault scenario: recovery must leave every open GM port re-enabled.
+func requireAllPortsEnabled(t *testing.T, c *Cluster) {
+	t.Helper()
+	for i := range c.Transports {
+		for id := gm.MapperPort + 1; id < gm.NumPorts; id++ {
+			if p := c.GM.Node(myrinet.NodeID(i)).Port(id); p != nil && !p.Enabled() {
+				t.Errorf("node %d port %d left disabled", i, id)
+			}
+		}
+	}
+}
+
+// sumTransportStats aggregates substrate counters across ranks.
+func sumTransportStats(c *Cluster) substrate.Stats {
+	var agg substrate.Stats
+	for _, tr := range c.Transports {
+		agg.Add(tr.Stats())
+	}
+	return agg
+}
+
+// ConformanceDropStormPageFetch: page fetches through a fabric losing 5%
+// of all packets. Every reply must arrive bit-exact; the transport's
+// recovery machinery (GM retransmission for FAST/GM, the user-level
+// timer for UDP/GM) must show activity; no port stays disabled.
+func ConformanceDropStormPageFetch(t *testing.T, build Builder) {
+	c := build(2, 1)
+	c.Fabric.SetFaults(myrinet.FaultConfig{Drop: 0.05})
+	const fetches = 30
+	page := bytes.Repeat([]byte{0xA5}, 16000)
+	bad := 0
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPageReply, Page: m.Page, PageData: page})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank != 0 {
+				return
+			}
+			for k := 0; k < fetches; k++ {
+				rep := tr.Call(p, 1, &msg.Message{Kind: msg.KPageReq, Page: int32(k)})
+				if rep.Kind != msg.KPageReply || rep.Page != int32(k) || !bytes.Equal(rep.PageData, page) {
+					bad++
+				}
+			}
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Errorf("%d of %d page fetches returned wrong data", bad, fetches)
+	}
+	if fs := c.Fabric.FaultStats(); fs.Dropped == 0 {
+		t.Error("drop storm dropped nothing; weak test")
+	}
+	agg := sumTransportStats(c)
+	if c.Stacks != nil {
+		if agg.Retransmits == 0 {
+			t.Error("no UDP retransmits despite 5% fabric loss")
+		}
+	} else {
+		if agg.GMSendFailures == 0 || agg.GMRetransmits == 0 {
+			t.Errorf("expected GM recovery activity, got failures=%d retransmits=%d",
+				agg.GMSendFailures, agg.GMRetransmits)
+		}
+	}
+	requireAllPortsEnabled(t, c)
+}
+
+// ConformanceCorruptedReplyCRC: payload corruption in flight. The frame
+// check at the NIC/GM boundary must discard every corrupted packet —
+// the application never observes flipped bytes, only (recovered) loss.
+func ConformanceCorruptedReplyCRC(t *testing.T, build Builder) {
+	// 5% per-packet corruption: harsh enough to corrupt several reply
+	// fragments per run, gentle enough that UDP/GM's bounded retry budget
+	// (each corrupted reply costs a full GM resend-timeout window)
+	// comfortably outlasts recovery.
+	c := build(2, 1)
+	c.Fabric.SetFaults(myrinet.FaultConfig{Corrupt: 0.05})
+	const calls = 30
+	page := make([]byte, 8000)
+	for i := range page {
+		page[i] = byte(i * 13)
+	}
+	bad := 0
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPageReply, Page: m.Page, PageData: page})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank != 0 {
+				return
+			}
+			for k := 0; k < calls; k++ {
+				rep := tr.Call(p, 1, &msg.Message{Kind: msg.KPageReq, Page: int32(k)})
+				if rep.Page != int32(k) || !bytes.Equal(rep.PageData, page) {
+					bad++
+				}
+			}
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Errorf("%d of %d replies corrupted end-to-end (CRC must catch these)", bad, calls)
+	}
+	fs := c.Fabric.FaultStats()
+	if fs.Corrupted == 0 || fs.CRCDrops == 0 {
+		t.Errorf("expected corruption + CRC discards, got corrupted=%d crcDrops=%d",
+			fs.Corrupted, fs.CRCDrops)
+	}
+	requireAllPortsEnabled(t, c)
+}
+
+// ConformancePortDisabledMidBurstResumed: a blackout of the link into
+// rank 0 while every other rank calls it (the barrier-arrival pattern).
+// The affected senders' GM ports are disabled by the resend timeout and
+// must be resumed; every call still completes with a matched reply.
+func ConformancePortDisabledMidBurstResumed(t *testing.T, build Builder) {
+	const n = 5
+	c := build(n, 1)
+	c.Fabric.SetFaults(myrinet.FaultConfig{Blackouts: []myrinet.Blackout{
+		{Src: -1, Dst: 0, From: 4 * sim.Millisecond, To: 12 * sim.Millisecond},
+	}})
+	results := make([]int32, n)
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPong, Page: m.Page * 10})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank == 0 {
+				return
+			}
+			p.Advance(5 * sim.Millisecond) // land inside the blackout window
+			rep := tr.Call(p, 0, &msg.Message{Kind: msg.KPing, Page: int32(rank)})
+			results[rank] = rep.Page
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < n; r++ {
+		if results[r] != int32(r)*10 {
+			t.Errorf("rank %d reply %d, want %d", r, results[r], r*10)
+		}
+	}
+	if fs := c.Fabric.FaultStats(); fs.Blackout == 0 {
+		t.Error("blackout window dropped nothing; weak test")
+	}
+	var timeouts int64
+	for i := 0; i < n; i++ {
+		for id := gm.MapperPort + 1; id < gm.NumPorts; id++ {
+			if p := c.GM.Node(myrinet.NodeID(i)).Port(id); p != nil {
+				timeouts += p.Stats().Timeouts
+			}
+		}
+	}
+	if timeouts == 0 {
+		t.Error("no GM send timeout despite an 8ms blackout mid-burst")
+	}
+	if c.Stacks == nil {
+		if agg := sumTransportStats(c); agg.PortResumes == 0 {
+			t.Errorf("FAST/GM recovered without transport port resumes: %+v", agg)
+		}
+	}
+	requireAllPortsEnabled(t, c)
 }
 
 // ConformancePingPong: a simple matched request/reply with payload echo.

@@ -89,6 +89,10 @@ type Stats struct {
 	AsyncWakeups   int64 // SIGIO deliveries / NIC interrupts taken
 	RendezvousRTS  int64 // large sends that used the rendezvous protocol
 	SendBufStalls  int64 // waits for a free registered send buffer
+	GMSendFailures int64 // GM send callbacks reporting non-SendOK
+	GMRetransmits  int64 // frames retransmitted after a GM send failure
+	PortResumes    int64 // disabled GM ports re-enabled by the transport
+	CorruptFrames  int64 // frames rejected as truncated/corrupt/unknown
 	ReplyWaitTime  sim.Time
 	RequestService sim.Time
 }

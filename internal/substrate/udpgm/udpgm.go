@@ -50,21 +50,6 @@ func DefaultConfig() Config {
 	}
 }
 
-type dupKey struct {
-	origin int32
-	seq    uint32
-}
-
-type dupEntry struct {
-	done  bool
-	reply []byte // encoded cached reply (resent on duplicate requests)
-	to    int    // reply destination
-	// forwardedTo records where this request was relayed (lock-manager
-	// forwarding); a duplicate then re-forwards, recovering a lost
-	// forward idempotently (the downstream dup filter absorbs extras).
-	forwardedTo int
-}
-
 // Transport is the UDP/GM substrate for one process.
 type Transport struct {
 	stack   *sockets.Stack
@@ -80,8 +65,10 @@ type Transport struct {
 	seq     uint32
 	waiting bool
 
-	dup      map[dupKey]*dupEntry
-	dupOrder []dupKey
+	// dup filters retransmitted requests: a duplicate re-sends the cached
+	// reply (lock-manager forwards are re-relayed; the downstream filter
+	// absorbs the extras).
+	dup *substrate.DupCache
 
 	stats substrate.Stats
 	// Separate scratch buffers: the SIGIO handler can interrupt the
@@ -98,7 +85,7 @@ func New(stack *sockets.Stack, rank, size int, cfg Config) *Transport {
 		cfg:    cfg,
 		rank:   rank,
 		size:   size,
-		dup:    make(map[dupKey]*dupEntry),
+		dup:    substrate.NewDupCache(cfg.DupCacheSize),
 		reqBuf: make([]byte, stack.Params().MaxDatagram),
 		repBuf: make([]byte, stack.Params().MaxDatagram),
 	}
@@ -196,21 +183,21 @@ func (t *Transport) dispatchRequest(p *sim.Proc, raw []byte) {
 	}
 	t.stats.RequestsRecvd++
 	t.stats.BytesRecvd += int64(len(raw))
-	key := dupKey{origin: m.ReplyTo, seq: m.Seq}
-	if e, seen := t.dup[key]; seen {
+	key := substrate.DupKey{Origin: m.ReplyTo, Seq: m.Seq}
+	if e, seen := t.dup.Lookup(key); seen {
 		t.stats.DupRequests++
-		if e.done {
+		if e.Done {
 			// Re-send the cached reply: the original likely got lost.
-			t.send(p, e.to, repPortBase+t.rank, e.reply)
-		} else if e.forwardedTo >= 0 {
+			t.send(p, e.To, repPortBase+t.rank, e.Reply)
+		} else if e.ForwardedTo >= 0 {
 			// The forward (or everything downstream) may have been lost;
 			// relay again. Downstream duplicate filters absorb extras.
 			t.stats.ForwardsSent++
-			t.send(p, e.forwardedTo, reqPortBase+t.rank, m.Encode())
+			t.send(p, e.ForwardedTo, reqPortBase+t.rank, m.Encode())
 		}
 		return
 	}
-	t.addDup(key, &dupEntry{forwardedTo: -1})
+	t.dup.Insert(key)
 	if tr := p.Sim().Tracer(); tr != nil {
 		start := p.Now()
 		t.handler(p, m)
@@ -220,16 +207,6 @@ func (t *Transport) dispatchRequest(p *sim.Proc, raw []byte) {
 		return
 	}
 	t.handler(p, m)
-}
-
-func (t *Transport) addDup(key dupKey, e *dupEntry) {
-	if len(t.dupOrder) >= t.cfg.DupCacheSize {
-		oldest := t.dupOrder[0]
-		t.dupOrder = t.dupOrder[:copy(t.dupOrder, t.dupOrder[1:])]
-		delete(t.dup, oldest)
-	}
-	t.dup[key] = e
-	t.dupOrder = append(t.dupOrder, key)
 }
 
 // Call implements substrate.Transport.
@@ -322,14 +299,14 @@ func (t *Transport) Reply(p *sim.Proc, req *msg.Message, rep *msg.Message) {
 	rep.From = int32(t.rank)
 	rep.ReplyTo = int32(t.rank)
 	data := rep.Encode()
-	key := dupKey{origin: req.ReplyTo, seq: req.Seq}
-	if e, ok := t.dup[key]; ok {
-		e.done = true
-		e.reply = data
-		e.to = origin
-	} else {
-		t.addDup(key, &dupEntry{done: true, reply: data, to: origin})
+	key := substrate.DupKey{Origin: req.ReplyTo, Seq: req.Seq}
+	e, ok := t.dup.Lookup(key)
+	if !ok {
+		e = t.dup.Insert(key)
 	}
+	e.Done = true
+	e.Reply = data
+	e.To = origin
 	t.stats.RepliesSent++
 	t.stats.BytesSent += int64(len(data))
 	t.send(p, origin, repPortBase+t.rank, data)
@@ -341,8 +318,8 @@ func (t *Transport) Reply(p *sim.Proc, req *msg.Message, rep *msg.Message) {
 func (t *Transport) Forward(p *sim.Proc, dst int, req *msg.Message) {
 	req.From = int32(t.rank)
 	data := req.Encode()
-	if e, ok := t.dup[dupKey{origin: req.ReplyTo, seq: req.Seq}]; ok {
-		e.forwardedTo = dst
+	if e, ok := t.dup.Lookup(substrate.DupKey{Origin: req.ReplyTo, Seq: req.Seq}); ok {
+		e.ForwardedTo = dst
 	}
 	t.stats.ForwardsSent++
 	t.stats.BytesSent += int64(len(data))

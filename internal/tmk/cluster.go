@@ -97,6 +97,12 @@ type Result struct {
 	// MaxPinnedBytes is the high-water pinned memory across nodes (GM
 	// registration accounting; the rendezvous ablation's metric).
 	MaxPinnedBytes int64
+	// DisabledPorts counts GM ports still disabled at the end of the run —
+	// zero on any successful run: every send timeout must have been
+	// answered by a resume (the chaos harness's residual-damage invariant).
+	DisabledPorts int
+	// NetFaults reports what the fault-injection fabric actually did.
+	NetFaults myrinet.FaultStats
 }
 
 // finalBarrier is the implicit shutdown barrier id.
@@ -140,6 +146,8 @@ func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
 	c.procs = make([]*Proc, n)
 	started := 0
 	startCond := sim.NewCond("tmk:start")
+	finished := 0
+	finCond := sim.NewCond("tmk:finish")
 	for rank := 0; rank < n; rank++ {
 		rank := rank
 		c.sim.Spawn(fmt.Sprintf("tmk%d", rank), 0, func(sp *sim.Proc) {
@@ -169,6 +177,17 @@ func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
 			app(tp)
 			tp.Barrier(finalBarrier)
 			tp.appEnd = sp.Now()
+
+			// Shutdown rendezvous (out of band, like the launcher's): on a
+			// lossy fabric a peer may still be retrying a request whose
+			// reply was lost — its recovery needs our duplicate cache, so
+			// no transport closes until every rank is through the final
+			// barrier. Costs no virtual time and sends no messages.
+			finished++
+			finCond.Broadcast()
+			for finished < n {
+				sp.WaitOn(finCond)
+			}
 			tr.Shutdown(sp)
 		})
 	}
@@ -186,10 +205,17 @@ func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
 		res.Transport.Add(tp.tr.Stats())
 	}
 	for i := 0; i < n; i++ {
-		if mp := c.gmsys.Node(myrinet.NodeID(i)).MaxPinnedBytes(); mp > res.MaxPinnedBytes {
+		node := c.gmsys.Node(myrinet.NodeID(i))
+		if mp := node.MaxPinnedBytes(); mp > res.MaxPinnedBytes {
 			res.MaxPinnedBytes = mp
 		}
+		for id := gm.MapperPort + 1; id < gm.NumPorts; id++ {
+			if port := node.Port(id); port != nil && !port.Enabled() {
+				res.DisabledPorts++
+			}
+		}
 	}
+	res.NetFaults = c.fabric.FaultStats()
 	return res, nil
 }
 

@@ -8,68 +8,270 @@ import (
 	"repro/internal/tmk"
 )
 
-// TestUDPRecoversFromDrops shrinks the socket receive buffers far enough
-// that datagrams are dropped during the run; TreadMarks' user-level
-// retransmission must recover and the result must still be correct.
-func TestUDPRecoversFromDrops(t *testing.T) {
-	cfg := tmk.DefaultConfig(8, tmk.TransportUDPGM)
-	cfg.Sockets.DropProbability = 0.02 // 2% datagram loss
-	cfg.UDP.RetransmitInitial = 5 * sim.Millisecond
-	const slots = 1024
-	res, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+// The shared fault table: every case injects a specific failure mode —
+// socket-level datagram loss, fabric-level packet loss, payload
+// corruption, or a timed link blackout — into one of the two transports
+// and asserts both correctness (the DSM results are exact) and the
+// recovery-counter invariants the chaos harness relies on.
+
+// stripeWorkload writes a strided pattern across ranks and verifies it
+// after a barrier, for `rounds` rounds.
+func stripeWorkload(slots, rounds int) (func(tp *tmk.Proc), func(t *testing.T)) {
+	errs := make(chan string, 64)
+	app := func(tp *tmk.Proc) {
 		r := tp.AllocShared(slots * 8)
 		tp.Barrier(1)
 		n := tp.NProcs()
-		for round := 0; round < 2; round++ {
+		for round := 0; round < rounds; round++ {
 			for i := tp.Rank(); i < slots; i += n {
 				tp.WriteF64(r, i, float64(round*slots+i))
 			}
 			tp.Barrier(int32(10 + round))
 			for i := 0; i < slots; i += 7 {
 				if got := tp.ReadF64(r, i); got != float64(round*slots+i) {
-					t.Errorf("rank %d round %d slot %d = %v", tp.Rank(), round, i, got)
+					select {
+					case errs <- "bad slot value":
+					default:
+					}
 				}
 			}
 			tp.Barrier(int32(100 + round))
 		}
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
-	if res.Transport.Retransmits == 0 {
-		t.Error("no retransmits despite 2% injected loss")
+	check := func(t *testing.T) {
+		select {
+		case e := <-errs:
+			t.Error(e)
+		default:
+		}
 	}
-	t.Logf("drops recovered: retransmits=%d dups=%d", res.Transport.Retransmits, res.Transport.DupRequests)
+	return app, check
 }
 
-// TestUDPTinyBuffersStillProgress uses an even harsher configuration and
-// a lock-heavy pattern.
-func TestUDPTinyBuffersStillProgress(t *testing.T) {
-	cfg := tmk.DefaultConfig(4, tmk.TransportUDPGM)
-	cfg.Sockets.DropProbability = 0.05 // harsher loss
-	cfg.UDP.RetransmitInitial = 5 * sim.Millisecond
-	res, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+// lockWorkload increments a shared counter under a lock from every rank.
+func lockWorkload(perRank int) (func(tp *tmk.Proc), func(t *testing.T)) {
+	errs := make(chan string, 64)
+	app := func(tp *tmk.Proc) {
 		r := tp.AllocShared(8)
 		tp.Barrier(1)
-		for k := 0; k < 8; k++ {
+		for k := 0; k < perRank; k++ {
 			tp.LockAcquire(0)
 			tp.WriteF64(r, 0, tp.ReadF64(r, 0)+1)
 			tp.LockRelease(0)
 		}
 		tp.Barrier(2)
-		if got := tp.ReadF64(r, 0); got != 32 {
-			t.Errorf("rank %d: counter = %v, want 32", tp.Rank(), got)
+		if got := tp.ReadF64(r, 0); got != float64(perRank*tp.NProcs()) {
+			select {
+			case errs <- "bad counter value":
+			default:
+			}
 		}
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
-	_ = res
+	check := func(t *testing.T) {
+		select {
+		case e := <-errs:
+			t.Error(e)
+		default:
+		}
+	}
+	return app, check
+}
+
+// requireAllPortsEnabled asserts the residual-damage invariant: every
+// recovery path must leave every GM port re-enabled.
+func requireAllPortsEnabled(t *testing.T, res *tmk.Result) {
+	t.Helper()
+	if res.DisabledPorts != 0 {
+		t.Errorf("%d GM ports left disabled after the run", res.DisabledPorts)
+	}
+}
+
+func TestFaultRecoveryTable(t *testing.T) {
+	type faultCase struct {
+		name     string
+		procs    int
+		kind     tmk.TransportKind
+		mutate   func(cfg *tmk.Config)
+		workload func() (func(tp *tmk.Proc), func(t *testing.T))
+		assert   func(t *testing.T, res *tmk.Result)
+	}
+	cases := []faultCase{
+		{
+			// Socket-level datagram loss (the original UDP fault test):
+			// TreadMarks' user-level retransmission recovers.
+			name:  "udp-socket-drop",
+			procs: 8,
+			kind:  tmk.TransportUDPGM,
+			mutate: func(cfg *tmk.Config) {
+				cfg.Sockets.DropProbability = 0.02
+				cfg.UDP.RetransmitInitial = 5 * sim.Millisecond
+			},
+			workload: func() (func(tp *tmk.Proc), func(t *testing.T)) { return stripeWorkload(1024, 2) },
+			assert: func(t *testing.T, res *tmk.Result) {
+				if res.Transport.Retransmits == 0 {
+					t.Error("no retransmits despite 2% injected receive loss")
+				}
+			},
+		},
+		{
+			// Symmetric send-path loss (the new sockets knob): datagrams
+			// vanish before the wire; recovery is identical.
+			name:  "udp-socket-send-drop",
+			procs: 4,
+			kind:  tmk.TransportUDPGM,
+			mutate: func(cfg *tmk.Config) {
+				cfg.Sockets.SendDropProbability = 0.03
+				cfg.UDP.RetransmitInitial = 5 * sim.Millisecond
+			},
+			workload: func() (func(tp *tmk.Proc), func(t *testing.T)) { return stripeWorkload(1024, 2) },
+			assert: func(t *testing.T, res *tmk.Result) {
+				if res.Transport.Retransmits == 0 {
+					t.Error("no retransmits despite send-path loss")
+				}
+			},
+		},
+		{
+			// Harsher socket loss under a lock-heavy pattern.
+			name:  "udp-socket-drop-locks",
+			procs: 4,
+			kind:  tmk.TransportUDPGM,
+			mutate: func(cfg *tmk.Config) {
+				cfg.Sockets.DropProbability = 0.05
+				cfg.UDP.RetransmitInitial = 5 * sim.Millisecond
+			},
+			workload: func() (func(tp *tmk.Proc), func(t *testing.T)) { return lockWorkload(8) },
+			assert:   func(t *testing.T, res *tmk.Result) {},
+		},
+		{
+			// Long retransmission timer on a clean network: slower but
+			// correct, and no spurious duplicates are generated.
+			name:  "udp-slow-retransmit-clean",
+			procs: 4,
+			kind:  tmk.TransportUDPGM,
+			mutate: func(cfg *tmk.Config) {
+				cfg.UDP.RetransmitInitial = 200 * sim.Millisecond
+			},
+			workload: func() (func(tp *tmk.Proc), func(t *testing.T)) { return stripeWorkload(64, 1) },
+			assert: func(t *testing.T, res *tmk.Result) {
+				if res.Transport.Retransmits != 0 {
+					t.Errorf("unexpected retransmits on a clean network: %d", res.Transport.Retransmits)
+				}
+			},
+		},
+		{
+			// Fabric-level packet loss under UDP/GM: the kernel GM port is
+			// disabled and resumed transparently; UDP's retry budget covers
+			// the lost datagrams.
+			name:  "udp-fabric-loss",
+			procs: 4,
+			kind:  tmk.TransportUDPGM,
+			mutate: func(cfg *tmk.Config) {
+				cfg.Net.Faults.Drop = 0.05
+				cfg.UDP.RetransmitInitial = 20 * sim.Millisecond
+			},
+			workload: func() (func(tp *tmk.Proc), func(t *testing.T)) { return stripeWorkload(1024, 2) },
+			assert: func(t *testing.T, res *tmk.Result) {
+				if res.NetFaults.Dropped == 0 {
+					t.Error("fault layer dropped nothing at 5% loss")
+				}
+				if res.Transport.Retransmits == 0 {
+					t.Error("no UDP retransmits despite fabric loss")
+				}
+			},
+		},
+		{
+			// Fabric-level packet loss under FAST/GM: the tentpole. GM send
+			// timeouts disable ports; the transport resumes them and
+			// retransmits idempotently.
+			name:  "fastgm-fabric-loss",
+			procs: 4,
+			kind:  tmk.TransportFastGM,
+			mutate: func(cfg *tmk.Config) {
+				cfg.Net.Faults.Drop = 0.05
+			},
+			workload: func() (func(tp *tmk.Proc), func(t *testing.T)) { return stripeWorkload(1024, 2) },
+			assert: func(t *testing.T, res *tmk.Result) {
+				if res.NetFaults.Dropped == 0 {
+					t.Error("fault layer dropped nothing at 5% loss")
+				}
+				if res.Transport.GMSendFailures == 0 || res.Transport.GMRetransmits == 0 {
+					t.Errorf("expected GM send failures + retransmits, got failures=%d retransmits=%d",
+						res.Transport.GMSendFailures, res.Transport.GMRetransmits)
+				}
+				if res.Transport.PortResumes == 0 {
+					t.Error("no port resumes despite GM send failures")
+				}
+			},
+		},
+		{
+			// Payload corruption under FAST/GM: the CRC check at the GM/NIC
+			// boundary discards the frame, which then behaves exactly like a
+			// loss.
+			name:  "fastgm-fabric-corrupt",
+			procs: 4,
+			kind:  tmk.TransportFastGM,
+			mutate: func(cfg *tmk.Config) {
+				cfg.Net.Faults.Corrupt = 0.05
+			},
+			workload: func() (func(tp *tmk.Proc), func(t *testing.T)) { return stripeWorkload(1024, 2) },
+			assert: func(t *testing.T, res *tmk.Result) {
+				if res.NetFaults.Corrupted == 0 || res.NetFaults.CRCDrops == 0 {
+					t.Errorf("expected corruption + CRC drops, got corrupted=%d crcDrops=%d",
+						res.NetFaults.Corrupted, res.NetFaults.CRCDrops)
+				}
+				if res.Transport.GMRetransmits == 0 {
+					t.Error("no GM retransmits despite CRC drops")
+				}
+			},
+		},
+		{
+			// Timed blackout of the link into rank 0 (the barrier manager)
+			// during the first barriers: every affected sender must resume
+			// its port and retransmit.
+			name:  "fastgm-blackout",
+			procs: 4,
+			kind:  tmk.TransportFastGM,
+			mutate: func(cfg *tmk.Config) {
+				cfg.Net.Faults.Blackouts = []myrinet.Blackout{
+					{Src: -1, Dst: 0, From: 0, To: 20 * sim.Millisecond},
+				}
+			},
+			workload: func() (func(tp *tmk.Proc), func(t *testing.T)) { return stripeWorkload(256, 1) },
+			assert: func(t *testing.T, res *tmk.Result) {
+				if res.NetFaults.Blackout == 0 {
+					t.Error("blackout window dropped nothing")
+				}
+				if res.Transport.PortResumes == 0 || res.Transport.GMRetransmits == 0 {
+					t.Errorf("expected port resumes + retransmits, got resumes=%d retransmits=%d",
+						res.Transport.PortResumes, res.Transport.GMRetransmits)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tmk.DefaultConfig(tc.procs, tc.kind)
+			tc.mutate(&cfg)
+			app, check := tc.workload()
+			res, err := tmk.Run(cfg, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t)
+			tc.assert(t, res)
+			requireAllPortsEnabled(t, res)
+			t.Logf("retransmits=%d gmRetransmits=%d resumes=%d dups=%d faults=%+v",
+				res.Transport.Retransmits, res.Transport.GMRetransmits,
+				res.Transport.PortResumes, res.Transport.DupRequests, res.NetFaults)
+		})
+	}
 }
 
 // TestFastGMScarcePreposting reduces the preposted small-buffer depth to
 // the bare minimum; messages may park briefly awaiting recycled buffers,
-// but nothing may time out and results stay correct.
+// but nothing may time out and results stay correct. (Kept separate from
+// the fault table: it injects no faults, it shrinks a resource.)
 func TestFastGMScarcePreposting(t *testing.T) {
 	cfg := tmk.DefaultConfig(8, tmk.TransportFastGM)
 	cfg.Fast.SmallPerPeer = 1
@@ -105,31 +307,5 @@ func TestFastGMScarcePreposting(t *testing.T) {
 				t.Errorf("node %d port %d disabled", i, port)
 			}
 		}
-	}
-}
-
-// TestSlowRetransmitConfig exercises a long retransmission timer: the
-// run is slower but still correct (no spurious duplicates needed).
-func TestSlowRetransmitConfig(t *testing.T) {
-	cfg := tmk.DefaultConfig(4, tmk.TransportUDPGM)
-	cfg.UDP.RetransmitInitial = 200 * sim.Millisecond
-	res, err := tmk.Run(cfg, func(tp *tmk.Proc) {
-		r := tp.AllocShared(64 * 8)
-		tp.Barrier(1)
-		if tp.Rank() == 0 {
-			for i := 0; i < 64; i++ {
-				tp.WriteF64(r, i, float64(i))
-			}
-		}
-		tp.Barrier(2)
-		if got := tp.ReadF64(r, 63); got != 63 {
-			t.Errorf("slot 63 = %v", got)
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Transport.Retransmits != 0 {
-		t.Errorf("unexpected retransmits: %d", res.Transport.Retransmits)
 	}
 }
