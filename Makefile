@@ -6,11 +6,11 @@ GO       ?= go
 FUZZTIME ?= 5s
 BENCHDIR ?= .
 
-.PHONY: all check fmt vet build test race fuzz-smoke bench prof-smoke chaos-smoke
+.PHONY: all check fmt vet build test race fuzz-smoke bench prof-smoke chaos-smoke crash-smoke
 
 all: check
 
-check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke bench
+check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke crash-smoke bench
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -42,6 +42,13 @@ fuzz-smoke:
 # ports, and zero-probability fault-config identity.
 chaos-smoke:
 	$(GO) run ./cmd/tmkrun -chaos
+
+# Crash-tolerance sweep: a rank death injected into a checkpointing
+# barrier app (must restart bit-correct) and a lock app (must abort with
+# a post-mortem naming the dead rank and blocking entity), on both
+# transports, plus determinism and inert-crash-config identity.
+crash-smoke:
+	$(GO) run ./cmd/tmkrun -crash
 
 # Machine-readable bench trajectory: writes BENCH_e0/e1/e2.json into
 # BENCHDIR. Deterministic — rerunning on the same tree is byte-identical,

@@ -8,6 +8,7 @@
 //	tmkrun -app jacobi -nodes 16 -transport fastgm [-size 2] [-verify]
 //	       [-seed N] [-prof] [-prof-json profile.json]
 //	tmkrun -chaos [-seed N] [-nodes 4]
+//	tmkrun -crash [-seed N] [-nodes 4]
 //
 // -prof attaches the protocol-entity profiler and prints the per-page /
 // per-lock / per-barrier attribution tables and the page×epoch heatmap;
@@ -20,6 +21,12 @@
 // corruption, latency spikes, a timed blackout), verifying bit-correct
 // results, active recovery, and no residual disabled ports. -seed varies
 // the fault schedule; -nodes sets the sweep's cluster size.
+//
+// -crash likewise runs the crash-tolerance sweep: a rank death injected
+// into a barrier-structured app (checkpoint/restart must finish the run
+// bit-correct) and a lock-structured app (coordinated abort whose
+// post-mortem names the dead rank and the blocking protocol entity), on
+// both transports, plus determinism and inert-config identity checks.
 package main
 
 import (
@@ -42,6 +49,7 @@ func main() {
 	rendezvous := flag.Bool("rendezvous", false, "enable the FAST/GM rendezvous protocol")
 	seed := flag.Int64("seed", 1, "simulation RNG seed (fault schedules, tie-breaking)")
 	chaos := flag.Bool("chaos", false, "run the chaos sweep (all apps × transports on a lossy fabric)")
+	crash := flag.Bool("crash", false, "run the crash-tolerance sweep (rank death: checkpoint/restart + coordinated abort)")
 	profFlag := flag.Bool("prof", false, "attach the protocol-entity profiler and print its tables")
 	profJSON := flag.String("prof-json", "", "write the entity profile as JSON (implies -prof)")
 	flag.Parse()
@@ -55,6 +63,21 @@ func main() {
 			}
 		})
 		if err := harness.Chaos(os.Stdout, spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *crash {
+		spec := harness.DefaultCrashSpec()
+		spec.Seed = *seed
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "nodes" {
+				spec.Nodes = *nodes
+			}
+		})
+		if err := harness.CrashSweep(os.Stdout, spec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -48,13 +48,17 @@ const (
 	// KPing/KPong: micro-benchmark round-trip probes (netperf, E0).
 	KPing
 	KPong
+	// KHeartbeat: liveness probe between UDP/GM kernels. Intercepted below
+	// the request dispatcher (it only refreshes the peer's last-heard
+	// clock), so it never enters the duplicate cache or the handler.
+	KHeartbeat
 )
 
 var kindNames = [...]string{
 	"invalid", "lock-acquire", "lock-forward", "lock-grant",
 	"barrier-arrive", "barrier-release", "diff-req", "diff-reply",
 	"page-req", "page-reply", "distribute", "ack", "exit",
-	"ping", "pong",
+	"ping", "pong", "heartbeat",
 }
 
 func (k Kind) String() string {

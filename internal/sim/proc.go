@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/trace"
 )
@@ -27,6 +28,7 @@ type Proc struct {
 	resume chan struct{}
 	state  procState
 	where  string // what the proc is blocked on, for deadlock reports
+	killed bool   // crash injected: next resume exits instead of returning
 
 	irqQ       []any
 	irqMasked  bool
@@ -71,7 +73,43 @@ func (p *Proc) block(where string) {
 	p.s.yielded <- struct{}{}
 	<-p.resume
 	// dispatch set state/clock already.
+	if p.killed {
+		// A crash was injected while we were blocked. Unwind the goroutine;
+		// Spawn's deferred handoff marks the proc done and returns control
+		// to the scheduler. Deferred cleanups (e.g. WaitOnUntil's timer
+		// cancel) still run; skipped non-deferred cleanup is harmless: a
+		// dead proc left on a Cond's waiter list is ignored by wake().
+		runtime.Goexit()
+	}
 }
+
+// Kill injects a crash: the process never executes another instruction.
+// If it is blocked (the common case — a crashed rank is parked in some
+// wait), it is scheduled to unwind at the current virtual time. Safe to
+// call from scheduler context or another process's context; killing a
+// finished process is a no-op. A process crashing in its own context
+// should call Exit instead.
+func (p *Proc) Kill() {
+	if p.state == stateDone || p.killed {
+		return
+	}
+	p.killed = true
+	p.wake()
+}
+
+// Exit terminates the calling process immediately (crash model: the
+// process dies mid-protocol without any cleanup). Must be called from the
+// process's own context.
+func (p *Proc) Exit() {
+	p.killed = true
+	runtime.Goexit()
+}
+
+// Done reports whether the process has finished (normally or by crash).
+func (p *Proc) Done() bool { return p.state == stateDone }
+
+// Killed reports whether a crash was injected into this process.
+func (p *Proc) Killed() bool { return p.killed }
 
 // wake arranges for a blocked process to resume at the current simulator
 // time. Safe to call from scheduler context or from another process's

@@ -133,6 +133,9 @@ func (s *Simulator) Spawn(name string, start Time, fn func(*Proc)) *Proc {
 			s.yielded <- struct{}{}
 		}()
 		<-p.resume
+		if p.killed {
+			return // crashed before first dispatch
+		}
 		p.state = stateRunning
 		fn(p)
 	}()

@@ -315,10 +315,20 @@ func (sk *Socket) SetSIGIO(proc *sim.Proc) { sk.sigioProc = proc }
 // Close unbinds and closes the socket.
 func (sk *Socket) Close(p *sim.Proc) {
 	p.Advance(sk.stack.params.SyscallEntry)
+	sk.ForceClose()
+}
+
+// ForceClose closes the socket from kernel/scheduler context: crash
+// teardown has no process context to charge the syscall to (the owning
+// process is already dead). Blocked receivers are woken and observe
+// ErrNoSuchSocket.
+func (sk *Socket) ForceClose() {
 	if sk.port >= 0 {
 		delete(sk.stack.sockets, sk.port)
+		sk.port = -1
 	}
 	sk.closed = true
+	sk.cond.Broadcast()
 }
 
 // SendTo transmits one datagram. UDP semantics: it never blocks on the
@@ -365,6 +375,43 @@ func (sk *Socket) SendTo(p *sim.Proc, dst myrinet.NodeID, dstPort int, data []by
 		return nil
 	}
 	st.transmit(p, dst, payload)
+	return nil
+}
+
+// SendFromKernel transmits one datagram from kernel/event context with no
+// process charged (the liveness layer's heartbeat probes ride this path:
+// they originate from a timer, not a syscall). Source port 0 marks the
+// datagram as kernel-originated; receivers that care only about the
+// payload ignore it. Injected send-path faults apply exactly as for
+// SendTo.
+func (st *Stack) SendFromKernel(dst myrinet.NodeID, dstPort int, data []byte) error {
+	if len(data) > st.params.MaxDatagram {
+		return ErrTooLarge
+	}
+	payload := make([]byte, headerBytes+len(data))
+	payload[2] = byte(dstPort >> 8)
+	payload[3] = byte(dstPort)
+	copy(payload[headerBytes:], data)
+
+	st.stats.DatagramsSent++
+	st.stats.BytesSent += int64(len(data))
+	if tr := st.s.Tracer(); tr != nil {
+		tr.Metrics().Counter(trace.LayerSockets, "datagrams.sent").Inc(int64(len(data)))
+	}
+	if st.params.SendDropProbability > 0 && st.s.Rand().Float64() < st.params.SendDropProbability {
+		st.stats.DatagramsSendDrop++
+		st.traceDrop("drop-send", dst, len(data))
+		return nil
+	}
+	if st.params.CorruptProbability > 0 && st.s.Rand().Float64() < st.params.CorruptProbability {
+		st.stats.DatagramsCorrupt++
+		st.traceDrop("drop-corrupt", dst, len(data))
+		return nil
+	}
+	// Queue-then-drain reuses the deferred kernel tx path, which sends via
+	// SendFromKernel on the GM port (no process charge).
+	st.txQueue = append(st.txQueue, pendingTx{dst: dst, payload: payload})
+	st.drainTxQueue()
 	return nil
 }
 

@@ -24,7 +24,10 @@
 // memory — measured by experiment E5.
 package fastgm
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/substrate"
+)
 
 // AsyncScheme selects how asynchronous requests are detected.
 type AsyncScheme int
@@ -102,6 +105,12 @@ type Config struct {
 	RetryBackoffMax sim.Time
 	// DupCacheSize bounds the receiver-side duplicate-request filter.
 	DupCacheSize int
+
+	// Liveness enables the peer-liveness layer: heartbeat frames
+	// multiplexed over the async port plus silence-based death detection.
+	// Disabled (the zero value), the transport is bit-identical to the
+	// pre-liveness code.
+	Liveness substrate.LivenessConfig
 }
 
 // DefaultConfig returns the paper's adopted design: interrupt-driven

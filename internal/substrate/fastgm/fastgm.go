@@ -26,6 +26,7 @@ const (
 	frameRTS  byte = 2 // rendezvous request-to-send
 	frameCTS  byte = 3 // rendezvous clear-to-send
 	frameData byte = 4 // rendezvous bulk data (body = encoded msg.Message)
+	frameHB   byte = 5 // liveness heartbeat (no body, never retransmitted)
 )
 
 // Transport is the FAST/GM substrate for one process.
@@ -54,13 +55,19 @@ type Transport struct {
 	resuming map[*gm.Port]bool
 	portCond *sim.Cond
 
+	// Liveness/crash state (liveness.go): per-peer last-heard clocks,
+	// declared-dead flags, and the heartbeat machinery. halted is set by
+	// Halt() during crash teardown; every timer and completion checks it.
+	live   livenessState
+	halted bool
+
 	seq   uint32
 	stats substrate.Stats
 }
 
 // New creates the substrate for process rank of size on a GM node.
 func New(node *gm.Node, rank, size int, cfg Config) *Transport {
-	return &Transport{
+	t := &Transport{
 		node:     node,
 		cfg:      cfg,
 		rank:     rank,
@@ -69,6 +76,8 @@ func New(node *gm.Node, rank, size int, cfg Config) *Transport {
 		dup:      substrate.NewDupCache(cfg.DupCacheSize),
 		resuming: make(map[*gm.Port]bool),
 	}
+	t.live.init(t)
+	return t
 }
 
 // Rank returns this process's rank.
@@ -152,6 +161,8 @@ func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
 		}
 	}
 
+	t.live.start()
+
 	switch t.cfg.Scheme {
 	case AsyncInterrupt:
 		p.SetInterruptHandler(t.onAsyncInterrupt)
@@ -167,8 +178,11 @@ func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
 }
 
 // Shutdown deregisters nothing explicitly (regions die with the run) but
-// stops the timer scheme.
-func (t *Transport) Shutdown(p *sim.Proc) { t.rv.shutdown = true }
+// stops the timer scheme and the heartbeat clock.
+func (t *Transport) Shutdown(p *sim.Proc) {
+	t.rv.shutdown = true
+	t.live.stopped = true
+}
 
 // armTimer schedules the periodic async-port check for AsyncTimer.
 func (t *Transport) armTimer() {
@@ -224,8 +238,13 @@ func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
 		t.rejectFrame(p, rv, "empty")
 		return
 	}
+	t.live.heard(int(rv.From))
 	tag, body := rv.Data[0], rv.Data[1:]
 	switch tag {
+	case frameHB:
+		// A heartbeat carries no payload: its arrival already refreshed the
+		// peer's last-heard clock above.
+		t.asyncPort.ProvideReceiveBuffer(rv.Buffer)
 	case frameMsg, frameData:
 		p.Advance(t.cfg.DispatchCost)
 		m, err := msg.Decode(body)
@@ -286,7 +305,12 @@ func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
 	waitStart := p.Now()
 	t.stats.RequestsSent++
 	t.transmit(p, dst, AsyncPort, frameMsg, req)
-	rep := t.waitReply(p, req.Seq)
+	rep := t.waitReply(p, dst, req.Seq)
+	if rep == nil {
+		// The liveness layer declared dst dead while we were waiting; the
+		// typed failure is recorded in t.live for the caller to surface.
+		return nil
+	}
 	t.stats.RepliesRecvd++
 	t.stats.ReplyWaitTime += p.Now() - waitStart
 	if tr := p.Sim().Tracer(); tr != nil {
@@ -342,10 +366,24 @@ func (t *Transport) Send(p *sim.Proc, dst int, req *msg.Message) {
 // waitReply polls the synchronous port until the reply matching seq
 // arrives. Stale replies (duplicates of an already-consumed reply,
 // produced by GM-level retransmission) and malformed frames are skipped
-// with their buffers recycled.
-func (t *Transport) waitReply(p *sim.Proc, seq uint32) *msg.Message {
+// with their buffers recycled. With the liveness layer enabled the wait
+// is chopped into heartbeat-interval slices so a peer declared dead is
+// noticed promptly and the call gives up (nil) instead of blocking into
+// the void; disabled, the original unbounded wait is used unchanged.
+func (t *Transport) waitReply(p *sim.Proc, dst int, seq uint32) *msg.Message {
 	for {
-		rv := t.syncPort.WaitRecv(p)
+		var rv *gm.Recv
+		if t.cfg.Liveness.Enabled {
+			if t.live.isDead(dst) {
+				return nil
+			}
+			if rv = t.syncPort.WaitRecvUntil(p, p.Now()+t.live.cfg.Interval); rv == nil {
+				continue
+			}
+		} else {
+			rv = t.syncPort.WaitRecv(p)
+		}
+		t.live.heard(int(rv.From))
 		if len(rv.Data) == 0 {
 			t.stats.CorruptFrames++
 			t.syncPort.ProvideReceiveBuffer(rv.Buffer)

@@ -1,0 +1,202 @@
+package fastgm
+
+import (
+	"sort"
+
+	"repro/internal/gm"
+	"repro/internal/myrinet"
+	"repro/internal/sim"
+	"repro/internal/substrate"
+	"repro/internal/trace"
+)
+
+// The liveness layer (crash model). Heartbeat frames are multiplexed over
+// the existing asynchronous port — one extra frame tag, no new GM
+// resources beyond a handful of registered one-byte send buffers — and
+// every frame from a peer (data or heartbeat) refreshes that peer's
+// last-heard clock. A peer silent for longer than the configured deadline
+// is declared dead: pending and future sends toward it are abandoned
+// instead of retransmitted into the void, a blocked Call gives up with a
+// typed failure, and the OnPeerDead callback hands the event to the DSM's
+// stall watchdog.
+//
+// Detection is by silence, not by delivery failure: a dead process's
+// heartbeat clock stops (the tick checks the owning process), so every
+// survivor notices within Deadline() on its own. Heartbeats themselves
+// are fire-and-forget — a failed heartbeat send is never retransmitted,
+// it only triggers a port resume so real traffic can flow.
+type livenessState struct {
+	t   *Transport
+	cfg substrate.LivenessConfig
+
+	lastHeard []sim.Time
+	dead      []bool
+	stopped   bool
+
+	hbBufs  []*gm.Buffer // free registered heartbeat send buffers
+	failure *substrate.PeerUnreachableError
+	onDead  func(peer int, err error)
+}
+
+func (lv *livenessState) init(t *Transport) {
+	lv.t = t
+	lv.cfg = t.cfg.Liveness.Norm()
+	lv.cfg.Enabled = t.cfg.Liveness.Enabled
+	// dead/lastHeard exist even with liveness disabled: retry exhaustion
+	// also declares peers dead, and the recovery paths consult the flags
+	// unconditionally.
+	lv.lastHeard = make([]sim.Time, t.size)
+	lv.dead = make([]bool, t.size)
+}
+
+// start arms the heartbeat clock; called from Start in process context so
+// buffer registration can be charged to the owning process.
+func (lv *livenessState) start() {
+	if !lv.cfg.Enabled {
+		return
+	}
+	t := lv.t
+	s := t.proc.Sim()
+	now := s.Now()
+	for i := range lv.lastHeard {
+		lv.lastHeard[i] = now
+	}
+	class := t.node.System().Params().ClassFor(1)
+	slot := gm.ClassCapacity(class)
+	mem := t.node.Register(t.proc, t.size*slot)
+	for i := 0; i < t.size; i++ {
+		lv.hbBufs = append(lv.hbBufs, mem.SubBuffer(i*slot, class))
+	}
+	s.After(lv.cfg.Interval, lv.tick)
+}
+
+// tick runs on the event clock: detect silent peers, probe the live ones,
+// re-arm. It stops ticking — which is exactly what peers detect — once
+// the owning process is done, the transport was shut down, or a crash
+// teardown halted it.
+func (lv *livenessState) tick() {
+	t := lv.t
+	if lv.stopped || t.halted || t.proc.Done() {
+		return
+	}
+	s := t.proc.Sim()
+	now := s.Now()
+	deadline := lv.cfg.Deadline()
+	for peer := 0; peer < t.size; peer++ {
+		if peer == t.rank || lv.dead[peer] {
+			continue
+		}
+		if now-lv.lastHeard[peer] > deadline {
+			lv.declareDead(peer, "heartbeat-miss", 0)
+			continue
+		}
+		lv.sendHeartbeat(peer)
+	}
+	s.After(lv.cfg.Interval, lv.tick)
+}
+
+// sendHeartbeat ships one probe frame from kernel/event context. Probes
+// are best-effort: out of buffers or tokens means skip this round, and a
+// failed send only resumes the port (never a retransmission).
+func (lv *livenessState) sendHeartbeat(peer int) {
+	t := lv.t
+	if len(lv.hbBufs) == 0 {
+		return
+	}
+	buf := lv.hbBufs[len(lv.hbBufs)-1]
+	lv.hbBufs = lv.hbBufs[:len(lv.hbBufs)-1]
+	buf.Bytes()[0] = frameHB
+	err := t.asyncPort.SendFromKernel(myrinet.NodeID(peer), AsyncPort, buf, 1,
+		func(st gm.SendStatus) {
+			lv.hbBufs = append(lv.hbBufs, buf)
+			if st != gm.SendOK && !t.halted {
+				t.ensureResume(t.asyncPort)
+			}
+		})
+	if err != nil {
+		lv.hbBufs = append(lv.hbBufs, buf)
+		if err == gm.ErrPortDisabled {
+			t.ensureResume(t.asyncPort)
+		}
+		return
+	}
+	t.stats.HeartbeatsSent++
+}
+
+// heard refreshes a peer's last-heard clock (any frame counts).
+func (lv *livenessState) heard(peer int) {
+	if peer < 0 || peer >= len(lv.lastHeard) {
+		return
+	}
+	lv.lastHeard[peer] = lv.t.proc.Sim().Now()
+}
+
+// isDead reports whether peer has been declared dead.
+func (lv *livenessState) isDead(peer int) bool {
+	return peer >= 0 && peer < len(lv.dead) && lv.dead[peer]
+}
+
+// declareDead marks a peer dead (idempotently), records the typed
+// failure, abandons staged rendezvous sends toward the peer, and invokes
+// the watchdog callback.
+func (lv *livenessState) declareDead(peer int, kind string, attempts int) {
+	t := lv.t
+	if peer < 0 || peer >= len(lv.dead) || peer == t.rank || lv.dead[peer] {
+		return
+	}
+	lv.dead[peer] = true
+	t.stats.PeersDeclaredDead++
+	err := &substrate.PeerUnreachableError{Rank: t.rank, Peer: peer, Attempts: attempts, Kind: kind}
+	if lv.failure == nil {
+		lv.failure = err
+	}
+	s := t.proc.Sim()
+	if tr := s.Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(s.Now()), Layer: trace.LayerSubstrate,
+			Kind: "peer-dead:" + kind, Proc: -1, Peer: peer})
+		tr.Metrics().Counter(trace.LayerSubstrate, "peers.dead").Inc(1)
+	}
+	t.abandonStagedTo(peer)
+	if lv.onDead != nil {
+		lv.onDead(peer, err)
+	}
+}
+
+// abandonStagedTo drops every staged rendezvous send addressed to a dead
+// peer: its CTS will never come. Iteration is in sorted id order so the
+// abandonment sequence is deterministic.
+func (t *Transport) abandonStagedTo(peer int) {
+	ids := make([]uint32, 0, len(t.rv.staged))
+	for id, st := range t.rv.staged {
+		if st.dst == peer {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		delete(t.rv.staged, id)
+		t.stats.SendsAbandoned++
+	}
+}
+
+// SetOnPeerDead implements substrate.CrashControl.
+func (t *Transport) SetOnPeerDead(fn func(peer int, err error)) { t.live.onDead = fn }
+
+// PeerFailure implements substrate.CrashControl.
+func (t *Transport) PeerFailure() *substrate.PeerUnreachableError { return t.live.failure }
+
+// Halt implements substrate.CrashControl: crash teardown from scheduler
+// context. Timers and retransmissions go quiescent (they check t.halted)
+// and both GM ports close so a replacement process can reopen them;
+// in-flight traffic toward the closed ports is dropped by GM and the
+// senders' own halted checks absorb the resulting completions.
+func (t *Transport) Halt() {
+	if t.halted {
+		return
+	}
+	t.halted = true
+	t.rv.shutdown = true
+	t.live.stopped = true
+	t.node.ClosePort(AsyncPort)
+	t.node.ClosePort(SyncPort)
+}

@@ -1,8 +1,6 @@
 package fastgm
 
 import (
-	"fmt"
-
 	"repro/internal/gm"
 	"repro/internal/msg"
 	"repro/internal/myrinet"
@@ -58,11 +56,19 @@ func (t *Transport) completion(ps *pendingSend) gm.SendCallback {
 
 // onSendFailure runs in scheduler context when GM reports a failed send.
 func (t *Transport) onSendFailure(ps *pendingSend, st gm.SendStatus) {
+	if t.halted {
+		t.recycleSend(ps)
+		return
+	}
 	t.stats.GMSendFailures++
 	ps.attempts++
 	if ps.attempts > t.cfg.MaxSendRetries {
-		panic(fmt.Sprintf("fastgm: node %d → %d port %d: send failed %d times (%v): fault is not transient",
-			t.rank, ps.dst, ps.dstPort, ps.attempts, st))
+		// The fault is not transient. The original code fail-stopped here;
+		// instead the send is abandoned with a typed failure so the stall
+		// surfaces in the run result rather than leaving the frame pending
+		// (and the awaiting Call blocked) forever.
+		t.abandonSend(ps, "retry-exhausted")
+		return
 	}
 	if tr := t.proc.Sim().Tracer(); tr != nil {
 		tr.Emit(trace.Event{T: int64(t.proc.Sim().Now()), Layer: trace.LayerSubstrate,
@@ -91,6 +97,16 @@ func (t *Transport) retryBackoff(attempts int) sim.Time {
 func (t *Transport) scheduleRetransmit(ps *pendingSend) {
 	s := t.proc.Sim()
 	s.After(t.retryBackoff(ps.attempts), func() {
+		if t.halted {
+			t.recycleSend(ps)
+			return
+		}
+		if t.live.isDead(ps.dst) {
+			// The peer was declared dead while this frame sat in backoff;
+			// retrying would only re-disable our port.
+			t.abandonSend(ps, "peer-dead")
+			return
+		}
 		if !ps.port.Enabled() {
 			t.ensureResume(ps.port)
 			t.scheduleRetransmit(ps)
@@ -108,6 +124,30 @@ func (t *Transport) scheduleRetransmit(ps *pendingSend) {
 			tr.Metrics().Counter(trace.LayerSubstrate, "gm.retransmits").Inc(1)
 		}
 	})
+}
+
+// recycleSend returns an abandoned frame's buffer to the pool and wakes
+// anything waiting on pool space or tokens.
+func (t *Transport) recycleSend(ps *pendingSend) {
+	t.sendPool[ps.class] = append(t.sendPool[ps.class], ps.buf)
+	t.sendCond.Broadcast()
+	t.tokenCond.Broadcast()
+}
+
+// abandonSend gives up on a frame permanently: the buffer is recycled,
+// the give-up is counted and recorded as a typed failure, and the
+// destination is declared dead (idempotently) so everything else queued
+// toward it gives up too.
+func (t *Transport) abandonSend(ps *pendingSend, kind string) {
+	t.stats.SendsAbandoned++
+	t.recycleSend(ps)
+	s := t.proc.Sim()
+	if tr := s.Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(s.Now()), Layer: trace.LayerSubstrate,
+			Kind: "send-abandoned:" + kind, Proc: -1, Peer: ps.dst, Bytes: ps.n})
+		tr.Metrics().Counter(trace.LayerSubstrate, "sends.abandoned").Inc(1)
+	}
+	t.live.declareDead(ps.dst, kind, ps.attempts)
 }
 
 // ensureResume schedules exactly one pending gm_resume_sending for a

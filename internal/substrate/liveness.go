@@ -1,0 +1,90 @@
+package substrate
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// LivenessConfig enables the substrate's peer-liveness layer: lightweight
+// heartbeats multiplexed over the existing asynchronous path plus a
+// phi-style miss threshold. Every frame from a peer (data or heartbeat)
+// refreshes that peer's last-heard clock; a peer whose silence exceeds
+// Threshold heartbeat intervals is declared dead. Detection is local and
+// independent per process — there is no group membership protocol, which
+// matches the crash model: survivors only need to stop waiting.
+//
+// Disabled (the zero value), the transports behave bit-identically to the
+// pre-liveness code: no heartbeats, no deadline polling, and retry
+// exhaustion keeps its original semantics.
+type LivenessConfig struct {
+	Enabled bool
+	// Interval between heartbeat probes to each peer. Zero selects
+	// DefaultLivenessInterval.
+	Interval sim.Time
+	// Threshold is the phi-style miss bound: a peer is declared dead once
+	// elapsed-since-last-heard exceeds Threshold × Interval. Zero selects
+	// DefaultLivenessThreshold.
+	Threshold int
+}
+
+// Default liveness parameters: with a 500 µs probe interval and an
+// 8-interval miss bound, detection latency is ~4 ms of virtual time —
+// comfortably above the fabric's fault-injected delay spikes (≤ 2 ms) and
+// the transports' retry backoff steps, so a live-but-slow peer is never
+// declared dead by the chaos scenarios.
+const (
+	DefaultLivenessInterval  = 500 * sim.Microsecond
+	DefaultLivenessThreshold = 8
+)
+
+// Norm returns the config with defaults filled in.
+func (lc LivenessConfig) Norm() LivenessConfig {
+	if lc.Interval <= 0 {
+		lc.Interval = DefaultLivenessInterval
+	}
+	if lc.Threshold <= 0 {
+		lc.Threshold = DefaultLivenessThreshold
+	}
+	return lc
+}
+
+// Deadline returns the silence bound: a peer unheard for longer than this
+// is dead.
+func (lc LivenessConfig) Deadline() sim.Time {
+	n := lc.Norm()
+	return n.Interval * sim.Time(n.Threshold)
+}
+
+// CrashControl is the optional transport extension the DSM's crash
+// watchdog uses. Both substrates implement it; callers type-assert so the
+// base Transport interface (and every existing mock) is untouched.
+type CrashControl interface {
+	// SetOnPeerDead installs a callback invoked (once per peer, in
+	// scheduler or process context) when the liveness layer declares a
+	// peer dead or a send exhausts its retry budget.
+	SetOnPeerDead(fn func(peer int, err error))
+	// PeerFailure returns the first typed give-up recorded, or nil.
+	PeerFailure() *PeerUnreachableError
+	// Halt tears the transport down from scheduler context during crash
+	// recovery: timers stop, pending retransmissions are abandoned, and
+	// ports/sockets are released so a replacement process can rebind them.
+	Halt()
+}
+
+// PeerUnreachableError is the typed give-up: a transport stopped waiting
+// on a peer, either because the liveness layer declared it dead or because
+// a send exhausted its retry budget. It surfaces through tmk.Result into
+// the tmkrun exit code — the fix for the silent-stall where an exhausted
+// retransmit schedule previously left the send pending forever.
+type PeerUnreachableError struct {
+	Rank     int    // the process reporting the failure
+	Peer     int    // the peer declared unreachable
+	Attempts int    // send/probe attempts made (0 when detected by silence)
+	Kind     string // what gave up: "retry-exhausted", "heartbeat-miss", ...
+}
+
+func (e *PeerUnreachableError) Error() string {
+	return fmt.Sprintf("substrate: rank %d: peer %d unreachable (%s after %d attempts)",
+		e.Rank, e.Peer, e.Kind, e.Attempts)
+}

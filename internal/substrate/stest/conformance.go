@@ -10,6 +10,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/substrate"
 	"repro/internal/substrate/fastgm"
+	"repro/internal/substrate/udpgm"
 )
 
 // Builder constructs a fresh cluster for a conformance test.
@@ -29,6 +30,7 @@ func RunConformance(t *testing.T, build Builder) {
 	t.Run("DropStormPageFetch", func(t *testing.T) { ConformanceDropStormPageFetch(t, build) })
 	t.Run("CorruptedReplyCRC", func(t *testing.T) { ConformanceCorruptedReplyCRC(t, build) })
 	t.Run("PortDisabledMidBurstResumed", func(t *testing.T) { ConformancePortDisabledMidBurstResumed(t, build) })
+	t.Run("SilentPeerMidRendezvous", func(t *testing.T) { ConformanceSilentPeerMidRendezvous(t, build) })
 }
 
 // requireAllPortsEnabled asserts the residual-damage invariant after a
@@ -206,6 +208,80 @@ func ConformancePortDisabledMidBurstResumed(t *testing.T, build Builder) {
 		}
 	}
 	requireAllPortsEnabled(t, c)
+}
+
+// ConformanceSilentPeerMidRendezvous: the peer of a large transfer goes
+// silent after startup — for FAST/GM the sender's RTS is staged but the
+// CTS never arrives; for UDP/GM every retransmitted datagram vanishes
+// into a dead process. With liveness enabled both substrates must time
+// the peer out and fail the Call with a diagnostic naming it, instead of
+// hanging the simulation. The builder is probed only to learn which
+// transport family is under test; the scenario then constructs its own
+// liveness-enabled cluster.
+func ConformanceSilentPeerMidRendezvous(t *testing.T, build Builder) {
+	var c *Cluster
+	if probe := build(2, 1); probe.Stacks != nil {
+		cfg := udpgm.DefaultConfig()
+		cfg.Liveness = substrate.LivenessConfig{Enabled: true}
+		c = NewUDPConfig(2, 1, cfg)
+	} else {
+		cfg := fastgm.DefaultConfig()
+		cfg.Liveness = substrate.LivenessConfig{Enabled: true}
+		c = NewFast(2, 1, cfg)
+	}
+	started := 0
+	startCond := sim.NewCond("stest:silent-start")
+	rendezvous := func(p *sim.Proc) {
+		started++
+		startCond.Broadcast()
+		for started < 2 {
+			p.WaitOn(startCond)
+		}
+	}
+	noHandler := func(p *sim.Proc, m *msg.Message) {}
+	completed := false
+	var rep *msg.Message
+	// Rank 1 starts its transport (so preposting completes and the GM
+	// session looks healthy), then dies without shutting down: heartbeats
+	// stop and no protocol message is ever answered again.
+	c.Sim.Spawn("rank1", 0, func(p *sim.Proc) {
+		c.Transports[1].Start(p, noHandler)
+		rendezvous(p)
+	})
+	c.Sim.Spawn("rank0", 0, func(p *sim.Proc) {
+		c.Transports[0].Start(p, noHandler)
+		rendezvous(p)
+		p.Advance(sim.Millisecond) // rank 1 is dead by now
+		rep = c.Transports[0].Call(p, 1, &msg.Message{
+			Kind: msg.KPageReq, Page: 7,
+			PageData: bytes.Repeat([]byte{0x5A}, 16000), // rendezvous-class on FAST/GM
+		})
+		completed = true
+		c.Transports[0].Shutdown(p)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatalf("simulation did not quiesce: %v", err)
+	}
+	if !completed {
+		t.Fatal("rank 0's Call never returned (hang)")
+	}
+	if rep != nil {
+		t.Fatalf("Call against a dead peer returned a reply: %+v", rep)
+	}
+	cc, ok := c.Transports[0].(substrate.CrashControl)
+	if !ok {
+		t.Fatal("transport does not implement substrate.CrashControl")
+	}
+	pf := cc.PeerFailure()
+	if pf == nil {
+		t.Fatal("no PeerUnreachableError recorded")
+	}
+	if pf.Peer != 1 || pf.Kind == "" {
+		t.Errorf("diagnostic names peer %d kind %q, want peer 1 with a kind", pf.Peer, pf.Kind)
+	}
+	if st := c.Transports[0].Stats(); st.PeersDeclaredDead == 0 {
+		t.Errorf("peer never declared dead: %+v", st)
+	}
 }
 
 // ConformancePingPong: a simple matched request/reply with payload echo.

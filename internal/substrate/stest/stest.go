@@ -28,11 +28,17 @@ type Cluster struct {
 
 // NewUDP builds an n-rank cluster on the UDP/GM transport.
 func NewUDP(n int, seed int64) *Cluster {
+	return NewUDPConfig(n, seed, udpgm.DefaultConfig())
+}
+
+// NewUDPConfig builds an n-rank UDP/GM cluster with an explicit transport
+// configuration (liveness, retry budget, ...).
+func NewUDPConfig(n int, seed int64, cfg udpgm.Config) *Cluster {
 	c := newBase(n, seed)
 	c.Stacks = make([]*sockets.Stack, n)
 	for i := 0; i < n; i++ {
 		c.Stacks[i] = sockets.NewStack(c.Sim, c.GM.Node(myrinet.NodeID(i)), sockets.DefaultParams())
-		c.Transports[i] = udpgm.New(c.Stacks[i], i, n, udpgm.DefaultConfig())
+		c.Transports[i] = udpgm.New(c.Stacks[i], i, n, cfg)
 	}
 	return c
 }

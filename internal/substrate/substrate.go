@@ -93,6 +93,13 @@ type Stats struct {
 	GMRetransmits  int64 // frames retransmitted after a GM send failure
 	PortResumes    int64 // disabled GM ports re-enabled by the transport
 	CorruptFrames  int64 // frames rejected as truncated/corrupt/unknown
+
+	// Liveness-layer counters (all zero unless LivenessConfig.Enabled or a
+	// send actually exhausts its retry budget).
+	SendsAbandoned    int64 // sends given up after retry exhaustion or peer death
+	HeartbeatsSent    int64 // liveness probes transmitted
+	PeersDeclaredDead int64 // peers this process declared dead
+
 	ReplyWaitTime  sim.Time
 	RequestService sim.Time
 }

@@ -37,6 +37,11 @@ type Config struct {
 	MaxRetries        int      // give up (fail-stop) after this many
 	DispatchCost      sim.Time // per-request decode/dispatch CPU
 	DupCacheSize      int      // cached replies per process
+
+	// Liveness enables the peer-liveness layer: heartbeat datagrams on the
+	// request path plus silence-based death detection. Disabled (the zero
+	// value), the transport is bit-identical to the pre-liveness code.
+	Liveness substrate.LivenessConfig
 }
 
 // DefaultConfig mirrors TreadMarks' retransmission behaviour.
@@ -75,12 +80,26 @@ type Transport struct {
 	// reply path mid-receive, so they must not share memory.
 	reqBuf []byte
 	repBuf []byte
+
+	// Liveness/crash state: per-peer last-heard clocks and declared-dead
+	// flags (allocated unconditionally — retry exhaustion declares peers
+	// dead even with heartbeats off), the pre-encoded heartbeat datagram,
+	// and the crash watchdog hook. halted is set by Halt() during crash
+	// teardown.
+	liveCfg     substrate.LivenessConfig
+	lastHeard   []sim.Time
+	dead        []bool
+	liveStopped bool
+	halted      bool
+	hbData      []byte
+	failure     *substrate.PeerUnreachableError
+	onDead      func(peer int, err error)
 }
 
 // New creates the transport for process rank of size over the node's
 // socket stack.
 func New(stack *sockets.Stack, rank, size int, cfg Config) *Transport {
-	return &Transport{
+	t := &Transport{
 		stack:  stack,
 		cfg:    cfg,
 		rank:   rank,
@@ -89,6 +108,11 @@ func New(stack *sockets.Stack, rank, size int, cfg Config) *Transport {
 		reqBuf: make([]byte, stack.Params().MaxDatagram),
 		repBuf: make([]byte, stack.Params().MaxDatagram),
 	}
+	t.liveCfg = cfg.Liveness.Norm()
+	t.liveCfg.Enabled = cfg.Liveness.Enabled
+	t.lastHeard = make([]sim.Time, size)
+	t.dead = make([]bool, size)
+	return t
 }
 
 // Rank returns this process's rank.
@@ -107,6 +131,10 @@ func (t *Transport) Stats() *substrate.Stats { return &t.stats }
 func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
 	t.proc = p
 	t.handler = h
+	// Handler before the first Bind: binding advances virtual time, and in
+	// a restart generation peers that started earlier may already be
+	// heartbeating at ports as they come up.
+	p.SetInterruptHandler(t.onSIGIO)
 	t.reqIn = make([]*sockets.Socket, t.size)
 	t.repIn = make([]*sockets.Socket, t.size)
 	for j := 0; j < t.size; j++ {
@@ -126,14 +154,117 @@ func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
 		}
 		t.repIn[j] = rp
 	}
-	p.SetInterruptHandler(t.onSIGIO)
+	t.startLiveness(p)
 }
 
-// Shutdown closes all sockets.
+// Shutdown closes all sockets and stops the heartbeat clock.
 func (t *Transport) Shutdown(p *sim.Proc) {
+	t.liveStopped = true
 	for _, sk := range append(append([]*sockets.Socket(nil), t.reqIn...), t.repIn...) {
 		if sk != nil {
 			sk.Close(p)
+		}
+	}
+}
+
+// startLiveness arms the heartbeat clock (no-op with liveness disabled).
+func (t *Transport) startLiveness(p *sim.Proc) {
+	if !t.liveCfg.Enabled {
+		return
+	}
+	hb := &msg.Message{Kind: msg.KHeartbeat, From: int32(t.rank), ReplyTo: int32(t.rank)}
+	t.hbData = hb.Encode()
+	s := p.Sim()
+	now := s.Now()
+	for i := range t.lastHeard {
+		t.lastHeard[i] = now
+	}
+	s.After(t.liveCfg.Interval, t.livenessTick)
+}
+
+// livenessTick runs on the event clock: declare silent peers dead, probe
+// the live ones with a heartbeat datagram (kernel context — no syscall is
+// charged to the process), re-arm. The tick stops — which is exactly what
+// peers detect — once the owning process is done or the transport was
+// shut down or halted.
+func (t *Transport) livenessTick() {
+	if t.liveStopped || t.halted || t.proc.Done() {
+		return
+	}
+	s := t.proc.Sim()
+	now := s.Now()
+	deadline := t.liveCfg.Deadline()
+	for peer := 0; peer < t.size; peer++ {
+		if peer == t.rank || t.dead[peer] {
+			continue
+		}
+		if now-t.lastHeard[peer] > deadline {
+			t.declareDead(peer, "heartbeat-miss", 0)
+			continue
+		}
+		if t.stack.SendFromKernel(myrinet.NodeID(peer), reqPortBase+t.rank, t.hbData) == nil {
+			t.stats.HeartbeatsSent++
+		}
+	}
+	s.After(t.liveCfg.Interval, t.livenessTick)
+}
+
+// heard refreshes a peer's last-heard clock (any datagram counts).
+func (t *Transport) heard(peer int) {
+	if peer < 0 || peer >= len(t.lastHeard) {
+		return
+	}
+	t.lastHeard[peer] = t.proc.Sim().Now()
+}
+
+// declareDead marks a peer dead (idempotently), records the typed
+// failure, and invokes the crash watchdog callback.
+func (t *Transport) declareDead(peer int, kind string, attempts int) {
+	if peer < 0 || peer >= len(t.dead) || peer == t.rank || t.dead[peer] {
+		return
+	}
+	t.dead[peer] = true
+	t.stats.PeersDeclaredDead++
+	err := &substrate.PeerUnreachableError{Rank: t.rank, Peer: peer, Attempts: attempts, Kind: kind}
+	if t.failure == nil {
+		t.failure = err
+	}
+	s := t.proc.Sim()
+	if tr := s.Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(s.Now()), Layer: trace.LayerSubstrate,
+			Kind: "peer-dead:" + kind, Proc: -1, Peer: peer})
+		tr.Metrics().Counter(trace.LayerSubstrate, "peers.dead").Inc(1)
+	}
+	if t.onDead != nil {
+		t.onDead(peer, err)
+	}
+}
+
+// SetOnPeerDead implements substrate.CrashControl.
+func (t *Transport) SetOnPeerDead(fn func(peer int, err error)) { t.onDead = fn }
+
+// PeerFailure implements substrate.CrashControl.
+func (t *Transport) PeerFailure() *substrate.PeerUnreachableError { return t.failure }
+
+// Halt implements substrate.CrashControl: crash teardown from scheduler
+// context. The heartbeat clock stops and every socket is force-closed so
+// a replacement process can rebind the ports; in-flight datagrams toward
+// the closed sockets are dropped by the kernel (DatagramsNoSock), exactly
+// as with a genuinely dead process.
+func (t *Transport) Halt() {
+	if t.halted {
+		return
+	}
+	t.halted = true
+	t.liveStopped = true
+	for _, sk := range t.reqIn {
+		if sk != nil {
+			sk.ForceClose()
+		}
+	}
+	for _, sk := range t.repIn {
+		if sk != nil {
+			sk.ForceClose()
 		}
 	}
 }
@@ -181,6 +312,13 @@ func (t *Transport) dispatchRequest(p *sim.Proc, raw []byte) {
 	if err != nil {
 		panic(fmt.Sprintf("udpgm: corrupt request on node %d: %v", t.rank, err))
 	}
+	t.heard(int(m.From))
+	if m.Kind == msg.KHeartbeat {
+		// Liveness probe: the arrival already refreshed the sender's
+		// last-heard clock. Intercepted before the duplicate filter (all
+		// heartbeats share Seq 0) and never handed to the DSM handler.
+		return
+	}
 	t.stats.RequestsRecvd++
 	t.stats.BytesRecvd += int64(len(raw))
 	key := substrate.DupKey{Origin: m.ReplyTo, Seq: m.Seq}
@@ -223,6 +361,9 @@ func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
 	waitStart := p.Now()
 	timeout := t.cfg.RetransmitInitial
 	for attempt := 0; attempt <= t.cfg.MaxRetries; attempt++ {
+		if t.dead[dst] {
+			return t.giveUp(p, dst, req, "peer-dead", attempt)
+		}
 		if attempt > 0 {
 			t.stats.Retransmits++
 			if tr := p.Sim().Tracer(); tr != nil {
@@ -261,8 +402,26 @@ func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
 			timeout = t.cfg.RetransmitMax
 		}
 	}
-	panic(fmt.Sprintf("udpgm: node %d: no reply from %d for %v after %d attempts",
-		t.rank, dst, req.Kind, t.cfg.MaxRetries+1))
+	return t.giveUp(p, dst, req, "retry-exhausted", t.cfg.MaxRetries+1)
+}
+
+// giveUp abandons a Call permanently: the peer is declared dead and the
+// caller gets nil back so the DSM watchdog can take over. Without a
+// watchdog or liveness config nothing above can handle the nil, so the
+// historical fail-stop is preserved verbatim.
+func (t *Transport) giveUp(p *sim.Proc, dst int, req *msg.Message, kind string, attempts int) *msg.Message {
+	if t.onDead == nil && !t.liveCfg.Enabled {
+		panic(fmt.Sprintf("udpgm: node %d: no reply from %d for %v after %d attempts",
+			t.rank, dst, req.Kind, t.cfg.MaxRetries+1))
+	}
+	t.stats.SendsAbandoned++
+	if tr := p.Sim().Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
+			Kind: "send-abandoned:" + kind, Proc: p.ID(), Peer: dst})
+		tr.Metrics().Counter(trace.LayerSubstrate, "sends.abandoned").Inc(1)
+	}
+	t.declareDead(dst, kind, attempts)
+	return nil
 }
 
 // repSockets returns the live reply sockets (indexed compactly).
@@ -288,6 +447,7 @@ func (t *Transport) recvReply(p *sim.Proc, idx int) *msg.Message {
 	if err != nil {
 		panic(fmt.Sprintf("udpgm: corrupt reply on node %d: %v", t.rank, err))
 	}
+	t.heard(int(m.From))
 	return m
 }
 

@@ -61,6 +61,7 @@ func (tp *Proc) barrierChildren() int {
 // Crossing it makes all processes' modifications visible everywhere
 // (lazily: pages are invalidated; data moves on demand).
 func (tp *Proc) Barrier(id int32) {
+	tp.maybeCrashAt(&tp.crashBarriers, tp.cluster.cfg.Crash.AtBarrier)
 	start := tp.sp.Now()
 	tp.stats.Barriers++
 
@@ -77,9 +78,11 @@ func (tp *Proc) Barrier(id int32) {
 
 	// Phase 1: wait for all our children to arrive (their intervals are
 	// applied on receipt by the handler).
+	tp.blockedOn = fmt.Sprintf("barrier %d episode %d (awaiting %d arrivals)", id, ep, children)
 	for len(tp.barrier.arrivals) < children {
 		tp.sp.WaitOn(tp.barrier.cond)
 	}
+	tp.blockedOn = ""
 
 	tp.tr.DisableAsync(tp.sp)
 	tp.closeInterval()
@@ -106,13 +109,14 @@ func (tp *Proc) Barrier(id int32) {
 				pPgs += len(r.pages)
 			}
 		}
-		rep := tp.tr.Call(tp.sp, parent, &msg.Message{
-			Kind:      msg.KBarrierArrive,
-			Barrier:   id,
-			Episode:   ep,
-			VC:        tp.vc.Ints(),
-			Intervals: toWire(recs),
-		})
+		rep := tp.call(parent, fmt.Sprintf("barrier %d episode %d (arrive at parent %d)", id, ep, parent),
+			&msg.Message{
+				Kind:      msg.KBarrierArrive,
+				Barrier:   id,
+				Episode:   ep,
+				VC:        tp.vc.Ints(),
+				Intervals: toWire(recs),
+			})
 		if rep.Kind != msg.KBarrierRelease {
 			panic(fmt.Sprintf("tmk: bad barrier release %v", rep.Kind))
 		}

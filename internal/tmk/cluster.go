@@ -52,6 +52,13 @@ type Config struct {
 	// epochs. Like Trace it is observation only — profiled runs are
 	// bit-identical to unprofiled ones.
 	Prof *prof.Profiler
+
+	// Crash configures the crash-failure model: the seeded injector, the
+	// substrate liveness detector, and the recovery policy (abort with a
+	// post-mortem, or barrier-epoch checkpoint/restart). The zero value
+	// — and an enabled config with no trigger armed — is bit-identical to
+	// a run without a crash model.
+	Crash CrashConfig
 }
 
 // DefaultConfig returns a calibrated n-process configuration.
@@ -77,7 +84,13 @@ type Cluster struct {
 	fabric *myrinet.Fabric
 	gmsys  *gm.System
 	stacks []*sockets.Stack
-	procs  []*Proc
+	procs  []*Proc // current generation, indexed by rank
+
+	// allProcs accumulates every generation's engines so aggregate
+	// statistics survive a crash-and-restart.
+	allProcs []*Proc
+	appFn    func(tp *Proc)
+	crash    crashState
 
 	nextRegionID int32
 	nextPage     int32
@@ -103,6 +116,14 @@ type Result struct {
 	DisabledPorts int
 	// NetFaults reports what the fault-injection fabric actually did.
 	NetFaults myrinet.FaultStats
+	// Crash is the watchdog's post-mortem when a rank died (nil
+	// otherwise): who died, who detected it, what every survivor was
+	// blocked on, and whether recovery restarted or aborted the run.
+	Crash *CrashReport
+	// PeerFailure is the first typed transport give-up recorded across
+	// all generations, or nil — the surfaced form of what used to be a
+	// silent forever-pending send.
+	PeerFailure *substrate.PeerUnreachableError
 }
 
 // finalBarrier is the implicit shutdown barrier id.
@@ -113,6 +134,21 @@ const finalBarrier int32 = 1<<31 - 1
 func NewCluster(cfg Config) *Cluster {
 	if cfg.Procs < 1 {
 		panic("tmk: need at least one process")
+	}
+	if cfg.Crash.Enabled {
+		if cfg.Crash.Rank < 0 || cfg.Crash.Rank >= cfg.Procs {
+			panic(fmt.Sprintf("tmk: crash rank %d out of range", cfg.Crash.Rank))
+		}
+		// A trigger without a detector would leave survivors blocked on
+		// the dead rank forever; arm the liveness layer in both substrate
+		// configs. With no trigger and no explicit liveness the crash
+		// model stays completely inert (bit-identity).
+		if cfg.Crash.Liveness.Enabled || cfg.Crash.hasTrigger() {
+			lv := cfg.Crash.Liveness.Norm()
+			lv.Enabled = true
+			cfg.UDP.Liveness = lv
+			cfg.Fast.Liveness = lv
+		}
 	}
 	c := &Cluster{cfg: cfg, n: cfg.Procs}
 	c.sim = sim.New(cfg.Seed)
@@ -139,18 +175,27 @@ func (c *Cluster) GM() *gm.System { return c.gmsys }
 // Proc returns the rank's DSM engine (valid after Run starts it).
 func (c *Cluster) Proc(rank int) *Proc { return c.procs[rank] }
 
-// Run executes app on every rank and returns the result. The app
-// receives its rank's Proc; a final barrier is implicit.
-func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
+// spawnGeneration launches one process per rank for generation gen.
+// Generation 0 runs the application from the top; a restarted generation
+// (gen ≥ 1) restores every rank from the epoch resumeEpoch−1 checkpoint
+// before the application body runs, so EpochLoop skips straight to
+// resumeEpoch.
+func (c *Cluster) spawnGeneration(gen, resumeEpoch int) {
 	n := c.n
-	c.procs = make([]*Proc, n)
+	if c.procs == nil {
+		c.procs = make([]*Proc, n)
+	}
 	started := 0
 	startCond := sim.NewCond("tmk:start")
 	finished := 0
 	finCond := sim.NewCond("tmk:finish")
 	for rank := 0; rank < n; rank++ {
 		rank := rank
-		c.sim.Spawn(fmt.Sprintf("tmk%d", rank), 0, func(sp *sim.Proc) {
+		name := fmt.Sprintf("tmk%d", rank)
+		if gen > 0 {
+			name = fmt.Sprintf("tmk%d.g%d", rank, gen)
+		}
+		c.sim.Spawn(name, 0, func(sp *sim.Proc) {
 			var tr substrate.Transport
 			switch c.cfg.Transport {
 			case TransportUDPGM:
@@ -161,8 +206,23 @@ func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
 				panic(fmt.Sprintf("tmk: unknown transport %q", c.cfg.Transport))
 			}
 			tp := newProc(c, rank, sp, tr, c.cfg.CPU)
+			tp.gen = gen
+			if gen > 0 {
+				tp.resumeEpoch = resumeEpoch
+				tp.restoreSnapshot(resumeEpoch - 1)
+			}
 			c.procs[rank] = tp
+			c.allProcs = append(c.allProcs, tp)
 			tr.Start(sp, tp.handleRequest)
+			// The stall watchdog rides on the transport's failure
+			// detector: any declared-dead peer (liveness miss or retry
+			// exhaustion) triggers coordinated teardown instead of an
+			// unbounded wait.
+			if cc, ok := tr.(substrate.CrashControl); ok {
+				cc.SetOnPeerDead(func(peer int, err error) {
+					c.handleCrash(rank, peer, err)
+				})
+			}
 
 			// Setup rendezvous: no DSM traffic before every rank has
 			// preposted its buffers (the real system synchronizes via
@@ -174,7 +234,7 @@ func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
 			}
 
 			tp.appStart = sp.Now()
-			app(tp)
+			c.appFn(tp)
 			tp.Barrier(finalBarrier)
 			tp.appEnd = sp.Now()
 
@@ -191,18 +251,43 @@ func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
 			tr.Shutdown(sp)
 		})
 	}
+}
+
+// Run executes app on every rank and returns the result. The app
+// receives its rank's Proc; a final barrier is implicit.
+func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
+	n := c.n
+	c.appFn = app
+	c.spawnGeneration(0, 0)
+	if cc := c.cfg.Crash; cc.Enabled && cc.AtTime > 0 {
+		c.sim.At(cc.AtTime, func() {
+			if tp := c.procs[cc.Rank]; tp != nil && tp.gen == 0 {
+				tp.sp.Kill()
+			}
+		})
+	}
 	if err := c.sim.Run(); err != nil {
-		return nil, err
+		return nil, c.wrapRunError(err)
 	}
 	res := &Result{PerProc: make([]sim.Time, n)}
 	for i, tp := range c.procs {
 		d := tp.appEnd - tp.appStart
+		if tp.appEnd < tp.appStart {
+			d = 0 // killed before completing (crash-model teardown)
+		}
 		res.PerProc[i] = d
 		if d > res.ExecTime {
 			res.ExecTime = d
 		}
+	}
+	for _, tp := range c.allProcs {
 		res.Stats.Add(&tp.stats)
 		res.Transport.Add(tp.tr.Stats())
+		if res.PeerFailure == nil {
+			if cc, ok := tp.tr.(substrate.CrashControl); ok {
+				res.PeerFailure = cc.PeerFailure()
+			}
+		}
 	}
 	for i := 0; i < n; i++ {
 		node := c.gmsys.Node(myrinet.NodeID(i))
@@ -216,7 +301,29 @@ func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
 		}
 	}
 	res.NetFaults = c.fabric.FaultStats()
+	res.Crash = c.crash.report
+	if res.Crash != nil && res.Crash.Action == "abort" {
+		return res, &CrashAbortError{Report: res.Crash}
+	}
 	return res, nil
+}
+
+// wrapRunError attaches any typed transport give-ups to a simulation
+// error (normally a DeadlockError), so a stalled run names the
+// unreachable peer instead of only listing blocked processes.
+func (c *Cluster) wrapRunError(err error) error {
+	var fails []*substrate.PeerUnreachableError
+	for _, tp := range c.allProcs {
+		if cc, ok := tp.tr.(substrate.CrashControl); ok {
+			if f := cc.PeerFailure(); f != nil {
+				fails = append(fails, f)
+			}
+		}
+	}
+	if len(fails) == 0 {
+		return err
+	}
+	return &StallError{Sim: err, Failures: fails}
 }
 
 // Run is the one-call entry point: assemble a cluster and execute app.

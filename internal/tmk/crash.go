@@ -1,0 +1,229 @@
+package tmk
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/substrate"
+	"repro/internal/trace"
+)
+
+// Crash-failure model. A seeded injector kills one rank at a chosen
+// protocol point; the substrate's liveness layer detects the resulting
+// silence; and the stall watchdog below turns the detection into either a
+// coordinated abort with a post-mortem naming the blocking protocol
+// entity on every survivor, or — for barrier-structured applications
+// checkpointing through EpochLoop — a restart of the epoch with a
+// replacement generation of processes restored from the last complete
+// barrier checkpoint.
+
+// CrashConfig configures the injector and the recovery policy. The zero
+// value (and an Enabled config with no trigger and no liveness) changes
+// nothing: runs are bit-identical to a config without a crash model.
+type CrashConfig struct {
+	Enabled bool
+	// Rank is the process the injector kills.
+	Rank int
+	// AtTime kills Rank at this virtual time (0 disables this trigger).
+	AtTime sim.Time
+	// AtBarrier kills Rank on entry to its n-th Barrier call, counting
+	// from 1 and including checkpoint fences (0 disables).
+	AtBarrier int
+	// AtLock kills Rank on entry to its n-th LockAcquire call, counting
+	// from 1 (0 disables).
+	AtLock int
+	// Liveness configures the substrate's heartbeat/failure detector. It
+	// is forced on whenever a trigger is armed — without detection the
+	// survivors would block forever on the dead rank.
+	Liveness substrate.LivenessConfig
+	// Checkpoint enables barrier-epoch checkpoint/restart for apps that
+	// structure themselves with EpochLoop; without it (or without a
+	// complete checkpoint) a detected crash ends in a coordinated abort.
+	Checkpoint bool
+}
+
+func (cc CrashConfig) hasTrigger() bool {
+	return cc.AtTime > 0 || cc.AtBarrier > 0 || cc.AtLock > 0
+}
+
+// CrashReport is the watchdog's post-mortem: who died, who noticed, and
+// what protocol entity each survivor was blocked on at detection time.
+type CrashReport struct {
+	DeadRank   int
+	DetectedBy int      // rank whose transport first declared the peer dead
+	DetectedAt sim.Time // virtual detection time
+	Cause      string   // the transport's typed failure
+	Entities   []string // per-rank blocking entity at detection
+	Action     string   // "abort" or "restart"
+	// RestartEpoch is the epoch execution resumed from (restart only):
+	// the first epoch after the last complete checkpoint.
+	RestartEpoch int
+	// Generations counts process generations spawned (1 = no restart).
+	Generations int
+}
+
+func (r *CrashReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rank %d crashed; detected by rank %d at %v (%s); action=%s",
+		r.DeadRank, r.DetectedBy, r.DetectedAt, r.Cause, r.Action)
+	if r.Action == "restart" {
+		fmt.Fprintf(&b, " from epoch %d", r.RestartEpoch)
+	}
+	for rank, e := range r.Entities {
+		if rank == r.DeadRank || e == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  rank %d: %s", rank, e)
+	}
+	return b.String()
+}
+
+// CrashAbortError is returned by Run alongside the partial Result when a
+// detected crash could not be recovered by restart: the post-mortem names
+// the dead rank and what every survivor was blocked on.
+type CrashAbortError struct {
+	Report *CrashReport
+}
+
+func (e *CrashAbortError) Error() string {
+	return "tmk: run aborted after crash: " + e.Report.String()
+}
+
+// StallError wraps a simulation that went quiescent after a transport
+// recorded a typed give-up (the retry-exhaustion path with no liveness
+// detector to unblock the waiters).
+type StallError struct {
+	Sim      error
+	Failures []*substrate.PeerUnreachableError
+}
+
+func (e *StallError) Error() string {
+	parts := make([]string, len(e.Failures))
+	for i, f := range e.Failures {
+		parts[i] = f.Error()
+	}
+	return fmt.Sprintf("tmk: run stalled: %s; %v", strings.Join(parts, "; "), e.Sim)
+}
+
+// Unwrap exposes the first typed transport failure to errors.As/Is.
+func (e *StallError) Unwrap() error { return e.Failures[0] }
+
+// crashState is the cluster-side watchdog state.
+type crashState struct {
+	handled   bool
+	report    *CrashReport
+	gen       int                    // current process generation
+	snapshots map[int]map[int][]byte // epoch → rank → encoded checkpoint
+}
+
+// handleCrash is the stall watchdog: invoked (once; later detections are
+// ignored) by any rank's transport when it declares a peer dead. It runs
+// in whatever context the detection happened — a liveness tick in
+// scheduler context or a giving-up Call in process context — and only
+// marks state, kills, and schedules: the teardown completes in afterCrash
+// once every killed process has unwound.
+func (c *Cluster) handleCrash(detector, peer int, err error) {
+	if c.crash.handled {
+		return
+	}
+	c.crash.handled = true
+	now := c.sim.Now()
+	rep := &CrashReport{
+		DeadRank:    peer,
+		DetectedBy:  detector,
+		DetectedAt:  now,
+		Cause:       err.Error(),
+		Entities:    make([]string, c.n),
+		Generations: c.crash.gen + 1,
+	}
+	for rank, tp := range c.procs {
+		switch {
+		case tp == nil:
+			rep.Entities[rank] = "(not started)"
+		case rank == peer:
+			rep.Entities[rank] = "(dead)"
+		case tp.sp.Done():
+			rep.Entities[rank] = "(finished)"
+		case tp.blockedOn != "":
+			rep.Entities[rank] = "blocked on " + tp.blockedOn
+		default:
+			rep.Entities[rank] = "(running)"
+		}
+	}
+	c.crash.report = rep
+	if tr := c.sim.Tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(now), Layer: trace.LayerTMK,
+			Kind: "crash-detected", Proc: detector, Peer: peer})
+	}
+	c.sim.Tracef("tmk: watchdog: rank %d dead (detected by %d): tearing down generation %d", peer, detector, c.crash.gen)
+
+	// Kill the whole generation (survivors' partial epoch state is not
+	// recoverable piecemeal) and halt its transports so their timers and
+	// retransmissions go quiescent and ports/sockets free up for a
+	// replacement generation.
+	for _, tp := range c.procs {
+		if tp != nil {
+			tp.sp.Kill()
+		}
+	}
+	for _, tp := range c.procs {
+		if tp != nil {
+			if cc, ok := tp.tr.(substrate.CrashControl); ok {
+				cc.Halt()
+			}
+		}
+	}
+	// Same-time FIFO ordering guarantees every kill-wake dispatch (and so
+	// every goroutine unwind) runs before the recovery decision.
+	c.sim.At(now, c.afterCrash)
+}
+
+// afterCrash runs in scheduler context once the crashed generation has
+// fully unwound: restart from the last complete checkpoint if the
+// configuration and the checkpoint store allow it, otherwise leave the
+// abort post-mortem as the run's outcome.
+func (c *Cluster) afterCrash() {
+	rep := c.crash.report
+	epoch, ok := c.latestCompleteCheckpoint()
+	if c.cfg.Crash.Enabled && c.cfg.Crash.Checkpoint && c.crash.gen == 0 && ok {
+		rep.Action = "restart"
+		rep.RestartEpoch = epoch + 1
+		c.crash.gen++
+		rep.Generations = c.crash.gen + 1
+		c.sim.Tracef("tmk: watchdog: restarting generation %d from epoch %d", c.crash.gen, rep.RestartEpoch)
+		c.spawnGeneration(c.crash.gen, rep.RestartEpoch)
+		return
+	}
+	rep.Action = "abort"
+}
+
+// maybeCrashAt implements the counting triggers (AtBarrier/AtLock): the
+// injected rank of generation 0 dies mid-protocol, without any cleanup,
+// on its at-th entry to the instrumented operation.
+func (tp *Proc) maybeCrashAt(counter *int, at int) {
+	cc := tp.cluster.cfg.Crash
+	if !cc.Enabled || at <= 0 || tp.gen != 0 || tp.rank != cc.Rank {
+		return
+	}
+	*counter++
+	if *counter == at {
+		tp.sp.Sim().Tracef("tmk: crash injector: rank %d dies (trigger %d)", tp.rank, at)
+		tp.sp.Exit()
+	}
+}
+
+// call wraps the substrate Call with blocking-entity accounting for the
+// watchdog's post-mortem. A nil reply means the transport gave up on a
+// dead peer — the watchdog has already been notified, this process's
+// generation is condemned, and the caller unwinds like a killed process.
+func (tp *Proc) call(dst int, entity string, req *msg.Message) *msg.Message {
+	tp.blockedOn = entity
+	rep := tp.tr.Call(tp.sp, dst, req)
+	if rep == nil {
+		tp.sp.Exit()
+	}
+	tp.blockedOn = ""
+	return rep
+}

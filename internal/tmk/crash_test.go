@@ -1,0 +1,273 @@
+package tmk_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/substrate"
+	"repro/internal/tmk"
+)
+
+// epochApp is a small barrier-structured workload shaped like Jacobi:
+// epoch 0 allocates and seeds a shared vector, each later epoch has every
+// rank rewrite its stripe as a function of the epoch number, with a
+// barrier per epoch. The final contents depend on every epoch having run
+// exactly once — a restarted generation that lost or replayed an epoch
+// produces wrong values.
+const epochSlots = 600 // spans two pages
+
+func epochApp(epochs int) func(tp *tmk.Proc) {
+	return func(tp *tmk.Proc) {
+		n := tp.NProcs()
+		tp.EpochLoop(epochs+1, func(e int) {
+			if e == 0 {
+				r := tp.AllocShared(8 * epochSlots)
+				if tp.Rank() == 0 {
+					for i := 0; i < epochSlots; i++ {
+						tp.WriteF64(r, i, 1)
+					}
+				}
+				tp.Barrier(1)
+				return
+			}
+			r := tp.RegionByID(0)
+			for i := tp.Rank(); i < epochSlots; i += n {
+				v := tp.ReadF64(r, i)
+				tp.WriteF64(r, i, v*2+float64(e))
+			}
+			tp.Barrier(int32(10 + e))
+		})
+	}
+}
+
+func epochWant(epochs int) float64 {
+	v := 1.0
+	for e := 1; e <= epochs; e++ {
+		v = v*2 + float64(e)
+	}
+	return v
+}
+
+func verifyEpochApp(t *testing.T, tp *tmk.Proc, epochs int) {
+	t.Helper()
+	want := epochWant(epochs)
+	r := tp.RegionByID(0)
+	for i := 0; i < epochSlots; i++ {
+		if got := tp.ReadF64(r, i); got != want {
+			t.Errorf("slot %d = %v, want %v", i, got, want)
+			return
+		}
+	}
+}
+
+// TestCrashRestartFromCheckpoint kills rank 1 mid-run on both transports
+// and requires the checkpoint/restart path to finish the computation
+// bit-correct: survivors detect the death, the watchdog respawns a
+// generation from the last complete epoch checkpoint, and the final
+// shared state equals the crash-free reference.
+func TestCrashRestartFromCheckpoint(t *testing.T) {
+	const epochs = 4
+	for _, kind := range bothTransports {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := tmk.DefaultConfig(4, kind)
+			cfg.Crash = tmk.CrashConfig{
+				Enabled:    true,
+				Rank:       1,
+				AtBarrier:  6, // app barrier 1, fences(0), then dies entering epoch-1's work barrier wave
+				Checkpoint: true,
+			}
+			app := epochApp(epochs)
+			res, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+				app(tp)
+				tp.Barrier(1_000_000)
+				if tp.Rank() == 0 {
+					verifyEpochApp(t, tp, epochs)
+				}
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Crash == nil {
+				t.Fatal("no crash report despite injected crash")
+			}
+			if res.Crash.Action != "restart" {
+				t.Fatalf("action = %q (report: %s)", res.Crash.Action, res.Crash)
+			}
+			if res.Crash.DeadRank != 1 || res.Crash.Generations != 2 {
+				t.Errorf("report: dead=%d generations=%d", res.Crash.DeadRank, res.Crash.Generations)
+			}
+			if res.Stats.Checkpoints == 0 {
+				t.Error("no checkpoints recorded")
+			}
+			if res.Transport.PeersDeclaredDead == 0 {
+				t.Error("no liveness detection recorded")
+			}
+		})
+	}
+}
+
+// TestCrashAbortNamesBlockingEntity kills the lock-holding rank of a
+// lock-structured (non-checkpointable) workload and requires a
+// coordinated abort whose post-mortem names the dead rank and the
+// protocol entity each survivor was blocked on.
+func TestCrashAbortNamesBlockingEntity(t *testing.T) {
+	for _, kind := range bothTransports {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := tmk.DefaultConfig(3, kind)
+			cfg.Crash = tmk.CrashConfig{
+				Enabled: true,
+				Rank:    1,
+				AtLock:  2, // die holding nothing but with the token chain pointed here
+			}
+			res, err := tmk.Run(cfg, func(tp *tmk.Proc) {
+				r := tp.AllocShared(8)
+				tp.Barrier(1)
+				for k := 0; k < 6; k++ {
+					tp.LockAcquire(1) // rank 1 manages lock 1
+					v := tp.ReadF64(r, 0)
+					tp.WriteF64(r, 0, v+1)
+					tp.LockRelease(1)
+				}
+				tp.Barrier(2)
+			})
+			var abort *tmk.CrashAbortError
+			if !errors.As(err, &abort) {
+				t.Fatalf("err = %v, want CrashAbortError", err)
+			}
+			if res == nil || res.Crash == nil {
+				t.Fatal("abort without result/report")
+			}
+			rep := res.Crash
+			if rep.Action != "abort" || rep.DeadRank != 1 {
+				t.Fatalf("report: %s", rep)
+			}
+			text := rep.String()
+			if !strings.Contains(text, "lock 1") && !strings.Contains(text, "barrier") {
+				t.Errorf("post-mortem names no protocol entity:\n%s", text)
+			}
+			if res.PeerFailure == nil || res.PeerFailure.Peer != 1 {
+				t.Errorf("PeerFailure = %+v, want peer 1", res.PeerFailure)
+			}
+		})
+	}
+}
+
+// TestCrashAtTime exercises the virtual-time trigger: the victim dies at
+// an arbitrary instant (not a protocol point) and the run still
+// terminates with a report instead of hanging.
+func TestCrashAtTime(t *testing.T) {
+	for _, kind := range bothTransports {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := tmk.DefaultConfig(3, kind)
+			cfg.Crash = tmk.CrashConfig{
+				Enabled:    true,
+				Rank:       2,
+				AtTime:     3_000_000, // 3ms: mid-epoch
+				Checkpoint: true,
+			}
+			res, err := tmk.Run(cfg, epochApp(5))
+			if res == nil && err == nil {
+				t.Fatal("no result and no error")
+			}
+			if res != nil && res.Crash == nil {
+				t.Fatalf("run completed without a crash report (err=%v)", err)
+			}
+		})
+	}
+}
+
+// TestCheckpointBytesDeterministic runs the same crashing configuration
+// twice and requires both the recovery outcome and every stored
+// checkpoint to be byte-identical — the format's determinism guarantee.
+func TestCheckpointBytesDeterministic(t *testing.T) {
+	const epochs = 3
+	run := func() (*tmk.Cluster, *tmk.Result) {
+		cfg := tmk.DefaultConfig(4, tmk.TransportFastGM)
+		cfg.Crash = tmk.CrashConfig{Enabled: true, Rank: 1, AtBarrier: 6, Checkpoint: true}
+		c := tmk.NewCluster(cfg)
+		res, err := c.Run(epochApp(epochs))
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return c, res
+	}
+	c1, r1 := run()
+	c2, r2 := run()
+	if r1.ExecTime != r2.ExecTime || r1.Stats != r2.Stats || r1.Transport != r2.Transport {
+		t.Fatalf("crash recovery not deterministic:\n%+v\n%+v", r1.Stats, r2.Stats)
+	}
+	found := 0
+	for e := 0; e <= epochs; e++ {
+		for rank := 0; rank < 4; rank++ {
+			s1, s2 := c1.Snapshot(e, rank), c2.Snapshot(e, rank)
+			if !bytes.Equal(s1, s2) {
+				t.Fatalf("checkpoint (epoch %d, rank %d) differs between identical runs", e, rank)
+			}
+			if s1 != nil {
+				found++
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no checkpoints stored")
+	}
+}
+
+// TestZeroCrashConfigBitIdentical requires an enabled-but-inert crash
+// model (no trigger, no liveness) to be invisible: results bit-identical
+// to a run with no crash model at all.
+func TestZeroCrashConfigBitIdentical(t *testing.T) {
+	for _, kind := range bothTransports {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			app := epochApp(3)
+			base, err := tmk.Run(tmk.DefaultConfig(4, kind), app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := tmk.DefaultConfig(4, kind)
+			cfg.Crash = tmk.CrashConfig{Enabled: true}
+			inert, err := tmk.Run(cfg, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.ExecTime != inert.ExecTime {
+				t.Errorf("ExecTime %v != %v", base.ExecTime, inert.ExecTime)
+			}
+			if base.Stats != inert.Stats {
+				t.Errorf("tmk stats diverged:\n%+v\n%+v", base.Stats, inert.Stats)
+			}
+			if base.Transport != inert.Transport {
+				t.Errorf("transport stats diverged:\n%+v\n%+v", base.Transport, inert.Transport)
+			}
+			if inert.Crash != nil {
+				t.Errorf("inert crash config produced a report: %s", inert.Crash)
+			}
+		})
+	}
+}
+
+// TestLivenessStatsFlow sanity-checks that an armed crash config routes
+// liveness config into the substrate: heartbeats actually flow.
+func TestLivenessStatsFlow(t *testing.T) {
+	cfg := tmk.DefaultConfig(2, tmk.TransportFastGM)
+	cfg.Crash = tmk.CrashConfig{
+		Enabled:  true,
+		Liveness: substrate.LivenessConfig{Enabled: true},
+	}
+	res, err := tmk.Run(cfg, epochApp(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transport.HeartbeatsSent == 0 {
+		t.Error("liveness enabled but no heartbeats sent")
+	}
+	if res.Transport.PeersDeclaredDead != 0 {
+		t.Errorf("false-positive death declarations: %d", res.Transport.PeersDeclaredDead)
+	}
+}

@@ -122,7 +122,8 @@ func (tp *Proc) fetchPage(pm *pageMeta) {
 	}
 	tp.stats.PageFetches++
 	fetchStart := tp.sp.Now()
-	rep := tp.tr.Call(tp.sp, target, &msg.Message{Kind: msg.KPageReq, Page: pm.id})
+	rep := tp.call(target, fmt.Sprintf("page %d (fetch from %d)", pm.id, target),
+		&msg.Message{Kind: msg.KPageReq, Page: pm.id})
 	if tr := tp.tracer(); tr != nil {
 		tr.Emit(trace.Event{T: int64(fetchStart), Dur: int64(tp.sp.Now() - fetchStart),
 			Layer: trace.LayerTMK, Kind: "page-fetch", Proc: tp.sp.ID(), Peer: target,
@@ -152,10 +153,11 @@ func (tp *Proc) fetchDiffs(pm *pageMeta, ranges []msg.DiffRange) {
 		tp.sp.Sim().Tracef("tmk: rank %d requests diffs page %d from %d (%d,%d]", tp.rank, dr.Page, dr.Proc, dr.FromTS, dr.ToTS)
 		tp.stats.DiffRequestsSent++
 		fetchStart := tp.sp.Now()
-		rep := tp.tr.Call(tp.sp, int(dr.Proc), &msg.Message{
-			Kind:     msg.KDiffReq,
-			DiffReqs: []msg.DiffRange{dr},
-		})
+		rep := tp.call(int(dr.Proc), fmt.Sprintf("page %d (diffs from %d)", pm.id, dr.Proc),
+			&msg.Message{
+				Kind:     msg.KDiffReq,
+				DiffReqs: []msg.DiffRange{dr},
+			})
 		if rep.Kind != msg.KDiffReply {
 			panic(fmt.Sprintf("tmk: bad diff reply %v", rep.Kind))
 		}

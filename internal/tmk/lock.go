@@ -47,6 +47,7 @@ func (tp *Proc) lock(id int32) *lockState {
 // LockAcquire obtains the distributed lock, applying the consistency
 // information piggybacked on the grant (lazy release consistency).
 func (tp *Proc) LockAcquire(id int32) {
+	tp.maybeCrashAt(&tp.crashLocks, tp.cluster.cfg.Crash.AtLock)
 	start := tp.sp.Now()
 	ls := tp.lock(id)
 	if ls.held {
@@ -73,9 +74,11 @@ func (tp *Proc) LockAcquire(id int32) {
 		// send the acquire down the chain ourselves.
 		tail := ls.tail
 		ls.tail = tp.rank
-		rep = tp.tr.Call(tp.sp, tail, &msg.Message{Kind: msg.KLockAcquire, Lock: id, VC: tp.vc.Ints()})
+		rep = tp.call(tail, fmt.Sprintf("lock %d (acquire from chain tail %d)", id, tail),
+			&msg.Message{Kind: msg.KLockAcquire, Lock: id, VC: tp.vc.Ints()})
 	} else {
-		rep = tp.tr.Call(tp.sp, mgr, &msg.Message{Kind: msg.KLockAcquire, Lock: id, VC: tp.vc.Ints()})
+		rep = tp.call(mgr, fmt.Sprintf("lock %d (acquire via manager %d)", id, mgr),
+			&msg.Message{Kind: msg.KLockAcquire, Lock: id, VC: tp.vc.Ints()})
 	}
 	if rep.Kind != msg.KLockGrant {
 		panic(fmt.Sprintf("tmk: bad lock grant %v", rep.Kind))

@@ -40,6 +40,13 @@ type Proc struct {
 
 	appStart sim.Time
 	appEnd   sim.Time
+
+	// Crash model (see crash.go / checkpoint.go).
+	gen           int    // process generation (0 = original, ≥1 = restarted)
+	resumeEpoch   int    // EpochLoop skips epochs below this after restore
+	blockedOn     string // protocol entity currently awaited (watchdog)
+	crashBarriers int    // injector counters: Barrier / LockAcquire entries
+	crashLocks    int
 }
 
 // Rank returns this process's rank.

@@ -54,7 +54,8 @@ func (tp *Proc) Distribute(r *Region) {
 		if peer == tp.rank {
 			continue
 		}
-		rep := tp.tr.Call(tp.sp, peer, &msg.Message{Kind: msg.KDistribute, Region: r.wire()})
+		rep := tp.call(peer, fmt.Sprintf("region %d (distribute to %d)", r.ID, peer),
+			&msg.Message{Kind: msg.KDistribute, Region: r.wire()})
 		if rep.Kind != msg.KAck {
 			panic(fmt.Sprintf("tmk: distribute: unexpected %v", rep.Kind))
 		}
@@ -72,9 +73,11 @@ func (tp *Proc) AllocShared(nbytes int) *Region {
 	}
 	want := tp.expectRegion
 	tp.expectRegion++
+	tp.blockedOn = fmt.Sprintf("region %d (awaiting distribute from rank 0)", want)
 	for tp.regions[want] == nil {
 		tp.sp.WaitOn(tp.regionCond)
 	}
+	tp.blockedOn = ""
 	return tp.regions[want]
 }
 

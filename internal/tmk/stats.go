@@ -44,6 +44,8 @@ type Stats struct {
 	IntervalsCreated   int64
 	IntervalsLearned   int64
 	Invalidations      int64
+	Checkpoints        int64
+	CheckpointBytes    int64
 
 	LockWait    sim.Time
 	BarrierWait sim.Time

@@ -53,6 +53,20 @@ type (
 	TransportKind = tmk.TransportKind
 	// Time is a virtual-time instant or duration in nanoseconds.
 	Time = sim.Time
+	// CrashConfig arms the crash-failure model: a seeded rank death plus
+	// liveness detection, stall diagnosis, and (for barrier-structured
+	// apps using Proc.EpochLoop) checkpoint/restart.
+	CrashConfig = tmk.CrashConfig
+	// CrashReport is the post-mortem of a detected rank death: who died,
+	// who detected it, what every survivor was blocked on, and whether
+	// the run restarted from a checkpoint or aborted.
+	CrashReport = tmk.CrashReport
+	// CrashAbortError is returned by Run when a rank death could not be
+	// recovered; it carries the CrashReport.
+	CrashAbortError = tmk.CrashAbortError
+	// StallError is returned when a run stalls on unreachable peers
+	// without an armed crash model (e.g. transport retry exhaustion).
+	StallError = tmk.StallError
 )
 
 // The two substrates the paper evaluates.
