@@ -6,11 +6,11 @@ GO       ?= go
 FUZZTIME ?= 5s
 BENCHDIR ?= .
 
-.PHONY: all check fmt vet build test race fuzz-smoke bench prof-smoke chaos-smoke crash-smoke
+.PHONY: all check fmt vet build test race fuzz-smoke bench bench-diff prof-smoke chaos-smoke crash-smoke
 
 all: check
 
-check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke crash-smoke bench
+check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke crash-smoke bench bench-diff
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -55,6 +55,13 @@ crash-smoke:
 # so `git diff BENCH_*.json` across commits shows real perf movement.
 bench:
 	$(GO) run ./cmd/bench -out $(BENCHDIR)
+
+# Per-row deltas of the regenerated suites against the checked-in
+# BENCH_*.json (informational: nonzero deltas are perf movement to review,
+# not an error). In `make check` this runs after `bench`, so it doubles as
+# a byte-determinism smoke: freshly rewritten files must diff at 0.0%.
+bench-diff:
+	$(GO) run ./cmd/bench -diff -out $(BENCHDIR)
 
 # Quick end-to-end run of the protocol-entity profiler (small sizes).
 prof-smoke:

@@ -94,6 +94,31 @@ func BenchmarkE1_Fig3_DiffLarge(b *testing.B) {
 	benchUbench(b, func(cfg tmk.Config) (ubench.Result, error) { return ubench.Diff(cfg, 32, true) })
 }
 
+// BenchmarkE1_Fig3_DiffMultiWriter* measure the k-writer false-sharing
+// read fault: the reader gathers one diff from every writer, so the
+// scatter-gather fetch path turns sum-of-RTTs into max-RTT.
+
+func BenchmarkE1_Fig3_DiffMultiWriter2(b *testing.B) {
+	benchUbench(b, func(cfg tmk.Config) (ubench.Result, error) {
+		cfg.Procs = 3
+		return ubench.DiffMultiWriter(cfg, 16, 2)
+	})
+}
+
+func BenchmarkE1_Fig3_DiffMultiWriter4(b *testing.B) {
+	benchUbench(b, func(cfg tmk.Config) (ubench.Result, error) {
+		cfg.Procs = 5
+		return ubench.DiffMultiWriter(cfg, 16, 4)
+	})
+}
+
+func BenchmarkE1_Fig3_DiffMultiWriter8(b *testing.B) {
+	benchUbench(b, func(cfg tmk.Config) (ubench.Result, error) {
+		cfg.Procs = 9
+		return ubench.DiffMultiWriter(cfg, 16, 8)
+	})
+}
+
 // benchApp runs one Figure 4 cell (app × nodes × both transports).
 func benchApp(b *testing.B, app apps.App, nodes int) {
 	b.Helper()

@@ -5,15 +5,20 @@
 // reproduces every file byte-identically — any diff between commits is a
 // real performance change, not noise.
 //
+// With -diff, nothing is written: each selected suite is regenerated
+// in-memory and compared against the checked-in BENCH_<suite>.json in
+// -out, printing per-row deltas.
+//
 // Usage:
 //
-//	bench [-suite all|e0|e1|e2] [-out DIR]
+//	bench [-suite all|e0|e1|e2] [-out DIR] [-diff]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/harness"
 )
@@ -21,7 +26,16 @@ import (
 func main() {
 	suite := flag.String("suite", "all", "which suite to run: e0, e1, e2, all")
 	out := flag.String("out", ".", "directory to write BENCH_<suite>.json into")
+	diff := flag.Bool("diff", false, "compare regenerated suites against the checked-in files in -out instead of writing")
 	flag.Parse()
+
+	if *diff {
+		if err := diffSuites(*suite, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var paths []string
 	var err error
@@ -54,4 +68,40 @@ func main() {
 	for _, p := range paths {
 		fmt.Printf("wrote %s\n", p)
 	}
+}
+
+// diffSuites regenerates the selected suites and prints per-row deltas
+// against the checked-in files. Deltas are informational — performance
+// is expected to move between commits — so only a failure to run or to
+// read a checked-in file is an error.
+func diffSuites(suite, dir string) error {
+	type gen struct {
+		name string
+		fn   func() (*harness.BenchSuite, error)
+	}
+	gens := []gen{
+		{"e0", harness.BenchE0},
+		{"e1", harness.BenchE1},
+		{"e2", func() (*harness.BenchSuite, error) { return harness.BenchE2([]int{2, 4, 8}) }},
+	}
+	ran := false
+	for _, g := range gens {
+		if suite != "all" && suite != g.name {
+			continue
+		}
+		ran = true
+		cur, err := g.fn()
+		if err != nil {
+			return err
+		}
+		old, err := harness.ReadBench(filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", g.name)))
+		if err != nil {
+			return err
+		}
+		harness.PrintBenchDiff(os.Stdout, g.name, harness.DiffBench(old, cur))
+	}
+	if !ran {
+		return fmt.Errorf("unknown suite %q", suite)
+	}
+	return nil
 }

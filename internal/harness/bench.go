@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -97,6 +98,97 @@ func WriteBench(dir string, s *BenchSuite) (string, error) {
 		return "", err
 	}
 	return path, nil
+}
+
+// ReadBench loads a previously written suite file.
+func ReadBench(path string) (*BenchSuite, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &BenchSuite{}
+	if err := json.Unmarshal(b, s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, s.Schema, BenchSchema)
+	}
+	return s, nil
+}
+
+// BenchDelta is one row's old-vs-new comparison; HasOld/HasNew mark rows
+// present on only one side (added or removed benchmarks).
+type BenchDelta struct {
+	Name      string
+	Transport string
+	Nodes     int
+	Unit      string
+	Old, New  int64
+	HasOld    bool
+	HasNew    bool
+}
+
+// benchKey identifies one entry across suites.
+type benchKey struct {
+	name      string
+	transport string
+	nodes     int
+}
+
+// DiffBench matches entries by (name, transport, nodes), in the new
+// suite's order with removed rows appended in the old suite's order.
+func DiffBench(old, cur *BenchSuite) []BenchDelta {
+	oldByKey := make(map[benchKey]BenchEntry, len(old.Entries))
+	for _, e := range old.Entries {
+		oldByKey[benchKey{e.Name, e.Transport, e.Nodes}] = e
+	}
+	seen := make(map[benchKey]bool)
+	var out []BenchDelta
+	for _, e := range cur.Entries {
+		k := benchKey{e.Name, e.Transport, e.Nodes}
+		seen[k] = true
+		d := BenchDelta{Name: e.Name, Transport: e.Transport, Nodes: e.Nodes,
+			Unit: e.Unit, New: e.Value, HasNew: true}
+		if o, ok := oldByKey[k]; ok {
+			d.Old = o.Value
+			d.HasOld = true
+		}
+		out = append(out, d)
+	}
+	for _, e := range old.Entries {
+		k := benchKey{e.Name, e.Transport, e.Nodes}
+		if !seen[k] {
+			out = append(out, BenchDelta{Name: e.Name, Transport: e.Transport,
+				Nodes: e.Nodes, Unit: e.Unit, Old: e.Value, HasOld: true})
+		}
+	}
+	return out
+}
+
+// PrintBenchDiff renders per-row deltas (negative = faster/smaller).
+func PrintBenchDiff(w io.Writer, suite string, deltas []BenchDelta) {
+	fprintf(w, "BENCH_%s.json: checked-in vs regenerated\n", suite)
+	fprintf(w, "  %-42s %-7s %14s %14s %9s\n", "benchmark", "trans", "old", "new", "delta")
+	for _, d := range deltas {
+		name := d.Name
+		if d.Nodes > 0 {
+			name = fmt.Sprintf("%s (n=%d)", d.Name, d.Nodes)
+		}
+		switch {
+		case !d.HasOld:
+			fprintf(w, "  %-42s %-7s %14s %14d %9s\n", name, d.Transport, "-", d.New, "new")
+		case !d.HasNew:
+			fprintf(w, "  %-42s %-7s %14d %14s %9s\n", name, d.Transport, d.Old, "-", "removed")
+		default:
+			delta := "0.0%"
+			if d.Old != 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*float64(d.New-d.Old)/float64(d.Old))
+			} else if d.New != 0 {
+				delta = "+inf"
+			}
+			fprintf(w, "  %-42s %-7s %14d %14d %9s\n", name, d.Transport, d.Old, d.New, delta)
+		}
+	}
 }
 
 // BenchAll runs every suite and writes its file into dir, returning the

@@ -207,6 +207,22 @@ func Figure3(barrierNodes []int) ([]Fig3Row, error) {
 		runner{"Diff small", func(cfg tmk.Config) (ubench.Result, error) { return ubench.Diff(cfg, 32, false) }},
 		runner{"Diff large", func(cfg tmk.Config) (ubench.Result, error) { return ubench.Diff(cfg, 32, true) }},
 	)
+	// The k-writer false-sharing fault, the scatter-gather fast path;
+	// the serial row pins the pre-overlap baseline next to it.
+	for _, k := range []int{2, 4, 8} {
+		k := k
+		rs = append(rs, runner{fmt.Sprintf("DiffMultiWriter (%d writers)", k),
+			func(cfg tmk.Config) (ubench.Result, error) {
+				cfg.Procs = k + 1
+				return ubench.DiffMultiWriter(cfg, 16, k)
+			}})
+	}
+	rs = append(rs, runner{"DiffMultiWriter (4 writers, serial)",
+		func(cfg tmk.Config) (ubench.Result, error) {
+			cfg.Procs = 5
+			cfg.SerialDiffFetch = true
+			return ubench.DiffMultiWriter(cfg, 16, 4)
+		}})
 	var rows []Fig3Row
 	for _, r := range rs {
 		udp, err := r.fn(tmk.DefaultConfig(4, tmk.TransportUDPGM))

@@ -148,8 +148,9 @@ func TestFigure3SmallSubset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 barrier rows + lock direct/indirect + page + diff small/large.
-	if len(rows) != 7 {
+	// 2 barrier rows + lock direct/indirect + page + diff small/large +
+	// multi-writer diff for k ∈ {2,4,8} + the serial 4-writer baseline.
+	if len(rows) != 11 {
 		t.Fatalf("%d rows", len(rows))
 	}
 	for _, r := range rows {

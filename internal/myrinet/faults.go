@@ -40,6 +40,17 @@ type Blackout struct {
 	From, To sim.Time
 }
 
+// DropNext deterministically drops the next Count packets injected on a
+// matching directed link at or after From — no RNG draw, so the rest of
+// the run's fault schedule is unperturbed. Src or Dst may be -1 to match
+// any node. Used by conformance tests that need to lose exactly one
+// known packet (e.g. one reply of a scatter-gather pair).
+type DropNext struct {
+	Src, Dst NodeID   // -1 = wildcard
+	From     sim.Time // rule is dormant before this instant
+	Count    int      // packets remaining to drop; decremented per hit
+}
+
 // FaultConfig is the fabric-wide fault schedule.
 type FaultConfig struct {
 	Drop      float64  // per-packet loss probability
@@ -49,6 +60,7 @@ type FaultConfig struct {
 
 	Blackouts []Blackout  // timed link outages
 	Links     []LinkFault // per-link probability overrides
+	DropNexts []DropNext  // deterministic one-shot drops
 }
 
 // Enabled reports whether the configuration can ever inject a fault (or
@@ -56,7 +68,7 @@ type FaultConfig struct {
 // cost nothing: SendPacket never consults the RNG.
 func (fc *FaultConfig) Enabled() bool {
 	return fc.Drop > 0 || fc.Corrupt > 0 || fc.DelayProb > 0 ||
-		len(fc.Blackouts) > 0 || len(fc.Links) > 0
+		len(fc.Blackouts) > 0 || len(fc.Links) > 0 || len(fc.DropNexts) > 0
 }
 
 // probsFor resolves the effective probabilities for a directed link.
@@ -104,6 +116,19 @@ type injection struct {
 func (f *Fabric) inject(now sim.Time, src, dst NodeID, payload []byte, crc *uint32) injection {
 	var in injection
 	fc := &f.faults
+	// Deterministic one-shot drops fire before any probabilistic rule and
+	// draw no RNG, so arming one perturbs nothing else in the schedule.
+	for i := range fc.DropNexts {
+		d := &fc.DropNexts[i]
+		if d.Count > 0 && now >= d.From &&
+			(d.Src == -1 || d.Src == src) && (d.Dst == -1 || d.Dst == dst) {
+			d.Count--
+			f.fstats.Dropped++
+			f.traceFault("fault-drop-next", src, dst, len(payload))
+			in.drop = true
+			return in
+		}
+	}
 	if fc.inBlackout(src, dst, now) {
 		f.fstats.Blackout++
 		f.traceFault("fault-blackout", src, dst, len(payload))

@@ -7,8 +7,9 @@
 //     the peer's GM node ID, so port usage is O(1) in cluster size.
 //  2. Receive-buffer preposting — the async port preposts many small
 //     request buffers plus (n−1) buffers of each larger class; the sync
-//     port preposts one buffer per class (one outstanding request per
-//     process). Buffers are recycled immediately after the message is
+//     port preposts one buffer per class per outstanding-call slot (the
+//     scatter-gather fault path keeps up to OutstandingCalls replies in
+//     flight). Buffers are recycled immediately after the message is
 //     consumed, so GM's no-buffer send timeout can never fire.
 //  3. Buffer management — outgoing messages are copied into a pool of
 //     registered send buffers (one extra copy, zero TreadMarks changes);
@@ -82,6 +83,13 @@ type Config struct {
 	// above get (n−1) buffers each (the paper's barrier-response case).
 	SmallClassMax int
 	SmallPerPeer  int
+
+	// OutstandingCalls caps how many calls one process keeps in flight at
+	// once (the scatter width); the sync port preposts one reply buffer
+	// per class per slot, plus one margin buffer. 0 sizes it
+	// automatically to (n−1) — a read fault scatters at most one diff
+	// request per peer.
+	OutstandingCalls int
 
 	// CopyBandwidth is host memcpy speed for the send-side copy into
 	// registered buffers and the receive-side reply copy-out.

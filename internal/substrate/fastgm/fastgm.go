@@ -61,9 +61,33 @@ type Transport struct {
 	live   livenessState
 	halted bool
 
+	// pending maps seq → outstanding call. Seq alone identifies a call
+	// (sequence numbers are unique per sender) and must, because forwarded
+	// requests are answered by a third node, not the rank we sent to.
+	pending map[uint32]*pendingCall
+
 	seq   uint32
 	stats substrate.Stats
 }
+
+// pendingCall is one outstanding request awaiting its reply on the
+// synchronous port (substrate.Pending).
+type pendingCall struct {
+	dst       int
+	seq       uint32
+	kind      msg.Kind
+	reply     *msg.Message
+	done      bool
+	issued    sim.Time
+	completed sim.Time
+}
+
+func (pc *pendingCall) Dst() int            { return pc.dst }
+func (pc *pendingCall) Seq() uint32         { return pc.seq }
+func (pc *pendingCall) Done() bool          { return pc.done }
+func (pc *pendingCall) Reply() *msg.Message { return pc.reply }
+func (pc *pendingCall) Issued() sim.Time    { return pc.issued }
+func (pc *pendingCall) Completed() sim.Time { return pc.completed }
 
 // New creates the substrate for process rank of size on a GM node.
 func New(node *gm.Node, rank, size int, cfg Config) *Transport {
@@ -75,6 +99,7 @@ func New(node *gm.Node, rank, size int, cfg Config) *Transport {
 		sendPool: make(map[int][]*gm.Buffer),
 		dup:      substrate.NewDupCache(cfg.DupCacheSize),
 		resuming: make(map[*gm.Port]bool),
+		pending:  make(map[uint32]*pendingCall),
 	}
 	t.live.init(t)
 	return t
@@ -92,6 +117,19 @@ func (t *Transport) MaxData() int { return t.node.System().Params().MaxMessage()
 
 // Stats returns the transport counters.
 func (t *Transport) Stats() *substrate.Stats { return &t.stats }
+
+// outstandingCalls returns the number of reply slots the sync port is
+// provisioned for: the configured cap, or (n−1) when unset — a read
+// fault scatters at most one diff request per peer.
+func (t *Transport) outstandingCalls() int {
+	if t.cfg.OutstandingCalls > 0 {
+		return t.cfg.OutstandingCalls
+	}
+	if t.size <= 1 {
+		return 1
+	}
+	return t.size - 1
+}
 
 // maxPrepostClass returns the largest class preposted (classes above use
 // rendezvous when enabled).
@@ -139,13 +177,16 @@ func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
 			t.asyncPort.ProvideReceiveBuffer(mem.SubBuffer(i*gm.ClassCapacity(c), c))
 		}
 	}
-	// Synchronous port: one buffer per class suffices (single outstanding
-	// request per process ⇒ at most one reply in flight); a second is
-	// kept as margin so recycling latency can never stall an ack.
+	// Synchronous port: the scatter-gather fault path keeps up to
+	// outstandingCalls() replies in flight at once, so each class preposts
+	// one buffer per outstanding-call slot, plus one margin buffer so
+	// recycling latency can never stall an ack.
+	syncCount := t.outstandingCalls() + 1
 	for c := params.MinClass; c <= t.maxPrepostClass(); c++ {
-		mem := t.node.Register(p, 2*gm.ClassCapacity(c))
-		t.syncPort.ProvideReceiveBuffer(mem.SubBuffer(0, c))
-		t.syncPort.ProvideReceiveBuffer(mem.SubBuffer(gm.ClassCapacity(c), c))
+		mem := t.node.Register(p, syncCount*gm.ClassCapacity(c))
+		for i := 0; i < syncCount; i++ {
+			t.syncPort.ProvideReceiveBuffer(mem.SubBuffer(i*gm.ClassCapacity(c), c))
+		}
 	}
 	// Registered send-buffer pool: a few small buffers plus one of each
 	// large class. Senders copy outgoing messages in (extra copy,
@@ -288,6 +329,15 @@ func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
 
 // Call implements substrate.Transport.
 func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
+	pc := t.CallBegin(p, dst, req)
+	return t.Collect(p, []substrate.Pending{pc})[0]
+}
+
+// CallBegin implements substrate.Transport: transmit the request on the
+// asynchronous port and register the outstanding call; the reply is
+// matched by Collect. GM-level retransmission (recovery.go) covers the
+// request frame per-pending, so no user-level timer is needed here.
+func (t *Transport) CallBegin(p *sim.Proc, dst int, req *msg.Message) substrate.Pending {
 	if dst == t.rank {
 		panic("fastgm: Call to self")
 	}
@@ -302,23 +352,88 @@ func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
 	req.Seq = t.seq
 	req.From = int32(t.rank)
 	req.ReplyTo = int32(t.rank)
-	waitStart := p.Now()
+	pc := &pendingCall{dst: dst, seq: req.Seq, kind: req.Kind, issued: p.Now()}
+	t.pending[pc.seq] = pc
 	t.stats.RequestsSent++
 	t.transmit(p, dst, AsyncPort, frameMsg, req)
-	rep := t.waitReply(p, dst, req.Seq)
-	if rep == nil {
-		// The liveness layer declared dst dead while we were waiting; the
-		// typed failure is recorded in t.live for the caller to surface.
-		return nil
+	return pc
+}
+
+// Collect implements substrate.Transport: poll the synchronous port
+// until every pending call resolves, matching replies in arrival order
+// against the pending table. With the liveness layer enabled the wait is
+// chopped into heartbeat-interval slices so calls to a peer declared
+// dead give up (nil reply) instead of blocking into the void.
+func (t *Transport) Collect(p *sim.Proc, pending []substrate.Pending) []*msg.Message {
+	if !p.InterruptsEnabled() {
+		panic("fastgm: Collect with async delivery disabled")
 	}
-	t.stats.RepliesRecvd++
-	t.stats.ReplyWaitTime += p.Now() - waitStart
-	if tr := p.Sim().Tracer(); tr != nil {
-		tr.Emit(trace.Event{T: int64(waitStart), Dur: int64(p.Now() - waitStart),
-			Layer: trace.LayerSubstrate, Kind: "call:" + req.Kind.String(),
-			Proc: p.ID(), Peer: dst})
+	for t.unresolved(pending) > 0 {
+		var rv *gm.Recv
+		if t.cfg.Liveness.Enabled {
+			if rv = t.syncPort.WaitRecvUntil(p, p.Now()+t.live.cfg.Interval); rv == nil {
+				continue
+			}
+		} else {
+			rv = t.syncPort.WaitRecv(p)
+		}
+		m := t.recvSyncFrame(p, rv)
+		if m == nil {
+			continue
+		}
+		pc := t.pending[m.Seq]
+		if pc == nil {
+			// A duplicate of an already-consumed reply, produced by GM-level
+			// retransmission after the first copy was matched.
+			t.stats.StaleReplies++
+			if tr := p.Sim().Tracer(); tr != nil {
+				tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
+					Kind: "stale-reply", Proc: p.ID(), Peer: int(m.From)})
+				tr.Metrics().Counter(trace.LayerSubstrate, "stale.replies").Inc(1)
+			}
+			continue
+		}
+		delete(t.pending, m.Seq)
+		pc.done = true
+		pc.reply = m
+		pc.completed = p.Now()
+		t.stats.RepliesRecvd++
+		t.stats.ReplyWaitTime += pc.completed - pc.issued
+		if tr := p.Sim().Tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(pc.issued), Dur: int64(pc.completed - pc.issued),
+				Layer: trace.LayerSubstrate, Kind: "call:" + pc.kind.String(),
+				Proc: p.ID(), Peer: pc.dst})
+		}
 	}
-	return rep
+	out := make([]*msg.Message, len(pending))
+	for i, pd := range pending {
+		out[i] = pd.(*pendingCall).reply
+	}
+	return out
+}
+
+// unresolved counts the still-outstanding entries, first giving up on
+// any whose peer the liveness layer has declared dead (the typed failure
+// is recorded in t.live for the caller to surface).
+func (t *Transport) unresolved(pending []substrate.Pending) int {
+	n := 0
+	for _, pd := range pending {
+		pc, ok := pd.(*pendingCall)
+		if !ok {
+			panic("fastgm: Collect of a foreign Pending")
+		}
+		if pc.done {
+			continue
+		}
+		if t.cfg.Liveness.Enabled && t.live.isDead(pc.dst) {
+			delete(t.pending, pc.seq)
+			pc.done = true
+			pc.completed = t.proc.Sim().Now()
+			continue
+		}
+		n++
+	}
+	return n
 }
 
 // Reply implements substrate.Transport: replies go to the originator's
@@ -363,64 +478,38 @@ func (t *Transport) Send(p *sim.Proc, dst int, req *msg.Message) {
 	t.transmit(p, dst, AsyncPort, frameMsg, req)
 }
 
-// waitReply polls the synchronous port until the reply matching seq
-// arrives. Stale replies (duplicates of an already-consumed reply,
-// produced by GM-level retransmission) and malformed frames are skipped
-// with their buffers recycled. With the liveness layer enabled the wait
-// is chopped into heartbeat-interval slices so a peer declared dead is
-// noticed promptly and the call gives up (nil) instead of blocking into
-// the void; disabled, the original unbounded wait is used unchanged.
-func (t *Transport) waitReply(p *sim.Proc, dst int, seq uint32) *msg.Message {
-	for {
-		var rv *gm.Recv
-		if t.cfg.Liveness.Enabled {
-			if t.live.isDead(dst) {
-				return nil
-			}
-			if rv = t.syncPort.WaitRecvUntil(p, p.Now()+t.live.cfg.Interval); rv == nil {
-				continue
-			}
-		} else {
-			rv = t.syncPort.WaitRecv(p)
-		}
-		t.live.heard(int(rv.From))
-		if len(rv.Data) == 0 {
-			t.stats.CorruptFrames++
-			t.syncPort.ProvideReceiveBuffer(rv.Buffer)
-			continue
-		}
-		tag, body := rv.Data[0], rv.Data[1:]
-		if tag != frameMsg && tag != frameData {
-			t.stats.CorruptFrames++
-			t.syncPort.ProvideReceiveBuffer(rv.Buffer)
-			continue
-		}
-		// Replies are copied out of the receive buffer into TreadMarks
-		// structures (the paper's extra-copy design).
-		p.Advance(t.cfg.DispatchCost + sim.BytesTime(len(body), t.cfg.CopyBandwidth))
-		m, err := msg.Decode(body)
-		if err != nil {
-			t.stats.CorruptFrames++
-			t.syncPort.ProvideReceiveBuffer(rv.Buffer)
-			continue
-		}
-		t.stats.BytesRecvd += int64(len(rv.Data))
-		if tag == frameData {
-			t.rv.finishReceive(p, t.syncPort, rv.Buffer)
-		} else {
-			t.syncPort.ProvideReceiveBuffer(rv.Buffer)
-		}
-		if m.Seq != seq {
-			t.stats.StaleReplies++
-			if tr := p.Sim().Tracer(); tr != nil {
-				tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
-					Kind: "stale-reply", Proc: p.ID(), Peer: int(m.From)})
-				tr.Metrics().Counter(trace.LayerSubstrate, "stale.replies").Inc(1)
-			}
-			continue
-		}
-		return m
+// recvSyncFrame decodes one synchronous-port arrival into a reply
+// message, or returns nil for a frame that must be skipped (malformed or
+// corrupt), with the receive buffer recycled either way.
+func (t *Transport) recvSyncFrame(p *sim.Proc, rv *gm.Recv) *msg.Message {
+	t.live.heard(int(rv.From))
+	if len(rv.Data) == 0 {
+		t.stats.CorruptFrames++
+		t.syncPort.ProvideReceiveBuffer(rv.Buffer)
+		return nil
 	}
+	tag, body := rv.Data[0], rv.Data[1:]
+	if tag != frameMsg && tag != frameData {
+		t.stats.CorruptFrames++
+		t.syncPort.ProvideReceiveBuffer(rv.Buffer)
+		return nil
+	}
+	// Replies are copied out of the receive buffer into TreadMarks
+	// structures (the paper's extra-copy design).
+	p.Advance(t.cfg.DispatchCost + sim.BytesTime(len(body), t.cfg.CopyBandwidth))
+	m, err := msg.Decode(body)
+	if err != nil {
+		t.stats.CorruptFrames++
+		t.syncPort.ProvideReceiveBuffer(rv.Buffer)
+		return nil
+	}
+	t.stats.BytesRecvd += int64(len(rv.Data))
+	if tag == frameData {
+		t.rv.finishReceive(p, t.syncPort, rv.Buffer)
+	} else {
+		t.syncPort.ProvideReceiveBuffer(rv.Buffer)
+	}
+	return m
 }
 
 // transmit frames, stages, and sends one message to (dst, dstPort),

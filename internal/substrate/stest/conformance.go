@@ -31,6 +31,8 @@ func RunConformance(t *testing.T, build Builder) {
 	t.Run("CorruptedReplyCRC", func(t *testing.T) { ConformanceCorruptedReplyCRC(t, build) })
 	t.Run("PortDisabledMidBurstResumed", func(t *testing.T) { ConformancePortDisabledMidBurstResumed(t, build) })
 	t.Run("SilentPeerMidRendezvous", func(t *testing.T) { ConformanceSilentPeerMidRendezvous(t, build) })
+	t.Run("ScatterGather", func(t *testing.T) { ConformanceScatterGather(t, build) })
+	t.Run("ScatterGatherFaultStorm", func(t *testing.T) { ConformanceScatterGatherFaultStorm(t, build) })
 }
 
 // requireAllPortsEnabled asserts the residual-damage invariant after a
@@ -281,6 +283,138 @@ func ConformanceSilentPeerMidRendezvous(t *testing.T, build Builder) {
 	}
 	if st := c.Transports[0].Stats(); st.PeersDeclaredDead == 0 {
 		t.Errorf("peer never declared dead: %+v", st)
+	}
+}
+
+// ConformanceScatterGather: two overlapped calls to different peers, with
+// the first peer's handler slower than the second's. Collect must match
+// each reply to its pending by sequence regardless of arrival order, and
+// the per-pending completion times must show genuine overlap (the slow
+// peer does not delay the fast one).
+func ConformanceScatterGather(t *testing.T, build Builder) {
+	c := build(3, 1)
+	var reps []*msg.Message
+	var pend []substrate.Pending
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				if rank == 1 {
+					p.Advance(5 * sim.Millisecond) // slow peer: its reply arrives last
+				}
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPong, Page: m.Page * 10})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank != 0 {
+				return
+			}
+			pend = []substrate.Pending{
+				tr.CallBegin(p, 1, &msg.Message{Kind: msg.KPing, Page: 1}),
+				tr.CallBegin(p, 2, &msg.Message{Kind: msg.KPing, Page: 2}),
+			}
+			reps = tr.Collect(p, pend)
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0] == nil || reps[1] == nil {
+		t.Fatalf("bad reply set: %v", reps)
+	}
+	for i, want := range []int32{10, 20} {
+		if reps[i].Kind != msg.KPong || reps[i].Page != want {
+			t.Errorf("pending %d: reply %+v, want Page %d", i, reps[i], want)
+		}
+		if !pend[i].Done() || pend[i].Reply() != reps[i] {
+			t.Errorf("pending %d not resolved to its reply", i)
+		}
+	}
+	if pend[1].Completed() >= pend[0].Completed() {
+		t.Errorf("fast peer completed at %v, not before slow peer's %v (no overlap)",
+			pend[1].Completed(), pend[0].Completed())
+	}
+	if st := c.Transports[0].Stats(); st.RepliesRecvd != 2 || st.StaleReplies != 0 {
+		t.Errorf("caller stats: %+v", st)
+	}
+}
+
+// ConformanceScatterGatherFaultStorm: two overlapped calls to different
+// peers while the fabric deterministically drops exactly one reply (the
+// first packet on the link 2→0). Only the affected pending's recovery
+// machinery may fire — GM retransmission at the replier for FAST/GM, the
+// caller's user-level timer (and the replier's duplicate cache) for
+// UDP/GM — and both calls must still complete with matched replies.
+func ConformanceScatterGatherFaultStorm(t *testing.T, build Builder) {
+	c := build(3, 1)
+	var reps []*msg.Message
+	var pend []substrate.Pending
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPong, Page: m.Page * 10})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank != 0 {
+				return
+			}
+			// Armed after startup, so the next packet on 2→0 is rank 2's
+			// reply (GM acks are modelled as timers, not fabric packets).
+			c.Fabric.SetFaults(myrinet.FaultConfig{DropNexts: []myrinet.DropNext{
+				{Src: 2, Dst: 0, Count: 1},
+			}})
+			pend = []substrate.Pending{
+				tr.CallBegin(p, 1, &msg.Message{Kind: msg.KPing, Page: 1}),
+				tr.CallBegin(p, 2, &msg.Message{Kind: msg.KPing, Page: 2}),
+			}
+			reps = tr.Collect(p, pend)
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0] == nil || reps[1] == nil {
+		t.Fatalf("bad reply set: %v", reps)
+	}
+	for i, want := range []int32{10, 20} {
+		if reps[i].Kind != msg.KPong || reps[i].Page != want {
+			t.Errorf("pending %d: reply %+v, want Page %d", i, reps[i], want)
+		}
+	}
+	if fs := c.Fabric.FaultStats(); fs.Dropped != 1 {
+		t.Errorf("dropped %d packets, want exactly the one armed reply", fs.Dropped)
+	}
+	// The untouched pending must complete at full speed, well before the
+	// dropped one's recovery (GM resend timeout / UDP retry) resolves.
+	if pend[0].Completed() >= pend[1].Completed() {
+		t.Errorf("clean pending completed at %v, not before faulted peer's %v",
+			pend[0].Completed(), pend[1].Completed())
+	}
+	if c.Stacks != nil {
+		// UDP/GM: only the caller retransmits, and only rank 2 sees the
+		// duplicate request that answers from its reply cache.
+		if st := c.Transports[0].Stats(); st.Retransmits == 0 {
+			t.Errorf("caller never retransmitted the faulted call: %+v", st)
+		}
+		if st := c.Transports[1].Stats(); st.DupRequests != 0 {
+			t.Errorf("clean peer saw %d duplicate requests", st.DupRequests)
+		}
+		if st := c.Transports[2].Stats(); st.DupRequests == 0 {
+			t.Errorf("faulted peer never served the duplicate: %+v", st)
+		}
+	} else {
+		// FAST/GM: the lost reply is the replier's frame, so recovery is
+		// rank 2's GM retransmission; nobody else's machinery may trip.
+		if st := c.Transports[2].Stats(); st.GMRetransmits == 0 {
+			t.Errorf("faulted replier never retransmitted: %+v", st)
+		}
+		if st := c.Transports[1].Stats(); st.GMSendFailures != 0 || st.GMRetransmits != 0 {
+			t.Errorf("clean replier's recovery tripped: %+v", st)
+		}
+		if st := c.Transports[0].Stats(); st.GMSendFailures != 0 {
+			t.Errorf("caller's own sends failed: %+v", st)
+		}
+		requireAllPortsEnabled(t, c)
 	}
 }
 

@@ -41,8 +41,22 @@ type Transport interface {
 	// Call sends a request to dst and blocks until the matching reply
 	// arrives (possibly from a third node, for forwarded requests).
 	// Asynchronous requests from other nodes are still serviced while
-	// blocked. The transport fills in Seq/From/ReplyTo.
+	// blocked. The transport fills in Seq/From/ReplyTo. Equivalent to
+	// CallBegin followed by a single-element Collect.
 	Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message
+
+	// CallBegin transmits a request to dst without waiting for the reply,
+	// returning a handle for Collect. Multiple calls may be outstanding at
+	// once (scatter); each transmits immediately, so the round trips
+	// overlap and the gather cost is max-RTT, not sum-of-RTTs.
+	CallBegin(p *sim.Proc, dst int, req *msg.Message) Pending
+
+	// Collect blocks until every pending call has resolved, servicing
+	// asynchronous requests meanwhile and accepting replies in any arrival
+	// order. The result is indexed like pending; an entry is nil iff the
+	// transport gave up on that peer (declared dead by the liveness
+	// layer), mirroring Call's nil return.
+	Collect(p *sim.Proc, pending []Pending) []*msg.Message
 
 	// Reply answers a previously received request; the reply is routed to
 	// req's originator and matched to its sequence number.
@@ -72,6 +86,28 @@ type Transport interface {
 
 	// Shutdown releases transport resources at process exit.
 	Shutdown(p *sim.Proc)
+}
+
+// Pending is the handle for one outstanding call issued with CallBegin.
+// It is owned by the issuing process: handles are not goroutine-safe and
+// must be resolved by a Collect on the same transport before the next
+// synchronization operation.
+type Pending interface {
+	// Dst is the rank the request was sent to (the reply may still come
+	// from a third node, for forwarded requests).
+	Dst() int
+	// Seq is the transport sequence number the reply will carry.
+	Seq() uint32
+	// Done reports whether the call has resolved (reply matched, or the
+	// peer was declared dead).
+	Done() bool
+	// Reply returns the matched reply, nil until Done (and nil after, if
+	// the transport gave up on the peer).
+	Reply() *msg.Message
+	// Issued and Completed bound the call's lifetime for per-pending
+	// latency attribution; Completed is zero until Done.
+	Issued() sim.Time
+	Completed() sim.Time
 }
 
 // Stats counts transport-level activity for one process.

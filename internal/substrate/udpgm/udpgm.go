@@ -67,8 +67,14 @@ type Transport struct {
 	reqIn []*sockets.Socket // [peer] requests from peer (SIGIO)
 	repIn []*sockets.Socket // [peer] replies from peer
 
-	seq     uint32
-	waiting bool
+	seq uint32
+
+	// pending maps seq → outstanding call. Seq alone identifies a call
+	// (sequence numbers are unique per sender) and must, because
+	// forwarded requests are answered by a third node, not the rank the
+	// request was sent to; the destination lives in the entry for
+	// retransmission and liveness checks.
+	pending map[uint32]*pendingCall
 
 	// dup filters retransmitted requests: a duplicate re-sends the cached
 	// reply (lock-manager forwards are re-relayed; the downstream filter
@@ -100,13 +106,14 @@ type Transport struct {
 // socket stack.
 func New(stack *sockets.Stack, rank, size int, cfg Config) *Transport {
 	t := &Transport{
-		stack:  stack,
-		cfg:    cfg,
-		rank:   rank,
-		size:   size,
-		dup:    substrate.NewDupCache(cfg.DupCacheSize),
-		reqBuf: make([]byte, stack.Params().MaxDatagram),
-		repBuf: make([]byte, stack.Params().MaxDatagram),
+		stack:   stack,
+		cfg:     cfg,
+		rank:    rank,
+		size:    size,
+		pending: make(map[uint32]*pendingCall),
+		dup:     substrate.NewDupCache(cfg.DupCacheSize),
+		reqBuf:  make([]byte, stack.Params().MaxDatagram),
+		repBuf:  make([]byte, stack.Params().MaxDatagram),
 	}
 	t.liveCfg = cfg.Liveness.Norm()
 	t.liveCfg.Enabled = cfg.Liveness.Enabled
@@ -347,8 +354,39 @@ func (t *Transport) dispatchRequest(p *sim.Proc, raw []byte) {
 	t.handler(p, m)
 }
 
+// pendingCall is one outstanding request awaiting its reply, with its
+// own retransmission clock (substrate.Pending).
+type pendingCall struct {
+	dst       int
+	seq       uint32
+	kind      msg.Kind
+	data      []byte // encoded request, kept for retransmission
+	reply     *msg.Message
+	done      bool
+	issued    sim.Time
+	completed sim.Time
+	attempts  int      // retransmissions so far
+	rto       sim.Time // current backoff interval
+	deadline  sim.Time // next retransmit time
+}
+
+func (pc *pendingCall) Dst() int            { return pc.dst }
+func (pc *pendingCall) Seq() uint32         { return pc.seq }
+func (pc *pendingCall) Done() bool          { return pc.done }
+func (pc *pendingCall) Reply() *msg.Message { return pc.reply }
+func (pc *pendingCall) Issued() sim.Time    { return pc.issued }
+func (pc *pendingCall) Completed() sim.Time { return pc.completed }
+
 // Call implements substrate.Transport.
 func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
+	pc := t.CallBegin(p, dst, req)
+	return t.Collect(p, []substrate.Pending{pc})[0]
+}
+
+// CallBegin implements substrate.Transport: encode, send, and register
+// the outstanding call with its retransmission clock armed; Collect does
+// the waiting.
+func (t *Transport) CallBegin(p *sim.Proc, dst int, req *msg.Message) substrate.Pending {
 	if dst == t.rank {
 		panic("udpgm: Call to self")
 	}
@@ -356,72 +394,135 @@ func (t *Transport) Call(p *sim.Proc, dst int, req *msg.Message) *msg.Message {
 	req.Seq = t.seq
 	req.From = int32(t.rank)
 	req.ReplyTo = int32(t.rank)
-	data := req.Encode()
-
-	waitStart := p.Now()
-	timeout := t.cfg.RetransmitInitial
-	for attempt := 0; attempt <= t.cfg.MaxRetries; attempt++ {
-		if t.dead[dst] {
-			return t.giveUp(p, dst, req, "peer-dead", attempt)
-		}
-		if attempt > 0 {
-			t.stats.Retransmits++
-			if tr := p.Sim().Tracer(); tr != nil {
-				tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
-					Kind: "retransmit", Proc: p.ID(), Peer: dst, Bytes: len(data)})
-				tr.Metrics().Counter(trace.LayerSubstrate, "retransmits").Inc(0)
-			}
-		}
-		t.stats.RequestsSent++
-		t.stats.BytesSent += int64(len(data))
-		t.send(p, dst, reqPortBase+t.rank, data)
-		deadline := p.Now() + timeout
-		for {
-			idx := sockets.Select(p, t.repSockets(), deadline)
-			if idx < 0 {
-				break // timeout: retransmit
-			}
-			m := t.recvReply(p, idx)
-			if m == nil {
-				continue
-			}
-			if m.Seq != req.Seq {
-				t.stats.StaleReplies++
-				continue
-			}
-			t.stats.RepliesRecvd++
-			t.stats.ReplyWaitTime += p.Now() - waitStart
-			if tr := p.Sim().Tracer(); tr != nil {
-				tr.Emit(trace.Event{T: int64(waitStart), Dur: int64(p.Now() - waitStart),
-					Layer: trace.LayerSubstrate, Kind: "call:" + req.Kind.String(),
-					Proc: p.ID(), Peer: dst})
-			}
-			return m
-		}
-		if timeout *= 2; timeout > t.cfg.RetransmitMax {
-			timeout = t.cfg.RetransmitMax
-		}
+	pc := &pendingCall{
+		dst:    dst,
+		seq:    req.Seq,
+		kind:   req.Kind,
+		data:   req.Encode(),
+		issued: p.Now(),
+		rto:    t.cfg.RetransmitInitial,
 	}
-	return t.giveUp(p, dst, req, "retry-exhausted", t.cfg.MaxRetries+1)
+	t.pending[pc.seq] = pc
+	if t.dead[dst] {
+		t.giveUpPending(p, pc, "peer-dead", 0)
+		return pc
+	}
+	t.stats.RequestsSent++
+	t.stats.BytesSent += int64(len(pc.data))
+	t.send(p, dst, reqPortBase+t.rank, pc.data)
+	pc.deadline = p.Now() + pc.rto
+	return pc
 }
 
-// giveUp abandons a Call permanently: the peer is declared dead and the
-// caller gets nil back so the DSM watchdog can take over. Without a
-// watchdog or liveness config nothing above can handle the nil, so the
-// historical fail-stop is preserved verbatim.
-func (t *Transport) giveUp(p *sim.Proc, dst int, req *msg.Message, kind string, attempts int) *msg.Message {
+// Collect implements substrate.Transport: select on the reply sockets
+// until every pending call resolves. Each pending keeps its own
+// retransmission deadline and exponential backoff, so a lost reply
+// retransmits only its own request while unrelated pendings ride out the
+// wait untouched.
+func (t *Transport) Collect(p *sim.Proc, pending []substrate.Pending) []*msg.Message {
+	for {
+		var earliest sim.Time
+		open := 0
+		for _, pd := range pending {
+			pc, ok := pd.(*pendingCall)
+			if !ok {
+				panic("udpgm: Collect of a foreign Pending")
+			}
+			if pc.done {
+				continue
+			}
+			if t.dead[pc.dst] {
+				t.giveUpPending(p, pc, "peer-dead", pc.attempts)
+				continue
+			}
+			if open == 0 || pc.deadline < earliest {
+				earliest = pc.deadline
+			}
+			open++
+		}
+		if open == 0 {
+			break
+		}
+		idx := sockets.Select(p, t.repSockets(), earliest)
+		if idx < 0 {
+			// Timeout: retransmit exactly the pendings whose deadline hit.
+			now := p.Now()
+			for _, pd := range pending {
+				pc := pd.(*pendingCall)
+				if pc.done || pc.deadline > now {
+					continue
+				}
+				if pc.attempts >= t.cfg.MaxRetries {
+					t.giveUpPending(p, pc, "retry-exhausted", t.cfg.MaxRetries+1)
+					continue
+				}
+				pc.attempts++
+				t.stats.Retransmits++
+				if tr := p.Sim().Tracer(); tr != nil {
+					tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
+						Kind: "retransmit", Proc: p.ID(), Peer: pc.dst, Bytes: len(pc.data)})
+					tr.Metrics().Counter(trace.LayerSubstrate, "retransmits").Inc(0)
+				}
+				t.stats.RequestsSent++
+				t.stats.BytesSent += int64(len(pc.data))
+				t.send(p, pc.dst, reqPortBase+t.rank, pc.data)
+				if pc.rto *= 2; pc.rto > t.cfg.RetransmitMax {
+					pc.rto = t.cfg.RetransmitMax
+				}
+				pc.deadline = p.Now() + pc.rto
+			}
+			continue
+		}
+		m := t.recvReply(p, idx)
+		if m == nil {
+			continue
+		}
+		pc := t.pending[m.Seq]
+		if pc == nil {
+			// A reply for an already-consumed call (the request was
+			// retransmitted and both copies were answered).
+			t.stats.StaleReplies++
+			continue
+		}
+		delete(t.pending, m.Seq)
+		pc.done = true
+		pc.reply = m
+		pc.completed = p.Now()
+		t.stats.RepliesRecvd++
+		t.stats.ReplyWaitTime += pc.completed - pc.issued
+		if tr := p.Sim().Tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(pc.issued), Dur: int64(pc.completed - pc.issued),
+				Layer: trace.LayerSubstrate, Kind: "call:" + pc.kind.String(),
+				Proc: p.ID(), Peer: pc.dst})
+		}
+	}
+	out := make([]*msg.Message, len(pending))
+	for i, pd := range pending {
+		out[i] = pd.(*pendingCall).reply
+	}
+	return out
+}
+
+// giveUpPending abandons one outstanding call permanently: the peer is
+// declared dead and the pending resolves to a nil reply so the DSM
+// watchdog can take over. Without a watchdog or liveness config nothing
+// above can handle the nil, so the historical fail-stop is preserved
+// verbatim.
+func (t *Transport) giveUpPending(p *sim.Proc, pc *pendingCall, kind string, attempts int) {
 	if t.onDead == nil && !t.liveCfg.Enabled {
 		panic(fmt.Sprintf("udpgm: node %d: no reply from %d for %v after %d attempts",
-			t.rank, dst, req.Kind, t.cfg.MaxRetries+1))
+			t.rank, pc.dst, pc.kind, t.cfg.MaxRetries+1))
 	}
+	delete(t.pending, pc.seq)
+	pc.done = true
+	pc.completed = p.Now()
 	t.stats.SendsAbandoned++
 	if tr := p.Sim().Tracer(); tr != nil {
 		tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
-			Kind: "send-abandoned:" + kind, Proc: p.ID(), Peer: dst})
+			Kind: "send-abandoned:" + kind, Proc: p.ID(), Peer: pc.dst})
 		tr.Metrics().Counter(trace.LayerSubstrate, "sends.abandoned").Inc(1)
 	}
-	t.declareDead(dst, kind, attempts)
-	return nil
+	t.declareDead(pc.dst, kind, attempts)
 }
 
 // repSockets returns the live reply sockets (indexed compactly).

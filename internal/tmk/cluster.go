@@ -59,6 +59,12 @@ type Config struct {
 	// — and an enabled config with no trigger armed — is bit-identical to
 	// a run without a crash model.
 	Crash CrashConfig
+
+	// SerialDiffFetch reverts the read-fault path to one blocking call at
+	// a time (sum-of-RTTs): the pre-scatter-gather behaviour, kept as the
+	// measured baseline for the overlap win (the DiffMultiWriter bench
+	// rows run it side by side with the default).
+	SerialDiffFetch bool
 }
 
 // DefaultConfig returns a calibrated n-process configuration.

@@ -227,3 +227,19 @@ func (tp *Proc) call(dst int, entity string, req *msg.Message) *msg.Message {
 	tp.blockedOn = ""
 	return rep
 }
+
+// scatter is call's counterpart for a batch of outstanding requests
+// issued with CallBegin: gather every reply, with the same
+// blocking-entity accounting and the same unwinding if the transport
+// gave up on any peer mid-gather.
+func (tp *Proc) scatter(entity string, pending []substrate.Pending) []*msg.Message {
+	tp.blockedOn = entity
+	reps := tp.tr.Collect(tp.sp, pending)
+	for _, rep := range reps {
+		if rep == nil {
+			tp.sp.Exit()
+		}
+	}
+	tp.blockedOn = ""
+	return reps
+}

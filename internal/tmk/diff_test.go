@@ -255,3 +255,55 @@ func TestPageMetaNotices(t *testing.T) {
 		t.Error("isMissingAny = true after covering")
 	}
 }
+
+// refEncodeDiff is the original word-at-a-time scan, kept as the wire
+// oracle for the 8-byte fast path in EncodeDiff.
+func refEncodeDiff(twin, cur []byte) []byte {
+	eq := func(w int) bool {
+		i := w * 4
+		return twin[i] == cur[i] && twin[i+1] == cur[i+1] &&
+			twin[i+2] == cur[i+2] && twin[i+3] == cur[i+3]
+	}
+	var out []byte
+	w := 0
+	for w < wordsPerPage {
+		if eq(w) {
+			w++
+			continue
+		}
+		start := w
+		for w < wordsPerPage && !eq(w) {
+			w++
+		}
+		out = append(out, byte(start), byte(start>>8), byte(w-start), byte((w-start)>>8))
+		out = append(out, cur[start*4:w*4]...)
+	}
+	return out
+}
+
+func TestEncodeDiffMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		page := make([]byte, PageSize)
+		rng.Read(page)
+		twin := MakeTwin(page)
+		// Dirty a random set of runs, including odd/even alignments and
+		// single-word changes at both page edges.
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			start := rng.Intn(wordsPerPage)
+			count := 1 + rng.Intn(16)
+			for w := start; w < start+count && w < wordsPerPage; w++ {
+				page[w*4+rng.Intn(4)] ^= byte(1 + rng.Intn(255))
+			}
+		}
+		if trial%3 == 0 {
+			page[0] ^= 0xFF
+			page[PageSize-1] ^= 0xFF
+		}
+		got, want := EncodeDiff(twin, page), refEncodeDiff(twin, page)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: fast diff differs from reference (%d vs %d bytes)",
+				trial, len(got), len(want))
+		}
+	}
+}

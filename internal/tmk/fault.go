@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/msg"
 	"repro/internal/sim"
+	"repro/internal/substrate"
 	"repro/internal/trace"
 )
 
@@ -22,7 +23,11 @@ func (tp *Proc) readFault(pm *pageMeta) {
 
 	for {
 		if !pm.haveCopy {
-			tp.fetchPage(pm)
+			if tp.cluster.cfg.SerialDiffFetch {
+				tp.fetchPage(pm)
+			} else {
+				tp.fetchPageAndDiffs(pm)
+			}
 			continue
 		}
 		missing := tp.missingRanges(pm)
@@ -145,19 +150,66 @@ func (tp *Proc) fetchPage(pm *pageMeta) {
 	pm.haveCopy = true
 }
 
-// fetchDiffs requests the missing diffs (one request per writer) and
-// applies everything received in a happens-before linear extension.
+// fetchDiffs requests the missing diffs and applies everything received
+// in a happens-before linear extension. By default the requests are
+// scattered — one batched message per writer, all transmitted before any
+// reply is awaited — so a k-writer fault costs max-RTT instead of
+// sum-of-RTTs; SerialDiffFetch reverts to one blocking call at a time
+// (the measured baseline).
 func (tp *Proc) fetchDiffs(pm *pageMeta, ranges []msg.DiffRange) {
 	var all []msg.Diff
+	if tp.cluster.cfg.SerialDiffFetch {
+		for _, dr := range ranges {
+			pending := tp.beginDiffFetches(pm, []msg.DiffRange{dr})
+			all = append(all, tp.gatherDiffs(pm, pending)...)
+		}
+	} else {
+		all = tp.gatherDiffs(pm, tp.beginDiffFetches(pm, ranges))
+	}
+	tp.applyDiffs(pm, all)
+}
+
+// beginDiffFetches scatters the diff requests: one batched KDiffReq per
+// writer carrying every DiffRange that writer owes us, each transmitted
+// without waiting for the previous reply.
+func (tp *Proc) beginDiffFetches(pm *pageMeta, ranges []msg.DiffRange) []substrate.Pending {
+	var reqs []*msg.Message
+	byWriter := make(map[int32]*msg.Message)
 	for _, dr := range ranges {
 		tp.sp.Sim().Tracef("tmk: rank %d requests diffs page %d from %d (%d,%d]", tp.rank, dr.Page, dr.Proc, dr.FromTS, dr.ToTS)
+		m := byWriter[dr.Proc]
+		if m == nil {
+			m = &msg.Message{Kind: msg.KDiffReq}
+			byWriter[dr.Proc] = m
+			reqs = append(reqs, m)
+		}
+		m.DiffReqs = append(m.DiffReqs, dr)
+	}
+	pending := make([]substrate.Pending, 0, len(reqs))
+	for _, req := range reqs {
 		tp.stats.DiffRequestsSent++
-		fetchStart := tp.sp.Now()
-		rep := tp.call(int(dr.Proc), fmt.Sprintf("page %d (diffs from %d)", pm.id, dr.Proc),
-			&msg.Message{
-				Kind:     msg.KDiffReq,
-				DiffReqs: []msg.DiffRange{dr},
-			})
+		pending = append(pending, tp.tr.CallBegin(tp.sp, int(req.DiffReqs[0].Proc), req))
+	}
+	return pending
+}
+
+// gatherDiffs collects scattered diff requests, accepting replies in any
+// arrival order, and flattens the received diffs. Each pending gets its
+// own trace/prof span attributed to its writer, bounded by the issue and
+// completion times the transport recorded.
+func (tp *Proc) gatherDiffs(pm *pageMeta, pending []substrate.Pending) []msg.Diff {
+	if len(pending) == 0 {
+		return nil
+	}
+	reps := tp.scatter(fmt.Sprintf("page %d (diffs from %d writers)", pm.id, len(pending)), pending)
+	return tp.diffsFromReplies(pm, pending, reps)
+}
+
+// diffsFromReplies validates gathered diff replies and emits the
+// per-pending attribution spans.
+func (tp *Proc) diffsFromReplies(pm *pageMeta, pending []substrate.Pending, reps []*msg.Message) []msg.Diff {
+	var all []msg.Diff
+	for i, rep := range reps {
 		if rep.Kind != msg.KDiffReply {
 			panic(fmt.Sprintf("tmk: bad diff reply %v", rep.Kind))
 		}
@@ -165,18 +217,27 @@ func (tp *Proc) fetchDiffs(pm *pageMeta, ranges []msg.DiffRange) {
 		for _, d := range rep.Diffs {
 			nbytes += len(d.Data)
 		}
+		pend := pending[i]
 		if tr := tp.tracer(); tr != nil {
-			tr.Emit(trace.Event{T: int64(fetchStart), Dur: int64(tp.sp.Now() - fetchStart),
+			tr.Emit(trace.Event{T: int64(pend.Issued()), Dur: int64(pend.Completed() - pend.Issued()),
 				Layer: trace.LayerTMK, Kind: "diff-fetch", Proc: tp.sp.ID(),
-				Peer: int(dr.Proc), Bytes: nbytes})
+				Peer: pend.Dst(), Bytes: nbytes})
 		}
 		if pf := tp.prof(); pf != nil {
-			pf.DiffFetch(tp.rank, pm.id, pm.region.ID, nbytes, int64(tp.sp.Now()-fetchStart))
+			pf.DiffFetch(tp.rank, pm.id, pm.region.ID, nbytes, int64(pend.Completed()-pend.Issued()))
 		}
 		all = append(all, rep.Diffs...)
 	}
-	// Order by the creating interval's vector clock (sum order is a
-	// linear extension of happens-before).
+	return all
+}
+
+// applyDiffs applies received diffs in a happens-before linear
+// extension (vector-clock sum order). A diff the copy already covers is
+// skipped: when the page fetch overlaps the diff scatter, the fetched
+// copy may have incorporated a requested diff already, and — because
+// coverage vectors are happens-before closed — re-applying it could
+// clobber newer writes the copy subsumes.
+func (tp *Proc) applyDiffs(pm *pageMeta, all []msg.Diff) {
 	sort.SliceStable(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		ra, rb := tp.store.get(a.Proc, a.TS), tp.store.get(b.Proc, b.TS)
@@ -197,6 +258,9 @@ func (tp *Proc) fetchDiffs(pm *pageMeta, ranges []msg.DiffRange) {
 		if d.Page != pm.id {
 			panic("tmk: diff for wrong page")
 		}
+		if d.TS <= pm.cover[d.Proc] {
+			continue
+		}
 		if err := ApplyDiff(pm.data, d.Data); err != nil {
 			panic(err)
 		}
@@ -216,11 +280,58 @@ func (tp *Proc) fetchDiffs(pm *pageMeta, ranges []msg.DiffRange) {
 		if tr := tp.tracer(); tr != nil {
 			tr.Metrics().Counter(trace.LayerTMK, "diff.bytes.applied").Inc(int64(len(d.Data)))
 		}
-		if pm.cover[d.Proc] < d.TS {
-			pm.cover[d.Proc] = d.TS
-		}
+		pm.cover[d.Proc] = d.TS
 	}
 	tp.tr.EnableAsync(tp.sp)
+}
+
+// fetchPageAndDiffs overlaps the initial page fetch with diff requests
+// to the writers other than the page holder. The holder's own missing
+// intervals are never requested — its copy covers everything it has
+// closed — and any other requested diff the fetched copy turns out to
+// subsume is discarded by applyDiffs' coverage filter.
+func (tp *Proc) fetchPageAndDiffs(pm *pageMeta) {
+	target := pm.lastWriterHint(tp.rank)
+	if target < 0 {
+		target = pm.region.Owner
+	}
+	if target == tp.rank {
+		panic(fmt.Sprintf("tmk: rank %d: page %d fetch targets self", tp.rank, pm.id))
+	}
+	tp.stats.PageFetches++
+	pagePend := tp.tr.CallBegin(tp.sp, target, &msg.Message{Kind: msg.KPageReq, Page: pm.id})
+	var ranges []msg.DiffRange
+	for _, dr := range tp.missingRanges(pm) {
+		if int(dr.Proc) != target {
+			ranges = append(ranges, dr)
+		}
+	}
+	diffPends := tp.beginDiffFetches(pm, ranges)
+	pending := append([]substrate.Pending{pagePend}, diffPends...)
+	reps := tp.scatter(fmt.Sprintf("page %d (fetch from %d, diffs from %d writers)",
+		pm.id, target, len(diffPends)), pending)
+
+	rep := reps[0]
+	if tr := tp.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(pagePend.Issued()), Dur: int64(pagePend.Completed() - pagePend.Issued()),
+			Layer: trace.LayerTMK, Kind: "page-fetch", Proc: tp.sp.ID(), Peer: target,
+			Bytes: PageSize})
+	}
+	if pf := tp.prof(); pf != nil {
+		pf.PageFetch(tp.rank, pm.id, pm.region.ID, PageSize, int64(pagePend.Completed()-pagePend.Issued()))
+	}
+	if rep.Kind != msg.KPageReply || len(rep.PageData) != PageSize {
+		panic(fmt.Sprintf("tmk: bad page reply %v (%d bytes)", rep.Kind, len(rep.PageData)))
+	}
+	copy(pm.data, rep.PageData)
+	tp.sp.Advance(sim.BytesTime(PageSize, tp.cpu.MemcpyBandwidth))
+	for _, c := range rep.Covered {
+		if pm.cover[c.Proc] < c.TS {
+			pm.cover[c.Proc] = c.TS
+		}
+	}
+	pm.haveCopy = true
+	tp.applyDiffs(pm, tp.diffsFromReplies(pm, diffPends, reps[1:]))
 }
 
 // closeInterval ends the current interval if any pages were written:

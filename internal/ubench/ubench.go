@@ -185,3 +185,45 @@ func Diff(cfg tmk.Config, pages int, large bool) (Result, error) {
 	})
 	return Result{Name: "Diff", Case: kase, Nodes: cfg.Procs, Ops: pages, Per: total / sim.Time(pages)}, err
 }
+
+// DiffMultiWriter measures the k-writer false-sharing read fault: k
+// processes each dirty a disjoint word of every page, so after the
+// barrier the reader's fault must gather one diff from every writer —
+// the multiple-writer protocol's worst case, and the path the
+// scatter-gather substrate API overlaps (max-RTT instead of
+// sum-of-RTTs; set cfg.SerialDiffFetch for the serial baseline).
+func DiffMultiWriter(cfg tmk.Config, pages, writers int) (Result, error) {
+	if writers < 1 || cfg.Procs < writers+1 {
+		return Result{}, fmt.Errorf("ubench: diff-multiwriter with %d writers needs ≥ %d procs",
+			writers, writers+1)
+	}
+	var total sim.Time
+	err := run(cfg, func(tp *tmk.Proc) {
+		r := tp.AllocShared(pages * tmk.PageSize)
+		wordsPerPage := tmk.PageSize / 8
+		// Every participant touches the pages first so the timed phase
+		// measures diff gathers only, not initial page fetches.
+		if tp.Rank() <= writers {
+			for pg := 0; pg < pages; pg++ {
+				tp.ReadF64(r, pg*wordsPerPage)
+			}
+		}
+		tp.Barrier(1)
+		if w := tp.Rank(); w >= 1 && w <= writers {
+			for pg := 0; pg < pages; pg++ {
+				tp.WriteF64(r, pg*wordsPerPage+(w-1), float64(pg*writers+w))
+			}
+		}
+		tp.Barrier(2)
+		if tp.Rank() == 0 {
+			start := tp.Now()
+			for pg := 0; pg < pages; pg++ {
+				tp.ReadF64(r, pg*wordsPerPage)
+			}
+			total = tp.Now() - start
+		}
+		tp.Barrier(3)
+	})
+	return Result{Name: "DiffMultiWriter", Case: fmt.Sprintf("%d writers", writers),
+		Nodes: cfg.Procs, Ops: pages, Per: total / sim.Time(pages)}, err
+}
