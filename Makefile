@@ -6,11 +6,11 @@ GO       ?= go
 FUZZTIME ?= 5s
 BENCHDIR ?= .
 
-.PHONY: all check fmt vet build test race fuzz-smoke bench bench-diff prof-smoke chaos-smoke crash-smoke
+.PHONY: all check fmt vet build test race fuzz-smoke bench bench-diff prof-smoke chaos-smoke crash-smoke rdma-smoke
 
 all: check
 
-check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke crash-smoke bench bench-diff
+check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke crash-smoke rdma-smoke bench bench-diff
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -35,6 +35,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzApplyDiff$$' -fuzztime $(FUZZTIME) ./internal/tmk/
 	$(GO) test -run '^$$' -fuzz '^FuzzDiffRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/tmk/
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleAsyncFrame$$' -fuzztime $(FUZZTIME) ./internal/substrate/fastgm/
+	$(GO) test -run '^$$' -fuzz '^FuzzHandleVerbFrame$$' -fuzztime $(FUZZTIME) ./internal/substrate/rdmagm/
+	$(GO) test -run '^$$' -fuzz '^FuzzHandleCompletion$$' -fuzztime $(FUZZTIME) ./internal/substrate/rdmagm/
 
 # Chaos sweep: all four applications on both transports over a seeded
 # lossy fabric (drop, corruption, latency spikes, a timed blackout),
@@ -50,7 +52,7 @@ chaos-smoke:
 crash-smoke:
 	$(GO) run ./cmd/tmkrun -crash
 
-# Machine-readable bench trajectory: writes BENCH_e0/e1/e2.json into
+# Machine-readable bench trajectory: writes BENCH_e0/e1/e2/e3.json into
 # BENCHDIR. Deterministic — rerunning on the same tree is byte-identical,
 # so `git diff BENCH_*.json` across commits shows real perf movement.
 bench:
@@ -62,6 +64,13 @@ bench:
 # a byte-determinism smoke: freshly rewritten files must diff at 0.0%.
 bench-diff:
 	$(GO) run ./cmd/bench -diff -out $(BENCHDIR)
+
+# Differential regression of the home-based protocol: every app's final
+# shared memory under home-based LRC on rdmagm must be bit-identical to
+# homeless LRC on fastgm (short matrix; `go test ./internal/harness -run
+# TestHomeBased` runs the full seeds × node-counts sweep).
+rdma-smoke:
+	$(GO) test -short -run 'TestHomeBased' ./internal/harness/
 
 # Quick end-to-end run of the protocol-entity profiler (small sizes).
 prof-smoke:

@@ -1,5 +1,6 @@
 // Command bench runs the deterministic performance suites (E0 netperf,
-// E1 microbenchmarks, E2 application sweep) and writes each as a
+// E1 microbenchmarks, E2 application sweep, E3 one-sided vs two-sided
+// substrate comparison) and writes each as a
 // machine-readable BENCH_<suite>.json (schema tmk-bench/1). The
 // simulations are deterministic, so rerunning on the same tree
 // reproduces every file byte-identically — any diff between commits is a
@@ -11,7 +12,7 @@
 //
 // Usage:
 //
-//	bench [-suite all|e0|e1|e2] [-out DIR] [-diff]
+//	bench [-suite all|e0|e1|e2|e3] [-out DIR] [-diff]
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "all", "which suite to run: e0, e1, e2, all")
+	suite := flag.String("suite", "all", "which suite to run: e0, e1, e2, e3, all")
 	out := flag.String("out", ".", "directory to write BENCH_<suite>.json into")
 	diff := flag.Bool("diff", false, "compare regenerated suites against the checked-in files in -out instead of writing")
 	flag.Parse()
@@ -42,7 +43,7 @@ func main() {
 	switch *suite {
 	case "all":
 		paths, err = harness.BenchAll(*out)
-	case "e0", "e1", "e2":
+	case "e0", "e1", "e2", "e3":
 		var s *harness.BenchSuite
 		switch *suite {
 		case "e0":
@@ -51,6 +52,8 @@ func main() {
 			s, err = harness.BenchE1()
 		case "e2":
 			s, err = harness.BenchE2([]int{2, 4, 8})
+		case "e3":
+			s, err = harness.BenchE3()
 		}
 		if err == nil {
 			var p string
@@ -83,6 +86,7 @@ func diffSuites(suite, dir string) error {
 		{"e0", harness.BenchE0},
 		{"e1", harness.BenchE1},
 		{"e2", func() (*harness.BenchSuite, error) { return harness.BenchE2([]int{2, 4, 8}) }},
+		{"e3", harness.BenchE3},
 	}
 	ran := false
 	for _, g := range gens {

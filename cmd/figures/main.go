@@ -4,10 +4,14 @@
 // Usage:
 //
 //	figures [-fig 0|3|4|5|e4|e5|e6|breakdown|prof|all] [-nodes 4,8,16] [-big16]
-//	        [-prof-nodes 8] [-prof-small] [-trace-cap N]
+//	        [-e6-sizes 4,...,256] [-prof-nodes 8] [-prof-small] [-trace-cap N]
 //
 // -big16 runs the Figure 5 sweep on 16 nodes (the paper's size); without
 // it the sweep runs on 8 nodes, which regenerates the same shapes faster.
+// -e6-sizes sets the scalability sweep's cluster sizes; the default ends
+// at the paper's future-work target of 256 nodes (the 256-node point
+// alone simulates for a couple of minutes — trim the list for a quick
+// look).
 // -fig prof reruns the applications with the protocol-entity profiler
 // attached and prints per-page/lock/barrier attribution with page×epoch
 // heatmaps (not part of "all"; -prof-small uses the smallest Table 1
@@ -27,21 +31,27 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 0, 3, 4, 5, e4, e5, e6, breakdown, prof, all")
 	nodesFlag := flag.String("nodes", "4,8,16", "node counts for the Figure 4 sweep")
+	e6Flag := flag.String("e6-sizes", "4,8,16,32,64,128,256", "cluster sizes for the E6 scalability sweep")
 	big16 := flag.Bool("big16", true, "run the Figure 5 sweep on 16 nodes (paper size)")
 	profNodes := flag.Int("prof-nodes", 8, "node count for the -fig prof runs")
 	profSmall := flag.Bool("prof-small", false, "profile the smallest Table 1 sizes instead of the defaults")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity for the breakdown runs (0 = default)")
 	flag.Parse()
 
-	var nodes []int
-	for _, s := range strings.Split(*nodesFlag, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad -nodes: %v\n", err)
-			os.Exit(2)
+	parseSizes := func(flagName, val string) []int {
+		var out []int
+		for _, s := range strings.Split(val, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad %s: %v\n", flagName, err)
+				os.Exit(2)
+			}
+			out = append(out, n)
 		}
-		nodes = append(nodes, n)
+		return out
 	}
+	nodes := parseSizes("-nodes", *nodesFlag)
+	e6Sizes := parseSizes("-e6-sizes", *e6Flag)
 	fig5Nodes := 8
 	if *big16 {
 		fig5Nodes = 16
@@ -86,7 +96,7 @@ func main() {
 		fmt.Println()
 	}
 	if want("e6") {
-		rows, err := harness.Scaling([]int{4, 8, 16, 32, 64})
+		rows, err := harness.Scaling(e6Sizes)
 		exitOn(err)
 		harness.PrintScaling(os.Stdout, rows)
 		fmt.Println()

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	tmkrun -app jacobi -nodes 16 -transport fastgm [-size 2] [-verify]
-//	       [-seed N] [-prof] [-prof-json profile.json]
+//	       [-seed N] [-homeless] [-prof] [-prof-json profile.json]
 //	tmkrun -chaos [-seed N] [-nodes 4]
 //	tmkrun -crash [-seed N] [-nodes 4]
 //
@@ -43,10 +43,11 @@ import (
 func main() {
 	appName := flag.String("app", "jacobi", "application: jacobi, sor, tsp, 3dfft")
 	nodes := flag.Int("nodes", 8, "number of DSM processes (= nodes)")
-	transport := flag.String("transport", "fastgm", "substrate: fastgm or udpgm")
+	transport := flag.String("transport", "fastgm", "substrate: fastgm, udpgm, or rdmagm")
 	sizeIdx := flag.Int("size", -1, "size ladder index 0..3 (-1 = default size)")
 	verify := flag.Bool("verify", false, "check the result against the sequential reference")
 	rendezvous := flag.Bool("rendezvous", false, "enable the FAST/GM rendezvous protocol")
+	homeless := flag.Bool("homeless", false, "run the homeless protocol on rdmagm (default there is home-based LRC)")
 	seed := flag.Int64("seed", 1, "simulation RNG seed (fault schedules, tie-breaking)")
 	chaos := flag.Bool("chaos", false, "run the chaos sweep (all apps × transports on a lossy fabric)")
 	crash := flag.Bool("crash", false, "run the crash-tolerance sweep (rank death: checkpoint/restart + coordinated abort)")
@@ -100,7 +101,7 @@ func main() {
 		os.Exit(2)
 	}
 	kind := tmk.TransportKind(*transport)
-	if kind != tmk.TransportFastGM && kind != tmk.TransportUDPGM {
+	if kind != tmk.TransportFastGM && kind != tmk.TransportUDPGM && kind != tmk.TransportRDMAGM {
 		fmt.Fprintf(os.Stderr, "unknown transport %q\n", *transport)
 		os.Exit(2)
 	}
@@ -113,6 +114,9 @@ func main() {
 		cfg.Seed = *seed
 		cfg.Fast.Rendezvous = *rendezvous
 		cfg.Prof = pf
+		if *homeless {
+			cfg.HomeBased = false
+		}
 	}
 	run := harness.RunApp
 	if *verify {

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/tmk"
+	"repro/internal/ubench"
 )
 
 // Machine-readable bench trajectory: the E0/E1/E2 headline numbers
@@ -80,6 +81,53 @@ func BenchE2(nodes []int) (*BenchSuite, error) {
 		s.Entries = append(s.Entries,
 			BenchEntry{Name: r.App, Nodes: r.Nodes, Transport: string(tmk.TransportUDPGM), Value: int64(r.UDP), Unit: "ns"},
 			BenchEntry{Name: r.App, Nodes: r.Nodes, Transport: string(tmk.TransportFastGM), Value: int64(r.Fast), Unit: "ns"},
+		)
+	}
+	return s, nil
+}
+
+// BenchE3 captures the one-sided substrate's headline comparison:
+// homeless LRC on fastgm versus home-based LRC on rdmagm, plus the flat
+// barrier for context (the two-sided halves should track each other
+// closely). Two rows are expected to favor rdmagm, and
+// TestBenchE3RDMAWinsHeadlineRows enforces it:
+//
+//   - Page: a read fault is one firmware-serviced Get from the home
+//     (free when the faulting rank IS the home) instead of an interrupt,
+//     handler dispatch, and two host copies at the owner.
+//   - DiffMultiWriter/15w: the all-peers false-sharing worst case. The
+//     homeless gather is overlapped (max-RTT, not sum), but the reader
+//     still pays per-writer send/receive occupancy, so its cost grows
+//     with the writer count; the home path is one whole-page Get no
+//     matter how many writers flushed — their diffs were RDMA-written to
+//     the home at the preceding release, off the timed fault path. At
+//     3 writers homeless still wins (tiny diffs beat a 4 KB page
+//     transfer); the suite pins the configuration the home-based
+//     protocol exists for.
+func BenchE3() (*BenchSuite, error) {
+	const (
+		pageNodes = 4
+		dmwNodes  = 16
+		dmwWriter = 15
+	)
+	s := &BenchSuite{Schema: BenchSchema, Suite: "e3"}
+	for _, kind := range []tmk.TransportKind{tmk.TransportFastGM, tmk.TransportRDMAGM} {
+		pg, err := ubench.Page(tmk.DefaultConfig(pageNodes, kind), 32)
+		if err != nil {
+			return nil, fmt.Errorf("e3 page (%s): %w", kind, err)
+		}
+		dm, err := ubench.DiffMultiWriter(tmk.DefaultConfig(dmwNodes, kind), 16, dmwWriter)
+		if err != nil {
+			return nil, fmt.Errorf("e3 diff-multiwriter (%s): %w", kind, err)
+		}
+		br, err := ubench.Barrier(tmk.DefaultConfig(pageNodes, kind), 5)
+		if err != nil {
+			return nil, fmt.Errorf("e3 barrier (%s): %w", kind, err)
+		}
+		s.Entries = append(s.Entries,
+			BenchEntry{Name: "Page", Transport: string(kind), Nodes: pageNodes, Value: int64(pg.Per), Unit: "ns/op"},
+			BenchEntry{Name: "DiffMultiWriter/15w", Transport: string(kind), Nodes: dmwNodes, Value: int64(dm.Per), Unit: "ns/op"},
+			BenchEntry{Name: "Barrier", Transport: string(kind), Nodes: pageNodes, Value: int64(br.Per), Unit: "ns/op"},
 		)
 	}
 	return s, nil
@@ -198,6 +246,7 @@ func BenchAll(dir string) ([]string, error) {
 		BenchE0,
 		BenchE1,
 		func() (*BenchSuite, error) { return BenchE2([]int{2, 4, 8}) },
+		BenchE3,
 	}
 	var paths []string
 	for _, fn := range suites {

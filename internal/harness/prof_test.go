@@ -193,7 +193,7 @@ func TestBenchReproducibleByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pathsA) != 3 || len(pathsB) != 3 {
+	if len(pathsA) != 4 || len(pathsB) != 4 {
 		t.Fatalf("suite counts: %v vs %v", pathsA, pathsB)
 	}
 	for i, pa := range pathsA {

@@ -1,0 +1,261 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/prof"
+	"repro/internal/sim"
+	"repro/internal/tmk"
+	"repro/internal/trace"
+)
+
+// captureFinalState runs app on n ranks over the given transport/protocol
+// and returns rank 0's final shared-memory contents, region by region
+// (fault-completed: every page is pulled valid before capture).
+func captureFinalState(t *testing.T, app apps.App, n int, kind tmk.TransportKind,
+	seed int64, homeBased bool) ([][]byte, *tmk.Result) {
+	t.Helper()
+	cfg := tmk.DefaultConfig(n, kind)
+	cfg.Seed = seed
+	cfg.HomeBased = homeBased
+	var final [][]byte
+	var verr error
+	res, err := tmk.NewCluster(cfg).Run(func(tp *tmk.Proc) {
+		app.Run(tp)
+		tp.Barrier(2_000_000)
+		if tp.Rank() == 0 {
+			for id := int32(0); ; id++ {
+				r := tp.RegionByID(id)
+				if r == nil {
+					break
+				}
+				final = append(final, append([]byte(nil), tp.ReadBytes(r, 0, int(r.Bytes))...))
+			}
+			verr = app.Verify(tp)
+		}
+	})
+	if err != nil {
+		t.Fatalf("%s n=%d %s home=%v: %v", app.Name(), n, kind, homeBased, err)
+	}
+	if verr != nil {
+		t.Fatalf("%s n=%d %s home=%v: verify: %v", app.Name(), n, kind, homeBased, verr)
+	}
+	return final, res
+}
+
+// TestHomeBasedMatchesHomeless is the home-based protocol's differential
+// regression: for every application, node count, and seed, home-based
+// LRC over the one-sided substrate must leave rank 0 with shared memory
+// bit-identical to homeless LRC over fastgm (both additionally verify
+// against the sequential reference). The protocols move data completely
+// differently — diff Puts into home windows and whole-page Gets versus
+// page fetches and per-writer diff chases — so agreement here pins down
+// the consistency semantics, not the plumbing.
+//
+// Short mode (the Makefile's rdma-smoke) trims the matrix to one seed
+// and two node counts.
+func TestHomeBasedMatchesHomeless(t *testing.T) {
+	appsUnder := []apps.App{
+		&apps.Jacobi{N: 64, Iters: 4, CostPerPoint: 30 * sim.Nanosecond},
+		&apps.SOR{M: 64, N: 32, Iters: 3, Omega: 1.25, CostPerPoint: 35 * sim.Nanosecond},
+		&apps.TSP{Cities: 9, PrefixDepth: 2, CostPerNode: 40 * sim.Nanosecond},
+		&apps.FFT3D{Z: 8, Iters: 1, CostPerButterfly: 45 * sim.Nanosecond},
+	}
+	seeds := []int64{1, 2, 3}
+	nodes := []int{2, 4, 8, 16}
+	if testing.Short() {
+		seeds = seeds[:1]
+		nodes = []int{2, 4}
+	}
+	for _, app := range appsUnder {
+		for _, n := range nodes {
+			for _, seed := range seeds {
+				name := fmt.Sprintf("%s/%dp/seed%d", app.Name(), n, seed)
+				t.Run(name, func(t *testing.T) {
+					homeless, _ := captureFinalState(t, app, n, tmk.TransportFastGM, seed, false)
+					home, res := captureFinalState(t, app, n, tmk.TransportRDMAGM, seed, true)
+					if len(homeless) != len(home) {
+						t.Fatalf("region count diverged: homeless %d home-based %d", len(homeless), len(home))
+					}
+					for i := range homeless {
+						if !bytes.Equal(homeless[i], home[i]) {
+							t.Errorf("region %d contents diverged (%d bytes)", i, len(homeless[i]))
+						}
+					}
+					// The home-based run must actually have used the verbs.
+					if res.Transport.OneSidedGets == 0 {
+						t.Error("home-based run posted no Get verbs")
+					}
+					// At n=2 an app's writers can happen to own every
+					// page they dirty (home == writer), so only demand
+					// flush traffic at wider node counts.
+					if n > 2 && res.Stats.HomeFlushes == 0 {
+						t.Error("home-based run flushed no diffs to homes")
+					}
+					if res.DisabledPorts != 0 {
+						t.Errorf("%d GM ports left disabled", res.DisabledPorts)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBenchE3RDMAWinsHeadlineRows pins the E3 suite's reason to exist:
+// on the page-fetch and all-writers diff-gather microbenchmarks the
+// one-sided home-based path must beat the homeless fastgm path. A read
+// fault is one firmware-serviced Get (or free, when the page is
+// self-homed) instead of an interrupt, handler dispatch, and two host
+// copies; a 15-writer page costs one home fetch instead of a 15-way
+// gather whose occupancy grows with the writer count.
+func TestBenchE3RDMAWinsHeadlineRows(t *testing.T) {
+	s, err := BenchE3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRow := map[string]map[string]int64{}
+	for _, e := range s.Entries {
+		if byRow[e.Name] == nil {
+			byRow[e.Name] = map[string]int64{}
+		}
+		byRow[e.Name][e.Transport] = e.Value
+	}
+	for _, name := range []string{"Page", "DiffMultiWriter/15w"} {
+		fast, okF := byRow[name][string(tmk.TransportFastGM)]
+		rdma, okR := byRow[name][string(tmk.TransportRDMAGM)]
+		if !okF || !okR {
+			t.Fatalf("%s: missing transports in %+v", name, byRow[name])
+		}
+		if rdma >= fast {
+			t.Errorf("%s: rdmagm %d ns/op not faster than fastgm %d ns/op", name, rdma, fast)
+		}
+	}
+}
+
+// TestProfilingDoesNotPerturbHomeBased extends the profiler's
+// pure-observation invariant to the one-sided substrate and the
+// home-based protocol: attaching the entity profiler to an rdmagm run
+// must leave every timing and counter bit-identical, while the snapshot
+// must carry the home-based page attribution (homes assigned, flush and
+// fetch traffic broken out per page).
+func TestProfilingDoesNotPerturbHomeBased(t *testing.T) {
+	appsUnder := []apps.App{
+		&apps.SOR{M: 64, N: 32, Iters: 3, Omega: 1.25, CostPerPoint: 35 * sim.Nanosecond},
+		&apps.FFT3D{Z: 8, Iters: 1, CostPerButterfly: 45 * sim.Nanosecond},
+	}
+	for _, app := range appsUnder {
+		for _, n := range []int{4, 8} {
+			t.Run(fmt.Sprintf("%s/%dp", app.Name(), n), func(t *testing.T) {
+				plain, err := RunApp(app, n, tmk.TransportRDMAGM, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pf := prof.New()
+				profiled, err := RunApp(app, n, tmk.TransportRDMAGM, func(cfg *tmk.Config) {
+					cfg.Prof = pf
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plain.Transport.OneSidedGets == 0 {
+					t.Fatal("rdmagm default config did not run the home-based protocol (no Get verbs)")
+				}
+				snap := pf.Snapshot()
+				if len(snap.Pages) == 0 {
+					t.Fatal("profiler attached but recorded no pages")
+				}
+				var homed, fetched bool
+				for _, pg := range snap.Pages {
+					if pg.Home >= 0 {
+						homed = true
+					}
+					if pg.HomeFetches > 0 || pg.HomeFlushes > 0 {
+						fetched = true
+					}
+				}
+				if !homed {
+					t.Error("no page carries a home assignment")
+				}
+				if !fetched {
+					t.Error("no page shows home flush/fetch traffic")
+				}
+				if plain.ExecTime != profiled.ExecTime {
+					t.Errorf("ExecTime diverged: plain %v profiled %v", plain.ExecTime, profiled.ExecTime)
+				}
+				if plain.Stats != profiled.Stats {
+					t.Errorf("tmk.Stats diverged:\nplain    %+v\nprofiled %+v", plain.Stats, profiled.Stats)
+				}
+				if plain.Transport != profiled.Transport {
+					t.Errorf("substrate.Stats diverged:\nplain    %+v\nprofiled %+v", plain.Transport, profiled.Transport)
+				}
+				for i := range plain.PerProc {
+					if plain.PerProc[i] != profiled.PerProc[i] {
+						t.Errorf("rank %d time diverged: plain %v profiled %v", i, plain.PerProc[i], profiled.PerProc[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTracingDoesNotPerturbHomeBased is the tracing counterpart: a
+// tracer attached to a home-based rdmagm run is pure observation.
+func TestTracingDoesNotPerturbHomeBased(t *testing.T) {
+	app := &apps.Jacobi{N: 64, Iters: 4, CostPerPoint: 30 * sim.Nanosecond}
+	for _, n := range []int{4, 8} {
+		t.Run(fmt.Sprintf("%dp", n), func(t *testing.T) {
+			plain, err := RunApp(app, n, tmk.TransportRDMAGM, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tracer := trace.New(1 << 12)
+			traced, err := RunApp(app, n, tmk.TransportRDMAGM, func(cfg *tmk.Config) {
+				cfg.Trace = tracer
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tracer.Len() == 0 {
+				t.Fatal("tracer attached but recorded nothing")
+			}
+			if plain.ExecTime != traced.ExecTime {
+				t.Errorf("ExecTime diverged: plain %v traced %v", plain.ExecTime, traced.ExecTime)
+			}
+			if plain.Stats != traced.Stats {
+				t.Errorf("tmk.Stats diverged:\nplain  %+v\ntraced %+v", plain.Stats, traced.Stats)
+			}
+			if plain.Transport != traced.Transport {
+				t.Errorf("substrate.Stats diverged:\nplain  %+v\ntraced %+v", plain.Transport, traced.Transport)
+			}
+			for i := range plain.PerProc {
+				if plain.PerProc[i] != traced.PerProc[i] {
+					t.Errorf("rank %d time diverged: plain %v traced %v", i, plain.PerProc[i], traced.PerProc[i])
+				}
+			}
+		})
+	}
+}
+
+// TestHomeBasedHomelessOverRDMA checks the decoupling of transport and
+// protocol: rdmagm with HomeBased off runs the homeless protocol over
+// the two-sided half and must also match fastgm bit-for-bit.
+func TestHomeBasedHomelessOverRDMA(t *testing.T) {
+	app := &apps.SOR{M: 64, N: 32, Iters: 3, Omega: 1.25, CostPerPoint: 35 * sim.Nanosecond}
+	for _, n := range []int{2, 4} {
+		t.Run(fmt.Sprintf("%dp", n), func(t *testing.T) {
+			ref, _ := captureFinalState(t, app, n, tmk.TransportFastGM, 1, false)
+			got, res := captureFinalState(t, app, n, tmk.TransportRDMAGM, 1, false)
+			for i := range ref {
+				if !bytes.Equal(ref[i], got[i]) {
+					t.Errorf("region %d contents diverged", i)
+				}
+			}
+			if res.Transport.OneSidedPuts != 0 || res.Transport.OneSidedGets != 0 {
+				t.Error("homeless run posted one-sided verbs")
+			}
+		})
+	}
+}

@@ -52,13 +52,19 @@ const (
 	// the request dispatcher (it only refreshes the peer's last-heard
 	// clock), so it never enters the duplicate cache or the handler.
 	KHeartbeat
+	// KDistributeCommit: proc 0 → all, second round of a home-based
+	// distribute. Sent only after every rank acked KDistribute (and so
+	// registered its memory window), it releases the waiters in
+	// AllocShared: no rank writes shared data — and therefore no rank
+	// flushes diffs to a home window — before every window exists.
+	KDistributeCommit
 )
 
 var kindNames = [...]string{
 	"invalid", "lock-acquire", "lock-forward", "lock-grant",
 	"barrier-arrive", "barrier-release", "diff-req", "diff-reply",
 	"page-req", "page-reply", "distribute", "ack", "exit",
-	"ping", "pong", "heartbeat",
+	"ping", "pong", "heartbeat", "distribute-commit",
 }
 
 func (k Kind) String() string {
@@ -72,7 +78,7 @@ func (k Kind) String() string {
 // path (true) or the synchronous reply path (false).
 func (k Kind) IsRequest() bool {
 	switch k {
-	case KLockAcquire, KLockForward, KBarrierArrive, KDiffReq, KPageReq, KDistribute, KExit, KPing:
+	case KLockAcquire, KLockForward, KBarrierArrive, KDiffReq, KPageReq, KDistribute, KDistributeCommit, KExit, KPing:
 		return true
 	default:
 		return false

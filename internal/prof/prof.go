@@ -53,6 +53,17 @@ type PageStats struct {
 	ID     int32
 	Region int32
 
+	// Home is the page's home rank under home-based LRC, or -1 when the
+	// run is homeless (no hook ever reported a home).
+	Home int
+
+	// Home-based LRC traffic: flushes are diff Puts into this page's home
+	// window at interval close, fetches are whole-page Gets out of it.
+	HomeFlushes    int64
+	HomeFlushBytes int64
+	HomeFetches    int64
+	HomeFetchBytes int64
+
 	ReadFaults  int64
 	WriteFaults int64
 	FaultNs     int64 // virtual time spent in faults on this page
@@ -153,7 +164,7 @@ func (p *Profiler) epochOf(rank int) int32 {
 func (p *Profiler) page(id, region int32) *PageStats {
 	ps := p.pages[id]
 	if ps == nil {
-		ps = &PageStats{ID: id, Region: region, writers: make(map[int]bool)}
+		ps = &PageStats{ID: id, Region: region, Home: -1, writers: make(map[int]bool)}
 		p.pages[id] = ps
 	}
 	return ps
@@ -238,6 +249,26 @@ func (p *Profiler) DiffCreated(rank int, page, region int32, bytes int) {
 	ps.DiffsCreated++
 	ps.DiffBytesCreated += int64(bytes)
 	ps.writers[rank] = true
+}
+
+// HomeFlush records one dirty page's diff runs (bytes of changed words)
+// being Put into its home window at interval close.
+func (p *Profiler) HomeFlush(rank int, page, region int32, home, bytes int) {
+	ps := p.page(page, region)
+	ps.Home = home
+	ps.HomeFlushes++
+	ps.HomeFlushBytes += int64(bytes)
+	ps.writers[rank] = true
+	p.pageCell(page, rank).Bytes += int64(bytes)
+}
+
+// HomeFetch records a whole-page Get out of the page's home window on a
+// read fault.
+func (p *Profiler) HomeFetch(rank int, page, region int32, home, bytes int) {
+	ps := p.page(page, region)
+	ps.Home = home
+	ps.HomeFetches++
+	ps.HomeFetchBytes += int64(bytes)
 }
 
 // PageNotice records a write notice from writer arriving at rank.

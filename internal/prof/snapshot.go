@@ -49,6 +49,14 @@ type PageRow struct {
 	FalseShareNotices int64   `json:"false_share_notices"`
 	Writers           int     `json:"writers"`
 	FalseSharingScore float64 `json:"false_sharing_score"`
+
+	// Home-based LRC attribution: the page's home rank (-1 on homeless
+	// runs) and the one-sided traffic it attracted.
+	Home           int   `json:"home"`
+	HomeFlushes    int64 `json:"home_flushes,omitempty"`
+	HomeFlushBytes int64 `json:"home_flush_bytes,omitempty"`
+	HomeFetches    int64 `json:"home_fetches,omitempty"`
+	HomeFetchBytes int64 `json:"home_fetch_bytes,omitempty"`
 }
 
 // LockRow is one lock's attribution in a Profile.
@@ -117,6 +125,11 @@ func (p *Profiler) Snapshot() *Profile {
 			Invalidations: ps.Invalidations, Notices: ps.Notices,
 			FalseShareNotices: ps.FalseShareNotices,
 			Writers:           ps.Writers(), FalseSharingScore: ps.FalseSharingScore(),
+			Home:           ps.Home,
+			HomeFlushes:    ps.HomeFlushes,
+			HomeFlushBytes: ps.HomeFlushBytes,
+			HomeFetches:    ps.HomeFetches,
+			HomeFetchBytes: ps.HomeFetchBytes,
 		})
 	}
 	sort.Slice(pr.Pages, func(i, j int) bool { return pr.Pages[i].ID < pr.Pages[j].ID })

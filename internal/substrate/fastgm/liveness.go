@@ -179,6 +179,26 @@ func (t *Transport) abandonStagedTo(peer int) {
 	}
 }
 
+// PeerDead reports whether rank has been declared dead (by silence or by
+// retry exhaustion). Exported for substrates layered on this transport so
+// their give-up decisions share one liveness state.
+func (t *Transport) PeerDead(rank int) bool { return t.live.isDead(rank) }
+
+// DeclarePeerDead records rank as failed with the typed cause kind,
+// exactly as an exhausted retransmission would: idempotent, counted,
+// staged sends abandoned, watchdog callback invoked. Exported for
+// substrates layered on this transport.
+func (t *Transport) DeclarePeerDead(rank int, kind string, attempts int) {
+	t.live.declareDead(rank, kind, attempts)
+}
+
+// NoteHeard refreshes rank's last-heard clock (any frame counts,
+// including frames received by a layered substrate on its own ports).
+func (t *Transport) NoteHeard(rank int) { t.live.heard(rank) }
+
+// Halted reports whether Halt has torn this transport down.
+func (t *Transport) Halted() bool { return t.halted }
+
 // SetOnPeerDead implements substrate.CrashControl.
 func (t *Transport) SetOnPeerDead(fn func(peer int, err error)) { t.live.onDead = fn }
 

@@ -1,0 +1,60 @@
+package rdmagm
+
+import (
+	"repro/internal/sim"
+	"repro/internal/substrate/fastgm"
+)
+
+// Config tunes the one-sided substrate. The embedded fastgm config
+// governs the two-sided request/reply half (startup, locks, barriers,
+// liveness heartbeats — everything the verbs do not cover).
+type Config struct {
+	Fast fastgm.Config
+
+	// NICServiceCost is the target-NIC firmware time to parse one verb
+	// descriptor, run the window bounds check, and stage the DMA. It is
+	// the whole remote-side cost of a verb: no interrupt, no dispatch,
+	// no handler, no host copy.
+	NICServiceCost sim.Time
+	// DMABandwidth is the target-side NIC↔host-memory DMA rate for verb
+	// payloads (the bytes a Put deposits or a Get collects).
+	DMABandwidth float64
+	// CompletionCost is the initiator-side CPU cost to reap one
+	// completion-queue entry.
+	CompletionCost sim.Time
+
+	// SendQueueDepth caps outstanding verbs per destination QP; posting
+	// past the cap reaps completions until a slot frees (real send
+	// queues are rings — posting to a full one blocks the same way).
+	SendQueueDepth int
+
+	// MaxVerbRetries bounds initiator-side retransmission of an
+	// uncompleted verb; past it the target is declared dead through the
+	// shared liveness state.
+	MaxVerbRetries int
+	// VerbTimeout is the delay before the first retransmission of a verb
+	// whose completion has not arrived, doubling per attempt up to
+	// VerbTimeoutMax. The target-side duplicate filter makes redelivered
+	// verbs idempotent (FetchAdd is never re-executed: the cached
+	// completion is resent).
+	VerbTimeout    sim.Time
+	VerbTimeoutMax sim.Time
+	// DupCacheSize bounds the target-side duplicate-verb filter.
+	DupCacheSize int
+}
+
+// DefaultConfig returns the RDMA/GM design point: the fastgm defaults
+// for the two-sided half, firmware verb service on the one-sided half.
+func DefaultConfig() Config {
+	return Config{
+		Fast:           fastgm.DefaultConfig(),
+		NICServiceCost: sim.Micro(1.2),
+		DMABandwidth:   900e6,
+		CompletionCost: sim.Micro(0.6),
+		SendQueueDepth: 16,
+		MaxVerbRetries: 16,
+		VerbTimeout:    5 * sim.Millisecond,
+		VerbTimeoutMax: 200 * sim.Millisecond,
+		DupCacheSize:   1024,
+	}
+}

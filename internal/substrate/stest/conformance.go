@@ -10,6 +10,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/substrate"
 	"repro/internal/substrate/fastgm"
+	"repro/internal/substrate/rdmagm"
 	"repro/internal/substrate/udpgm"
 )
 
@@ -222,11 +223,18 @@ func ConformancePortDisabledMidBurstResumed(t *testing.T, build Builder) {
 // liveness-enabled cluster.
 func ConformanceSilentPeerMidRendezvous(t *testing.T, build Builder) {
 	var c *Cluster
-	if probe := build(2, 1); probe.Stacks != nil {
+	probe := build(2, 1)
+	_, oneSided := probe.Transports[0].(substrate.OneSided)
+	switch {
+	case probe.Stacks != nil:
 		cfg := udpgm.DefaultConfig()
 		cfg.Liveness = substrate.LivenessConfig{Enabled: true}
 		c = NewUDPConfig(2, 1, cfg)
-	} else {
+	case oneSided:
+		cfg := rdmagm.DefaultConfig()
+		cfg.Fast.Liveness = substrate.LivenessConfig{Enabled: true}
+		c = NewRDMA(2, 1, cfg)
+	default:
 		cfg := fastgm.DefaultConfig()
 		cfg.Liveness = substrate.LivenessConfig{Enabled: true}
 		c = NewFast(2, 1, cfg)
@@ -490,6 +498,7 @@ func ConformanceForwardedReply(t *testing.T, build Builder) {
 // serviced asynchronously and extends the computation.
 func ConformanceInterruptsCompute(t *testing.T, build Builder) {
 	c := build(2, 1)
+	var start sim.Time // body start; startup registration cost varies per substrate
 	var served sim.Time
 	var computeEnd sim.Time
 	var got *msg.Message
@@ -503,6 +512,7 @@ func ConformanceInterruptsCompute(t *testing.T, build Builder) {
 		func(rank int, p *sim.Proc, tr substrate.Transport) {
 			switch rank {
 			case 0:
+				start = p.Now()
 				p.Advance(20 * sim.Millisecond)
 				computeEnd = p.Now()
 			case 1:
@@ -517,11 +527,11 @@ func ConformanceInterruptsCompute(t *testing.T, build Builder) {
 	if got == nil || got.Kind != msg.KPong {
 		t.Fatal("no pong")
 	}
-	if served < 5*sim.Millisecond || served > 7*sim.Millisecond {
-		t.Errorf("request served at %v, want shortly after 5ms (async)", served)
+	if d := served - start; d < 5*sim.Millisecond || d > 7*sim.Millisecond {
+		t.Errorf("request served %v after body start, want shortly after 5ms (async)", d)
 	}
-	if computeEnd <= 20*sim.Millisecond {
-		t.Errorf("compute ended at %v; servicing should have extended it", computeEnd)
+	if computeEnd-start <= 20*sim.Millisecond {
+		t.Errorf("compute took %v; servicing should have extended it", computeEnd-start)
 	}
 }
 
@@ -631,6 +641,7 @@ func ConformanceServiceWhileWaiting(t *testing.T, build Builder) {
 	c := build(3, 1)
 	// rank 1 calls rank 2, whose handler needs 5ms of service; while rank
 	// 1 waits, rank 0 calls rank 1, which must answer promptly.
+	var start sim.Time // body start; startup registration cost varies per substrate
 	var servedByWaiting sim.Time
 	c.Spawn(
 		func(rank int) substrate.Handler {
@@ -647,6 +658,7 @@ func ConformanceServiceWhileWaiting(t *testing.T, build Builder) {
 		func(rank int, p *sim.Proc, tr substrate.Transport) {
 			switch rank {
 			case 1:
+				start = p.Now()
 				tr.Call(p, 2, &msg.Message{Kind: msg.KPing})
 			case 0:
 				p.Advance(sim.Millisecond) // rank 1 is now blocked waiting
@@ -657,8 +669,8 @@ func ConformanceServiceWhileWaiting(t *testing.T, build Builder) {
 	if err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if servedByWaiting == 0 || servedByWaiting > 3*sim.Millisecond {
-		t.Errorf("blocked rank served request at %v, want ≈1ms", servedByWaiting)
+	if servedByWaiting == 0 || servedByWaiting-start > 3*sim.Millisecond {
+		t.Errorf("blocked rank served request %v after body start, want ≈1ms", servedByWaiting-start)
 	}
 }
 

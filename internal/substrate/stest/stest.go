@@ -14,6 +14,7 @@ import (
 	"repro/internal/sockets"
 	"repro/internal/substrate"
 	"repro/internal/substrate/fastgm"
+	"repro/internal/substrate/rdmagm"
 	"repro/internal/substrate/udpgm"
 )
 
@@ -48,6 +49,15 @@ func NewFast(n int, seed int64, cfg fastgm.Config) *Cluster {
 	c := newBase(n, seed)
 	for i := 0; i < n; i++ {
 		c.Transports[i] = fastgm.New(c.GM.Node(myrinet.NodeID(i)), i, n, cfg)
+	}
+	return c
+}
+
+// NewRDMA builds an n-rank cluster on the RDMA/GM one-sided transport.
+func NewRDMA(n int, seed int64, cfg rdmagm.Config) *Cluster {
+	c := newBase(n, seed)
+	for i := 0; i < n; i++ {
+		c.Transports[i] = rdmagm.New(c.GM.Node(myrinet.NodeID(i)), i, n, cfg)
 	}
 	return c
 }

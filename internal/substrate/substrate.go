@@ -88,6 +88,86 @@ type Transport interface {
 	Shutdown(p *sim.Proc)
 }
 
+// OneSided is the optional capability interface for transports whose
+// fabric supports RDMA-style one-sided verbs (remote read/write/atomic
+// against registered memory windows, serviced by the remote NIC without
+// host CPU, handler, or interrupt involvement). Discover it by type
+// assertion, like CrashControl; the two-sided Transport contract remains
+// mandatory and is used for everything the verbs do not cover.
+type OneSided interface {
+	// RegisterWindow pins mem and exposes it to every peer as remote
+	// window id. Window ids are chosen by the caller and must be
+	// registered before any peer posts a verb against them; verbs
+	// against an unknown id or outside [0, len(mem)) complete with a
+	// *WindowBoundsError. Re-registering an id replaces the mapping
+	// (the checkpoint/restart path re-registers restored memory).
+	RegisterWindow(p *sim.Proc, id int32, mem []byte)
+
+	// PostPut starts a one-sided write of data into dst's window at
+	// byte offset off and returns immediately; the transfer is complete
+	// (visible to the remote CPU and to subsequent verbs) once the verb
+	// resolves in WaitVerbs.
+	PostPut(p *sim.Proc, dst int, window int32, off int, data []byte) PendingVerb
+
+	// PostGet starts a one-sided read of n bytes from dst's window at
+	// byte offset off; the payload is available from the handle's Data
+	// once the verb resolves.
+	PostGet(p *sim.Proc, dst int, window int32, off, n int) PendingVerb
+
+	// PostFetchAdd starts an atomic fetch-and-add of delta on the
+	// 8-byte little-endian integer at byte offset off of dst's window;
+	// the pre-add value is available from the handle's Old once the
+	// verb resolves. Atomicity is with respect to all verbs targeting
+	// the same window word, regardless of poster.
+	PostFetchAdd(p *sim.Proc, dst int, window int32, off int, delta int64) PendingVerb
+
+	// WaitVerbs blocks until every verb has resolved, servicing
+	// completions in any arrival order (like Collect, it may be called
+	// with asynchronous request delivery masked — completion delivery
+	// does not ride the async request port). It returns the first
+	// verb-level error (*WindowBoundsError, or a *PeerUnreachableError
+	// if the liveness layer declared the target dead mid-verb), or nil
+	// if all verbs completed.
+	WaitVerbs(p *sim.Proc, verbs []PendingVerb) error
+}
+
+// PendingVerb is the handle for one outstanding one-sided verb.
+type PendingVerb interface {
+	// Dst is the rank whose window the verb targets.
+	Dst() int
+	// Done reports whether the verb has resolved (completion received,
+	// remote fault reported, or target declared dead).
+	Done() bool
+	// Err is nil until Done, and after if the verb succeeded.
+	Err() error
+	// Data returns a Get's payload; nil until Done and for other verbs.
+	Data() []byte
+	// Old returns a FetchAdd's pre-add value; zero until Done.
+	Old() int64
+	// Issued and Completed bound the verb's lifetime.
+	Issued() sim.Time
+	Completed() sim.Time
+}
+
+// WindowBoundsError reports a one-sided verb that addressed an
+// unregistered window or a byte range outside it. The check runs on the
+// target NIC; the initiator sees it as the verb's error.
+type WindowBoundsError struct {
+	Peer   int   // target rank
+	Window int32 // window id addressed
+	Off    int   // byte offset addressed
+	Len    int   // byte length addressed
+	Size   int   // registered window size (-1 if the id is unknown)
+}
+
+func (e *WindowBoundsError) Error() string {
+	if e.Size < 0 {
+		return fmt.Sprintf("substrate: one-sided verb to rank %d: window %d not registered", e.Peer, e.Window)
+	}
+	return fmt.Sprintf("substrate: one-sided verb to rank %d: [%d,%d) outside window %d (%d bytes)",
+		e.Peer, e.Off, e.Off+e.Len, e.Window, e.Size)
+}
+
 // Pending is the handle for one outstanding call issued with CallBegin.
 // It is owned by the issuing process: handles are not goroutine-safe and
 // must be resolved by a Collect on the same transport before the next
@@ -135,6 +215,18 @@ type Stats struct {
 	SendsAbandoned    int64 // sends given up after retry exhaustion or peer death
 	HeartbeatsSent    int64 // liveness probes transmitted
 	PeersDeclaredDead int64 // peers this process declared dead
+
+	// One-sided verb counters (all zero unless the transport implements
+	// OneSided and the protocol posts verbs).
+	OneSidedPuts      int64 // Put verbs posted
+	OneSidedGets      int64 // Get verbs posted
+	OneSidedFetchAdds int64 // FetchAdd verbs posted
+	OneSidedBytesPut  int64 // payload bytes written by Put verbs
+	OneSidedBytesGot  int64 // payload bytes read by Get verbs
+	VerbRetransmits   int64 // verb frames retransmitted after loss/failure
+	StaleCompletions  int64 // completions for verbs already resolved
+	VerbsAbandoned    int64 // verbs given up on a dead target
+	WindowFaults      int64 // verbs rejected by the target's bounds check
 
 	ReplyWaitTime  sim.Time
 	RequestService sim.Time

@@ -7,15 +7,18 @@ import (
 	"repro/internal/statsutil"
 	"repro/internal/substrate"
 	"repro/internal/substrate/fastgm"
+	"repro/internal/substrate/rdmagm"
 	"repro/internal/substrate/udpgm"
 )
 
-// Both substrates must satisfy the Transport contract; a signature drift
-// in either implementation breaks this compilation, not a distant DSM
-// test.
+// Every substrate must satisfy the Transport contract — and rdmagm the
+// one-sided extension; a signature drift in any implementation breaks
+// this compilation, not a distant DSM test.
 var (
 	_ substrate.Transport = (*fastgm.Transport)(nil)
 	_ substrate.Transport = (*udpgm.Transport)(nil)
+	_ substrate.Transport = (*rdmagm.Transport)(nil)
+	_ substrate.OneSided  = (*rdmagm.Transport)(nil)
 )
 
 // TestStatsAddSumsEveryField fails when a newly added Stats field does

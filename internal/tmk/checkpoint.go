@@ -330,8 +330,17 @@ func (tp *Proc) restoreSnapshot(epoch int) {
 	nRegions := int(r.i32())
 	for i := 0; i < nRegions; i++ {
 		reg := &Region{ID: r.i32(), StartPage: r.i32(), NPages: r.i32(), Bytes: r.i64(), Owner: int(r.i32())}
+		// A checkpointed region was fully distributed (the snapshot fence
+		// is a barrier every rank crossed after mapping it).
+		reg.committed = true
 		tp.regions[reg.ID] = reg
-		tp.regionMem[reg.ID] = make([]byte, int(reg.NPages)*PageSize)
+		mem := make([]byte, int(reg.NPages)*PageSize)
+		tp.regionMem[reg.ID] = mem
+		if tp.homeBased {
+			// Re-register the restored memory as the region's RDMA window;
+			// peers of the new generation flush into it as before.
+			tp.os.RegisterWindow(tp.sp, reg.ID, mem)
+		}
 	}
 
 	nPages := int(r.i32())

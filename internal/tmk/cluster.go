@@ -10,6 +10,7 @@ import (
 	"repro/internal/sockets"
 	"repro/internal/substrate"
 	"repro/internal/substrate/fastgm"
+	"repro/internal/substrate/rdmagm"
 	"repro/internal/substrate/udpgm"
 	"repro/internal/trace"
 )
@@ -17,10 +18,11 @@ import (
 // TransportKind selects the communication substrate.
 type TransportKind string
 
-// The two substrates the paper evaluates.
+// The two substrates the paper evaluates, plus the one-sided extension.
 const (
 	TransportUDPGM  TransportKind = "udpgm"  // baseline: UDP over Sockets-GM
 	TransportFastGM TransportKind = "fastgm" // the paper's substrate
+	TransportRDMAGM TransportKind = "rdmagm" // fastgm plus one-sided RDMA verbs
 )
 
 // Config assembles a DSM run.
@@ -34,7 +36,16 @@ type Config struct {
 	Sockets sockets.Params
 	UDP     udpgm.Config
 	Fast    fastgm.Config
+	RDMA    rdmagm.Config
 	CPU     CPUParams
+
+	// HomeBased selects the home-based lazy-release-consistency protocol:
+	// every page gets a statically assigned home rank, diffs are
+	// RDMA-written into the home's window when the interval closes, and a
+	// read fault RDMA-reads the whole page from the home — no request
+	// handler and no asynchronous delivery on the page hot path. Requires
+	// a transport implementing substrate.OneSided (TransportRDMAGM).
+	HomeBased bool
 
 	// BarrierFanout selects the barrier topology: 0 or 1 is the paper's
 	// flat centralized barrier at rank 0; k ≥ 2 uses a k-ary combining
@@ -67,7 +78,10 @@ type Config struct {
 	SerialDiffFetch bool
 }
 
-// DefaultConfig returns a calibrated n-process configuration.
+// DefaultConfig returns a calibrated n-process configuration. The
+// one-sided transport defaults to the protocol built for it: home-based
+// LRC (pass cfg.HomeBased = false explicitly to run homeless LRC over
+// rdmagm's two-sided half).
 func DefaultConfig(n int, kind TransportKind) Config {
 	return Config{
 		Procs:     n,
@@ -78,7 +92,9 @@ func DefaultConfig(n int, kind TransportKind) Config {
 		Sockets:   sockets.DefaultParams(),
 		UDP:       udpgm.DefaultConfig(),
 		Fast:      fastgm.DefaultConfig(),
+		RDMA:      rdmagm.DefaultConfig(),
 		CPU:       DefaultCPUParams(),
+		HomeBased: kind == TransportRDMAGM,
 	}
 }
 
@@ -141,6 +157,9 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Procs < 1 {
 		panic("tmk: need at least one process")
 	}
+	if cfg.HomeBased && cfg.Transport != TransportRDMAGM {
+		panic(fmt.Sprintf("tmk: HomeBased requires a one-sided transport, got %q", cfg.Transport))
+	}
 	if cfg.Crash.Enabled {
 		if cfg.Crash.Rank < 0 || cfg.Crash.Rank >= cfg.Procs {
 			panic(fmt.Sprintf("tmk: crash rank %d out of range", cfg.Crash.Rank))
@@ -154,6 +173,7 @@ func NewCluster(cfg Config) *Cluster {
 			lv.Enabled = true
 			cfg.UDP.Liveness = lv
 			cfg.Fast.Liveness = lv
+			cfg.RDMA.Fast.Liveness = lv
 		}
 	}
 	c := &Cluster{cfg: cfg, n: cfg.Procs}
@@ -208,6 +228,8 @@ func (c *Cluster) spawnGeneration(gen, resumeEpoch int) {
 				tr = udpgm.New(c.stacks[rank], rank, n, c.cfg.UDP)
 			case TransportFastGM:
 				tr = fastgm.New(c.gmsys.Node(myrinet.NodeID(rank)), rank, n, c.cfg.Fast)
+			case TransportRDMAGM:
+				tr = rdmagm.New(c.gmsys.Node(myrinet.NodeID(rank)), rank, n, c.cfg.RDMA)
 			default:
 				panic(fmt.Sprintf("tmk: unknown transport %q", c.cfg.Transport))
 			}

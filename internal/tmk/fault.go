@@ -21,20 +21,26 @@ func (tp *Proc) readFault(pm *pageMeta) {
 	tp.stats.ReadFaults++
 	tp.sp.Advance(tp.cpu.FaultOverhead)
 
-	for {
-		if !pm.haveCopy {
-			if tp.cluster.cfg.SerialDiffFetch {
-				tp.fetchPage(pm)
-			} else {
-				tp.fetchPageAndDiffs(pm)
+	if tp.homeBased {
+		// Home-based LRC: one whole-page RDMA read from the home replaces
+		// the page fetch + per-writer diff chase (home.go).
+		tp.homeReadFault(pm)
+	} else {
+		for {
+			if !pm.haveCopy {
+				if tp.cluster.cfg.SerialDiffFetch {
+					tp.fetchPage(pm)
+				} else {
+					tp.fetchPageAndDiffs(pm)
+				}
+				continue
 			}
-			continue
+			missing := tp.missingRanges(pm)
+			if len(missing) == 0 {
+				break
+			}
+			tp.fetchDiffs(pm, missing)
 		}
-		missing := tp.missingRanges(pm)
-		if len(missing) == 0 {
-			break
-		}
-		tp.fetchDiffs(pm, missing)
 	}
 	if pm.state == pageInvalid {
 		if pm.twin != nil {
@@ -383,6 +389,12 @@ func (tp *Proc) closeInterval() {
 			pm.state = pageReadOnly
 		}
 	}
+	if tp.homeBased {
+		// HLRC flush: every diff reaches its home before this function
+		// returns — and the messages that make the interval visible
+		// elsewhere (barrier arrive, lock grant) are sent strictly after.
+		tp.flushHomeDiffs(ts, pages)
+	}
 	tp.dirty = tp.dirty[:0]
 }
 
@@ -413,7 +425,15 @@ func (tp *Proc) applyIntervals(ivs []msg.Interval) {
 			}
 			invalidated := false
 			if pm.addNotice(int(rec.proc), rec.ts) {
-				if pm.state != pageInvalid {
+				if tp.homeBased && tp.homeOf(pg) == tp.rank {
+					// We are the page's home: the writer's flush completed
+					// before this interval became visible (HLRC rule 1), so
+					// our copy already holds the data — cover the notice
+					// instead of invalidating.
+					if pm.cover[rec.proc] < rec.ts {
+						pm.cover[rec.proc] = rec.ts
+					}
+				} else if pm.state != pageInvalid {
 					pm.state = pageInvalid
 					tp.stats.Invalidations++
 					invalidated = true

@@ -1,0 +1,282 @@
+package tmk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/substrate"
+	"repro/internal/trace"
+)
+
+// Home-based lazy release consistency (HLRC) over a one-sided substrate.
+//
+// Every page has a statically assigned home rank whose copy of the page
+// is the RDMA window itself: remote writers deposit diffs straight into
+// it with Put verbs, remote readers pull the whole page out of it with a
+// Get verb. Two rules make this correct without any request handler on
+// the page hot path:
+//
+//  1. Flush before synchronize. closeInterval waits for every home Put
+//     to complete before the interval record can travel anywhere (the
+//     barrier-arrive or lock-grant message is sent strictly after
+//     closeInterval returns, and delivery is masked meanwhile). So if a
+//     process has learned a write notice, the data behind that notice
+//     has already been applied at the home.
+//
+//  2. Homes never invalidate their own pages. Incoming Puts keep the
+//     home copy continuously current, so a notice for a self-homed page
+//     only advances the coverage vector.
+//
+// A home Get therefore covers, at minimum, every notice known when it
+// was posted — that snapshot is what the fault records in the coverage
+// vector. Early visibility (a Put landing before the interval's notice
+// does) exposes only data the application could not race on: programs
+// are data-race-free, so a read of those words is ordered behind the
+// writer's release by some synchronization chain, by which time the
+// notice has arrived anyway.
+
+// homeOf returns the rank serving as page pg's home. The assignment is
+// static round-robin over the global page space, so consecutive pages of
+// a region spread across the cluster without any directory state.
+func (tp *Proc) homeOf(pg int32) int { return int(pg % int32(tp.n)) }
+
+// windowOff maps a page to its byte offset inside its region's window.
+func windowOff(pm *pageMeta) int { return int(pm.id-pm.region.StartPage) * PageSize }
+
+// waitVerbs resolves outstanding verbs with tp.call's crash contract: a
+// target declared dead condemns this generation (the watchdog owns the
+// post-mortem), while a window fault is a protocol bug and panics.
+func (tp *Proc) waitVerbs(entity string, verbs []substrate.PendingVerb) {
+	tp.blockedOn = entity
+	if err := tp.os.WaitVerbs(tp.sp, verbs); err != nil {
+		var pu *substrate.PeerUnreachableError
+		if errors.As(err, &pu) {
+			tp.sp.Exit()
+		}
+		panic(fmt.Sprintf("tmk: rank %d: one-sided %s: %v", tp.rank, entity, err))
+	}
+	tp.blockedOn = ""
+}
+
+// noticeSnap records, per writer, the newest write notice known for the
+// page right now. A home Get posted after this snapshot covers at least
+// these timestamps (rule 1 above), so they are what homeApply credits to
+// the coverage vector.
+func (tp *Proc) noticeSnap(pm *pageMeta) VC {
+	snap := make(VC, tp.n)
+	for q := 0; q < tp.n; q++ {
+		if l := pm.notices[q]; len(l) > 0 {
+			snap[q] = l[len(l)-1]
+		}
+	}
+	return snap
+}
+
+// coverSelfHome validates a self-homed page without any communication:
+// the window is the page, incoming flushes have maintained it, so every
+// known notice is already incorporated.
+func (tp *Proc) coverSelfHome(pm *pageMeta) {
+	for q := 0; q < tp.n; q++ {
+		if l := pm.notices[q]; len(l) > 0 && pm.cover[q] < l[len(l)-1] {
+			pm.cover[q] = l[len(l)-1]
+		}
+	}
+	pm.haveCopy = true
+}
+
+// homeApply merges a fetched home page into the local copy and credits
+// the pre-fetch notice snapshot. With a twin present (a writable page
+// re-fetching after a concurrent notice), the local interval's own words
+// — those where data and twin differ — are preserved, everything else
+// takes the home's value, and the twin rebases onto the home copy so the
+// eventual diff still contains exactly this interval's writes (the
+// multiple-writer protocol, one-sided edition).
+func (tp *Proc) homeApply(pm *pageMeta, data []byte, snap VC) {
+	if len(data) != PageSize {
+		panic(fmt.Sprintf("tmk: rank %d: home get of page %d returned %d bytes", tp.rank, pm.id, len(data)))
+	}
+	if pm.twin != nil {
+		for w := 0; w < wordsPerPage; w++ {
+			i := w * 4
+			local := !wordEq(pm.data, pm.twin, w)
+			copy(pm.twin[i:i+4], data[i:i+4])
+			if !local {
+				copy(pm.data[i:i+4], data[i:i+4])
+			}
+		}
+		// Word-compare scan over twin+data, then up to two page copies.
+		tp.sp.Advance(sim.BytesTime(2*PageSize, tp.cpu.DiffScanBandwidth) +
+			sim.BytesTime(2*PageSize, tp.cpu.MemcpyBandwidth))
+	} else {
+		copy(pm.data, data)
+		tp.sp.Advance(sim.BytesTime(PageSize, tp.cpu.MemcpyBandwidth))
+	}
+	pm.haveCopy = true
+	for q, ts := range snap {
+		if pm.cover[q] < ts {
+			pm.cover[q] = ts
+		}
+	}
+}
+
+// homeReadFault is readFault's home-based body: RDMA-read the whole page
+// from its home, merge, and re-check — a notice can land while the verb
+// is in flight, in which case the home already has the flushed data and
+// one more Get covers it. The caller (readFault) owns the state
+// promotion and fault accounting.
+func (tp *Proc) homeReadFault(pm *pageMeta) {
+	home := tp.homeOf(pm.id)
+	if home == tp.rank {
+		tp.coverSelfHome(pm)
+		return
+	}
+	for {
+		snap := tp.noticeSnap(pm)
+		tp.stats.PageFetches++
+		tp.stats.HomeFetches++
+		tp.stats.HomeFetchBytes += PageSize
+		fetchStart := tp.sp.Now()
+		pv := tp.os.PostGet(tp.sp, home, pm.region.ID, windowOff(pm), PageSize)
+		tp.waitVerbs(fmt.Sprintf("page %d (home get from %d)", pm.id, home),
+			[]substrate.PendingVerb{pv})
+		tp.homeApply(pm, pv.Data(), snap)
+		if tr := tp.tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(fetchStart), Dur: int64(tp.sp.Now() - fetchStart),
+				Layer: trace.LayerTMK, Kind: "home-fetch", Proc: tp.sp.ID(), Peer: home,
+				Bytes: PageSize})
+		}
+		if pf := tp.prof(); pf != nil {
+			pf.PageFetch(tp.rank, pm.id, pm.region.ID, PageSize, int64(tp.sp.Now()-fetchStart))
+			pf.HomeFetch(tp.rank, pm.id, pm.region.ID, home, PageSize)
+		}
+		if !pm.isMissingAny(tp.rank) {
+			return
+		}
+	}
+}
+
+// homeFaultRange is faultRange's home-based body for a multi-page span:
+// one Get per invalid page, all posted before any is awaited.
+func (tp *Proc) homeFaultRange(first, last int32, write bool) {
+	for {
+		start := tp.sp.Now()
+		var pms []*pageMeta
+		var snaps []VC
+		var verbs []substrate.PendingVerb
+		for pg := first; pg <= last; pg++ {
+			pm := tp.page(pg)
+			if pm.state != pageInvalid {
+				continue
+			}
+			tp.stats.ReadFaults++
+			tp.sp.Advance(tp.cpu.FaultOverhead)
+			if tp.homeOf(pg) == tp.rank {
+				tp.coverSelfHome(pm)
+				tp.promoteValid(pm)
+				continue
+			}
+			tp.stats.PageFetches++
+			tp.stats.HomeFetches++
+			tp.stats.HomeFetchBytes += PageSize
+			pms = append(pms, pm)
+			snaps = append(snaps, tp.noticeSnap(pm))
+			verbs = append(verbs, tp.os.PostGet(tp.sp, tp.homeOf(pg), pm.region.ID, windowOff(pm), PageSize))
+		}
+		if len(verbs) == 0 {
+			break
+		}
+		tp.waitVerbs(fmt.Sprintf("pages %d..%d (batched home gets, %d pages)", first, last, len(verbs)), verbs)
+		for i, pm := range pms {
+			pv := verbs[i]
+			tp.homeApply(pm, pv.Data(), snaps[i])
+			if !pm.isMissingAny(tp.rank) {
+				tp.promoteValid(pm)
+			}
+			if tr := tp.tracer(); tr != nil {
+				tr.Emit(trace.Event{T: int64(pv.Issued()), Dur: int64(pv.Completed() - pv.Issued()),
+					Layer: trace.LayerTMK, Kind: "home-fetch", Proc: tp.sp.ID(), Peer: pv.Dst(),
+					Bytes: PageSize})
+			}
+			if pf := tp.prof(); pf != nil {
+				pf.PageReadFault(tp.rank, pm.id, pm.region.ID, int64(pv.Completed()-pv.Issued()))
+				pf.PageFetch(tp.rank, pm.id, pm.region.ID, PageSize, int64(pv.Completed()-pv.Issued()))
+				pf.HomeFetch(tp.rank, pm.id, pm.region.ID, pv.Dst(), PageSize)
+			}
+		}
+		tp.stats.FaultTime += tp.sp.Now() - start
+		// Loop: a page that picked up a fresh notice mid-batch stays
+		// invalid and re-fetches.
+	}
+	if write {
+		for pg := first; pg <= last; pg++ {
+			if pm := tp.page(pg); pm.state != pageWritable {
+				tp.writeFault(pm)
+			}
+		}
+	}
+}
+
+// promoteValid moves a just-validated invalid page to its resting state.
+func (tp *Proc) promoteValid(pm *pageMeta) {
+	if pm.state == pageInvalid {
+		if pm.twin != nil {
+			pm.state = pageWritable
+		} else {
+			pm.state = pageReadOnly
+		}
+	}
+}
+
+// flushHomeDiffs ships the interval's diffs into each dirty page's home
+// window and waits for every completion — the flush-before-synchronize
+// half of HLRC. Each diff run becomes one Put at the run's exact byte
+// range, so the wire carries only changed words. Runs masked (callers of
+// closeInterval hold delivery disabled), which is legal: completions
+// arrive on the dedicated CQ port, not the async request port.
+//
+// No coverage filtering is needed on this path (contrast the homeless
+// applyDiffs): the home is a single ordered application point — Puts
+// from one interval complete before the interval is visible, and a
+// reader always takes the whole current home page — so there is no
+// "diff subsumed by a concurrently fetched copy" hazard to filter.
+func (tp *Proc) flushHomeDiffs(ts int32, pages []int32) {
+	var verbs []substrate.PendingVerb
+	total := 0
+	for _, pg := range pages {
+		pm := tp.page(pg)
+		home := tp.homeOf(pg)
+		if home == tp.rank {
+			continue // our copy is the home window; nothing to ship
+		}
+		diff := tp.myDiffs[diffKey{page: pg, ts: ts}]
+		base := windowOff(pm)
+		nbytes := 0
+		for off := 0; off < len(diff); {
+			start := int(binary.LittleEndian.Uint16(diff[off:]))
+			count := int(binary.LittleEndian.Uint16(diff[off+2:]))
+			off += 4
+			verbs = append(verbs, tp.os.PostPut(tp.sp, home, pm.region.ID,
+				base+start*4, diff[off:off+count*4]))
+			off += count * 4
+			nbytes += count * 4
+		}
+		total += nbytes
+		tp.stats.HomeFlushes++
+		tp.stats.HomeFlushBytes += int64(nbytes)
+		if pf := tp.prof(); pf != nil {
+			pf.HomeFlush(tp.rank, pg, pm.region.ID, home, nbytes)
+		}
+	}
+	if len(verbs) == 0 {
+		return
+	}
+	start := tp.sp.Now()
+	tp.waitVerbs(fmt.Sprintf("interval %d (home flush, %d puts)", ts, len(verbs)), verbs)
+	if tr := tp.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(start), Dur: int64(tp.sp.Now() - start),
+			Layer: trace.LayerTMK, Kind: "home-flush", Proc: tp.sp.ID(), Peer: -1,
+			Bytes: total})
+	}
+}

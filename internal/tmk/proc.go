@@ -21,6 +21,11 @@ type Proc struct {
 	tr      substrate.Transport
 	cpu     CPUParams
 
+	// Home-based LRC (see home.go): set iff Config.HomeBased, in which
+	// case os is the transport's one-sided capability.
+	homeBased bool
+	os        substrate.OneSided
+
 	vc            VC
 	lastBarrierVC VC
 	store         *intervalStore
@@ -74,7 +79,7 @@ func (tp *Proc) tracer() *trace.Tracer { return tp.sp.Sim().Tracer() }
 func (tp *Proc) prof() *prof.Profiler { return tp.cluster.cfg.Prof }
 
 func newProc(c *Cluster, rank int, sp *sim.Proc, tr substrate.Transport, cpu CPUParams) *Proc {
-	return &Proc{
+	tp := &Proc{
 		cluster:       c,
 		rank:          rank,
 		n:             c.n,
@@ -92,6 +97,15 @@ func newProc(c *Cluster, rank int, sp *sim.Proc, tr substrate.Transport, cpu CPU
 		regionCond:    sim.NewCond(fmt.Sprintf("tmk:%d:region", rank)),
 		barrier:       barrierState{cond: sim.NewCond(fmt.Sprintf("tmk:%d:barrier", rank))},
 	}
+	if c.cfg.HomeBased {
+		os, ok := tr.(substrate.OneSided)
+		if !ok {
+			panic(fmt.Sprintf("tmk: HomeBased with transport %T (no one-sided verbs)", tr))
+		}
+		tp.homeBased = true
+		tp.os = os
+	}
+	return tp
 }
 
 // handleRequest dispatches one asynchronous request (handler context:
@@ -109,6 +123,14 @@ func (tp *Proc) handleRequest(p *sim.Proc, m *msg.Message) {
 		tp.handlePageReq(m)
 	case msg.KDistribute:
 		tp.mapRegion(regionFromWire(m.Region, int(m.From)), false)
+		tp.tr.Reply(p, m, &msg.Message{Kind: msg.KAck})
+	case msg.KDistributeCommit:
+		r := tp.regions[m.Region.ID]
+		if r == nil {
+			panic(fmt.Sprintf("tmk: rank %d: commit for unknown region %d", tp.rank, m.Region.ID))
+		}
+		r.committed = true
+		tp.regionCond.Broadcast()
 		tp.tr.Reply(p, m, &msg.Message{Kind: msg.KAck})
 	case msg.KPing:
 		tp.tr.Reply(p, m, &msg.Message{Kind: msg.KPong, PageData: m.PageData})

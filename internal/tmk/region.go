@@ -16,6 +16,11 @@ type Region struct {
 	NPages    int32
 	Bytes     int64
 	Owner     int // the distributing process; holds the initial copy
+
+	// committed (home-based mode, local flag): every rank has mapped the
+	// region and registered its memory window, so home flushes can no
+	// longer race an unregistered window. Set by KDistributeCommit.
+	committed bool
 }
 
 func (r *Region) wire() msg.RegionInfo {
@@ -44,11 +49,16 @@ func (tp *Proc) Alloc(nbytes int) *Region {
 	}
 	tp.cluster.nextRegionID++
 	tp.cluster.nextPage += npages
+	r.committed = true // the owner's own window exists from mapRegion on
 	tp.mapRegion(r, true)
 	return r
 }
 
 // Distribute announces the region to every other process — Tmk_distribute.
+// In home-based mode a second commit round follows: only after every rank
+// has acked the announcement (mapping the region and registering its
+// window) are the AllocShared waiters released, so no rank can write —
+// and therefore flush to a home window — before every window exists.
 func (tp *Proc) Distribute(r *Region) {
 	for peer := 0; peer < tp.n; peer++ {
 		if peer == tp.rank {
@@ -58,6 +68,18 @@ func (tp *Proc) Distribute(r *Region) {
 			&msg.Message{Kind: msg.KDistribute, Region: r.wire()})
 		if rep.Kind != msg.KAck {
 			panic(fmt.Sprintf("tmk: distribute: unexpected %v", rep.Kind))
+		}
+	}
+	if tp.homeBased {
+		for peer := 0; peer < tp.n; peer++ {
+			if peer == tp.rank {
+				continue
+			}
+			rep := tp.call(peer, fmt.Sprintf("region %d (commit to %d)", r.ID, peer),
+				&msg.Message{Kind: msg.KDistributeCommit, Region: r.wire()})
+			if rep.Kind != msg.KAck {
+				panic(fmt.Sprintf("tmk: distribute commit: unexpected %v", rep.Kind))
+			}
 		}
 	}
 }
@@ -74,7 +96,7 @@ func (tp *Proc) AllocShared(nbytes int) *Region {
 	want := tp.expectRegion
 	tp.expectRegion++
 	tp.blockedOn = fmt.Sprintf("region %d (awaiting distribute from rank 0)", want)
-	for tp.regions[want] == nil {
+	for tp.regions[want] == nil || (tp.homeBased && !tp.regions[want].committed) {
 		tp.sp.WaitOn(tp.regionCond)
 	}
 	tp.blockedOn = ""
@@ -90,10 +112,18 @@ func (tp *Proc) mapRegion(r *Region, owned bool) {
 	tp.regions[r.ID] = r
 	mem := make([]byte, int(r.NPages)*PageSize)
 	tp.regionMem[r.ID] = mem
+	if tp.homeBased {
+		// The whole region backs one RDMA window (window id = region id);
+		// peers address page pg at byte offset (pg−StartPage)·PageSize.
+		tp.os.RegisterWindow(tp.sp, r.ID, mem)
+	}
 	for i := int32(0); i < r.NPages; i++ {
 		pg := r.StartPage + i
 		pm := newPageMeta(pg, r, mem[int(i)*PageSize:int(i+1)*PageSize], tp.n)
-		if owned {
+		if owned || (tp.homeBased && tp.homeOf(pg) == tp.rank) {
+			// The home's copy IS the window: incoming flushes keep it
+			// current from the moment the region exists, so it starts (and
+			// stays) valid here.
 			pm.haveCopy = true
 			pm.state = pageReadOnly
 		}
@@ -112,8 +142,17 @@ func (tp *Proc) mapRegion(r *Region, owned bool) {
 		for _, pg := range rec.pages {
 			if pg >= r.StartPage && pg < r.StartPage+r.NPages {
 				pm := tp.pages[pg]
-				if pm.addNotice(int(rec.proc), rec.ts) && pm.state != pageInvalid {
-					pm.state = pageInvalid
+				if pm.addNotice(int(rec.proc), rec.ts) {
+					if tp.homeBased && tp.homeOf(pg) == tp.rank {
+						// Home copy already holds the flushed data (cannot
+						// actually occur before the commit round completes,
+						// but mirror applyIntervals defensively).
+						if pm.cover[rec.proc] < rec.ts {
+							pm.cover[rec.proc] = rec.ts
+						}
+					} else if pm.state != pageInvalid {
+						pm.state = pageInvalid
+					}
 				}
 			}
 		}
@@ -182,12 +221,20 @@ func (tp *Proc) checkRange(r *Region, off, n int) {
 }
 
 // faultRange runs the fault path over every page the byte range touches.
+// In home-based mode a multi-page range batches its home reads: every
+// invalid page's Get is posted before any completion is awaited, so the
+// span costs max-RTT instead of sum-of-RTTs (the one-sided analogue of
+// the homeless scatter-gather diff fetch).
 func (tp *Proc) faultRange(r *Region, off, n int, write bool) {
 	if n == 0 {
 		return
 	}
 	first := r.StartPage + int32(off/PageSize)
 	last := r.StartPage + int32((off+n-1)/PageSize)
+	if tp.homeBased && last > first {
+		tp.homeFaultRange(first, last, write)
+		return
+	}
 	for pg := first; pg <= last; pg++ {
 		pm := tp.page(pg)
 		if write {

@@ -47,6 +47,12 @@ type Stats struct {
 	Checkpoints        int64
 	CheckpointBytes    int64
 
+	// Home-based LRC counters (zero unless Config.HomeBased).
+	HomeFlushes    int64 // dirty pages whose diffs were Put to a remote home
+	HomeFlushBytes int64 // diff-run payload bytes RDMA-written to homes
+	HomeFetches    int64 // read faults served by a one-sided home page read
+	HomeFetchBytes int64 // page bytes RDMA-read from homes
+
 	LockWait    sim.Time
 	BarrierWait sim.Time
 	FaultTime   sim.Time
