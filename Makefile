@@ -6,11 +6,11 @@ GO       ?= go
 FUZZTIME ?= 5s
 BENCHDIR ?= .
 
-.PHONY: all check fmt vet build test race fuzz-smoke bench bench-diff prof-smoke chaos-smoke crash-smoke rdma-smoke
+.PHONY: all check fmt vet build test race fuzz-smoke bench bench-diff bench-gate prof-smoke chaos-smoke crash-smoke rdma-smoke critical-smoke
 
 all: check
 
-check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke crash-smoke rdma-smoke bench bench-diff
+check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke crash-smoke rdma-smoke critical-smoke bench bench-diff bench-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -37,6 +37,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleAsyncFrame$$' -fuzztime $(FUZZTIME) ./internal/substrate/fastgm/
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleVerbFrame$$' -fuzztime $(FUZZTIME) ./internal/substrate/rdmagm/
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleCompletion$$' -fuzztime $(FUZZTIME) ./internal/substrate/rdmagm/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeCtx$$' -fuzztime $(FUZZTIME) ./internal/trace/
 
 # Chaos sweep: all four applications on both transports over a seeded
 # lossy fabric (drop, corruption, latency spikes, a timed blackout),
@@ -72,6 +73,18 @@ bench-diff:
 rdma-smoke:
 	$(GO) test -short -run 'TestHomeBased' ./internal/harness/
 
+# Bench regression gate: regenerated suites must match the checked-in
+# BENCH_*.json within per-row tolerances (max(500ns, 2%·old) by default);
+# a removed row is a failure. Unlike bench-diff, violations exit nonzero.
+bench-gate:
+	$(GO) run ./cmd/bench -gate -out $(BENCHDIR)
+
 # Quick end-to-end run of the protocol-entity profiler (small sizes).
 prof-smoke:
 	$(GO) run ./cmd/figures -fig prof -prof-nodes 4 -prof-small > /dev/null
+
+# Causal critical-path smoke: one SOR run over FAST/GM must extract a
+# non-empty critical path whose category attributions sum exactly to the
+# end-to-end virtual time (DESIGN.md §13).
+critical-smoke:
+	$(GO) test -run 'TestCriticalSmokeSORFastGM' ./internal/harness/

@@ -10,9 +10,21 @@
 // in-memory and compared against the checked-in BENCH_<suite>.json in
 // -out, printing per-row deltas.
 //
+// With -gate, the comparison becomes a regression gate (`make
+// bench-gate`): every regenerated row must stay within a per-row
+// tolerance — max(-gate-abs-ns, -gate-rel · |old|) — of the checked-in
+// value, and a row disappearing is itself a failure. Exit status is
+// nonzero on any violation.
+//
+// -trace-cap N attaches a shared structured-event ring of capacity N to
+// every benchmark simulation (observation only — the suites are
+// bit-identical either way) and reports whether the ring wrapped, so a
+// truncated trace can't silently skew any breakdown derived from it.
+//
 // Usage:
 //
-//	bench [-suite all|e0|e1|e2|e3] [-out DIR] [-diff]
+//	bench [-suite all|e0|e1|e2|e3] [-out DIR] [-diff] [-gate]
+//	      [-gate-rel 0.02] [-gate-abs-ns 500] [-trace-cap N]
 package main
 
 import (
@@ -22,13 +34,39 @@ import (
 	"path/filepath"
 
 	"repro/internal/harness"
+	"repro/internal/trace"
 )
 
 func main() {
 	suite := flag.String("suite", "all", "which suite to run: e0, e1, e2, e3, all")
 	out := flag.String("out", ".", "directory to write BENCH_<suite>.json into")
 	diff := flag.Bool("diff", false, "compare regenerated suites against the checked-in files in -out instead of writing")
+	gate := flag.Bool("gate", false, "regression gate: fail unless every regenerated row is within tolerance of the checked-in files in -out")
+	gateRel := flag.Float64("gate-rel", harness.GateRelTol, "gate relative tolerance (fraction of the checked-in value)")
+	gateAbs := flag.Int64("gate-abs-ns", harness.GateAbsNs, "gate absolute tolerance floor, ns")
+	traceCap := flag.Int("trace-cap", 0, "attach a shared event ring of this capacity to every benchmark run (0 = off)")
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceCap > 0 {
+		tracer = trace.New(*traceCap)
+		harness.SetBenchTracer(tracer)
+	}
+	defer reportRing(tracer)
+
+	if *gate {
+		reports, err := harness.GateBench(*suite, *out, *gateRel, *gateAbs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ok := harness.PrintGate(os.Stdout, reports)
+		reportRing(tracer)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *diff {
 		if err := diffSuites(*suite, *out); err != nil {
@@ -70,6 +108,23 @@ func main() {
 	}
 	for _, p := range paths {
 		fmt.Printf("wrote %s\n", p)
+	}
+}
+
+// reportRing surfaces the shared ring's state: an overflow means any
+// per-layer breakdown built from this trace under-counts early history,
+// so it must never pass silently. Idempotent (prints once).
+var ringReported bool
+
+func reportRing(tracer *trace.Tracer) {
+	if tracer == nil || ringReported {
+		return
+	}
+	ringReported = true
+	fmt.Printf("traced %d events across the benchmark runs\n", tracer.Len())
+	if n := tracer.Overwrote(); n > 0 {
+		fmt.Printf("warning: ring dropped %d oldest events; rerun with -trace-cap %d for full coverage\n",
+			n, tracer.Len()+int(n))
 	}
 }
 

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	figures [-fig 0|3|4|5|e4|e5|e6|breakdown|prof|all] [-nodes 4,8,16] [-big16]
-//	        [-e6-sizes 4,...,256] [-prof-nodes 8] [-prof-small] [-trace-cap N]
+//	figures [-fig 0|3|4|5|e4|e5|e6|breakdown|prof|critical|all] [-nodes 4,8,16]
+//	        [-big16] [-e6-sizes 4,...,256] [-prof-nodes 8] [-prof-small]
+//	        [-critical-nodes 4] [-trace-cap N]
 //
 // -big16 runs the Figure 5 sweep on 16 nodes (the paper's size); without
 // it the sweep runs on 8 nodes, which regenerates the same shapes faster.
@@ -15,7 +16,12 @@
 // -fig prof reruns the applications with the protocol-entity profiler
 // attached and prints per-page/lock/barrier attribution with page×epoch
 // heatmaps (not part of "all"; -prof-small uses the smallest Table 1
-// sizes). -trace-cap sizes the breakdown runs' event ring.
+// sizes). -fig critical reruns every application × transport (all
+// three, smallest Table 1 sizes, -critical-nodes processes) with the
+// causal-DAG collector attached and prints each run's critical-path
+// attribution (DESIGN.md §13; also not part of "all" — it reruns all
+// twelve combinations). -trace-cap sizes the breakdown runs' event
+// ring.
 package main
 
 import (
@@ -29,12 +35,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 0, 3, 4, 5, e4, e5, e6, breakdown, prof, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 0, 3, 4, 5, e4, e5, e6, breakdown, prof, critical, all")
 	nodesFlag := flag.String("nodes", "4,8,16", "node counts for the Figure 4 sweep")
 	e6Flag := flag.String("e6-sizes", "4,8,16,32,64,128,256", "cluster sizes for the E6 scalability sweep")
 	big16 := flag.Bool("big16", true, "run the Figure 5 sweep on 16 nodes (paper size)")
 	profNodes := flag.Int("prof-nodes", 8, "node count for the -fig prof runs")
 	profSmall := flag.Bool("prof-small", false, "profile the smallest Table 1 sizes instead of the defaults")
+	criticalNodes := flag.Int("critical-nodes", 4, "node count for the -fig critical runs")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity for the breakdown runs (0 = default)")
 	flag.Parse()
 
@@ -116,6 +123,13 @@ func main() {
 		runs, err := harness.ProfEntities(*profNodes, *profSmall)
 		exitOn(err)
 		harness.PrintProfEntities(os.Stdout, runs)
+	}
+	// Critical paths are likewise opt-in: they rerun every application on
+	// all three transports.
+	if *fig == "critical" {
+		rows, err := harness.CriticalTable(*criticalNodes)
+		exitOn(err)
+		harness.PrintCritical(os.Stdout, *criticalNodes, rows)
 	}
 }
 

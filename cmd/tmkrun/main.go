@@ -6,15 +6,18 @@
 // Usage:
 //
 //	tmkrun -app jacobi -nodes 16 -transport fastgm [-size 2] [-verify]
-//	       [-seed N] [-homeless] [-prof] [-prof-json profile.json]
+//	       [-seed N] [-homeless] [-prof] [-prof-json profile.json] [-trace-cap N]
 //	tmkrun -chaos [-seed N] [-nodes 4]
 //	tmkrun -crash [-seed N] [-nodes 4]
 //
 // -prof attaches the protocol-entity profiler and prints the per-page /
-// per-lock / per-barrier attribution tables and the page×epoch heatmap;
-// -prof-json additionally writes the full profile as JSON (schema
-// tmk-prof/1). Profiling is observation only: the execution time and
-// statistics are identical with and without it.
+// per-lock / per-barrier attribution tables and the page×epoch heatmap,
+// plus a per-layer time breakdown from a structured-event ring whose
+// capacity -trace-cap sets; if the ring wrapped, the breakdown is
+// prefixed with a warning and the drop count so a truncated trace can't
+// silently skew it. -prof-json additionally writes the full profile as
+// JSON (schema tmk-prof/1). Profiling is observation only: the
+// execution time and statistics are identical with and without it.
 //
 // -chaos ignores -app/-size/-verify and instead runs the chaos sweep: all
 // four applications on both transports over a seeded lossy fabric (drop,
@@ -38,6 +41,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/prof"
 	"repro/internal/tmk"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -53,6 +57,7 @@ func main() {
 	crash := flag.Bool("crash", false, "run the crash-tolerance sweep (rank death: checkpoint/restart + coordinated abort)")
 	profFlag := flag.Bool("prof", false, "attach the protocol-entity profiler and print its tables")
 	profJSON := flag.String("prof-json", "", "write the entity profile as JSON (implies -prof)")
+	traceCap := flag.Int("trace-cap", 0, "event ring capacity for the -prof breakdown (0 = default)")
 	flag.Parse()
 
 	if *chaos {
@@ -107,13 +112,16 @@ func main() {
 	}
 
 	var pf *prof.Profiler
+	var tracer *trace.Tracer
 	if *profFlag || *profJSON != "" {
 		pf = prof.New()
+		tracer = trace.New(*traceCap)
 	}
 	mutate := func(cfg *tmk.Config) {
 		cfg.Seed = *seed
 		cfg.Fast.Rendezvous = *rendezvous
 		cfg.Prof = pf
+		cfg.Trace = tracer
 		if *homeless {
 			cfg.HomeBased = false
 		}
@@ -164,6 +172,17 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("  wrote entity profile to %s\n", *profJSON)
+		}
+	}
+	if tracer != nil {
+		fmt.Println()
+		if n := tracer.Overwrote(); n > 0 {
+			fmt.Printf("warning: ring dropped %d oldest events; rerun with -trace-cap %d for full coverage\n",
+				n, tracer.Len()+int(n))
+		}
+		if err := trace.WriteBreakdown(os.Stdout, "per-layer breakdown", tracer.Breakdown()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

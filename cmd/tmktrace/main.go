@@ -6,13 +6,19 @@
 // Usage:
 //
 //	tmktrace [-scenario counter|sharing|lockchain] [-nodes 4] [-transport fastgm]
-//	         [-seed N] [-out trace.json] [-trace-cap N] [-prof] [-prof-json profile.json]
+//	         [-seed N] [-out trace.json] [-trace-cap N] [-critical]
+//	         [-prof] [-prof-json profile.json]
 //
 // With -out, the run also records structured events from every layer and
 // writes a Chrome trace_event JSON file loadable in Perfetto
 // (https://ui.perfetto.dev) or chrome://tracing; a per-layer time
 // breakdown is printed after the run, with a warning if the event ring
-// overflowed (-trace-cap raises its capacity). -prof attaches the
+// overflowed (-trace-cap raises its capacity). -critical attaches the
+// causal-DAG collector (DESIGN.md §13) and prints the run's critical
+// path — end-to-end virtual time attributed to compute / wire / gm /
+// manager-indirection / straggler-wait — after the run; combined with
+// -out, the exported Chrome trace additionally carries one flow arrow
+// per causal edge between the process tracks. -prof attaches the
 // protocol-entity profiler and prints per-page/lock/barrier attribution;
 // -prof-json writes the profile as JSON. The printed protocol trace is
 // unchanged either way.
@@ -34,6 +40,7 @@ func main() {
 	transport := flag.String("transport", "fastgm", "fastgm or udpgm")
 	out := flag.String("out", "", "write a Chrome trace_event JSON file (Perfetto-loadable)")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity (0 = default)")
+	critical := flag.Bool("critical", false, "collect the causal DAG and print the run's critical path")
 	seed := flag.Int64("seed", 1, "simulation RNG seed")
 	profFlag := flag.Bool("prof", false, "attach the protocol-entity profiler and print its tables")
 	profJSON := flag.String("prof-json", "", "write the entity profile as JSON (implies -prof)")
@@ -45,6 +52,14 @@ func main() {
 	if *out != "" {
 		tracer = trace.New(*traceCap)
 		cfg.Trace = tracer
+	}
+	var causal *trace.Causal
+	if *critical {
+		causal = trace.NewCausal()
+		cfg.Causal = causal
+		if tracer != nil {
+			tracer.AttachCausal(causal)
+		}
 	}
 	var pf *prof.Profiler
 	if *profFlag || *profJSON != "" {
@@ -127,6 +142,16 @@ func main() {
 				n, tracer.Len()+int(n))
 		}
 		trace.WriteBreakdown(os.Stdout, "per-layer breakdown", tracer.Breakdown())
+	}
+
+	if causal != nil {
+		fmt.Println()
+		header := fmt.Sprintf("critical path (%d causal edges, %d duplicate arrivals suppressed)",
+			causal.Len(), causal.DupArrivals())
+		if err := trace.WriteCriticalPath(os.Stdout, header, causal.CriticalPath(), 8); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if pf != nil {

@@ -55,6 +55,7 @@ type Recv struct {
 	Class    int
 	Data     []byte  // length = message length; aliases Buffer storage
 	Buffer   *Buffer // the preposted buffer the message landed in
+	Aux      []byte  // uncharged envelope metadata (causal trace context), or nil
 }
 
 type parkedMsg struct {
@@ -196,17 +197,32 @@ func (p *Port) PostedBuffers(class int) int { return len(p.posted[class]) }
 // The data is copied out of b before Send returns, so b may be reused as
 // soon as cb fires (GM's contract).
 func (p *Port) Send(proc *sim.Proc, dst myrinet.NodeID, dstPort int, b *Buffer, n int, cb SendCallback) error {
-	return p.send(proc, dst, dstPort, b, n, cb)
+	return p.send(proc, dst, dstPort, b, n, nil, cb)
+}
+
+// SendAux is Send with uncharged envelope metadata attached: aux rides
+// the message outside the billed payload (observation only — it adds no
+// bytes to any fragment and no virtual time to any charge) and surfaces
+// as Recv.Aux at the receiver. Retransmissions of the same logical
+// message must resend the same aux.
+func (p *Port) SendAux(proc *sim.Proc, dst myrinet.NodeID, dstPort int, b *Buffer, n int, aux []byte, cb SendCallback) error {
+	return p.send(proc, dst, dstPort, b, n, aux, cb)
 }
 
 // SendFromKernel is Send issued from kernel context: no process is
 // charged the host send overhead (the syscall path already accounted for
 // it, or the send happens from a completion handler on the event clock).
 func (p *Port) SendFromKernel(dst myrinet.NodeID, dstPort int, b *Buffer, n int, cb SendCallback) error {
-	return p.send(nil, dst, dstPort, b, n, cb)
+	return p.send(nil, dst, dstPort, b, n, nil, cb)
 }
 
-func (p *Port) send(proc *sim.Proc, dst myrinet.NodeID, dstPort int, b *Buffer, n int, cb SendCallback) error {
+// SendFromKernelAux is SendFromKernel with uncharged envelope metadata
+// (see SendAux).
+func (p *Port) SendFromKernelAux(dst myrinet.NodeID, dstPort int, b *Buffer, n int, aux []byte, cb SendCallback) error {
+	return p.send(nil, dst, dstPort, b, n, aux, cb)
+}
+
+func (p *Port) send(proc *sim.Proc, dst myrinet.NodeID, dstPort int, b *Buffer, n int, aux []byte, cb SendCallback) error {
 	params := p.node.sys.params
 	if !p.enabled {
 		return ErrPortDisabled
@@ -244,7 +260,7 @@ func (p *Port) send(proc *sim.Proc, dst myrinet.NodeID, dstPort int, b *Buffer, 
 	p.inflight = append(p.inflight, rec)
 	p.node.nextMsgID++
 	msgID := p.node.nextMsgID
-	meta := msgMeta{class: class, srcPort: p.id, sendRec: rec}
+	meta := msgMeta{class: class, srcPort: p.id, sendRec: rec, aux: aux}
 
 	frags := p.node.sys.fabric.FragmentSizes(n)
 	off := 0
@@ -384,6 +400,7 @@ func (p *Port) accept(src myrinet.NodeID, pm *partialMsg, b *Buffer) {
 		Class:    pm.meta.class,
 		Data:     b.data[:len(pm.data)],
 		Buffer:   b,
+		Aux:      pm.meta.aux,
 	}
 	p.stats.Received++
 	p.stats.RecvBytes += int64(len(pm.data))

@@ -181,6 +181,9 @@ type msgMeta struct {
 	// sendRec links the receiver's accept/timeout back to the sender's
 	// callback and token accounting.
 	sendRec *sendRecord
+	// aux is uncharged observation metadata riding the message envelope
+	// (causal trace context); it is not payload and costs no wire time.
+	aux []byte
 }
 
 type sendRecord struct {

@@ -112,15 +112,15 @@ func BenchE3() (*BenchSuite, error) {
 	)
 	s := &BenchSuite{Schema: BenchSchema, Suite: "e3"}
 	for _, kind := range []tmk.TransportKind{tmk.TransportFastGM, tmk.TransportRDMAGM} {
-		pg, err := ubench.Page(tmk.DefaultConfig(pageNodes, kind), 32)
+		pg, err := ubench.Page(withBenchTracer(tmk.DefaultConfig(pageNodes, kind)), 32)
 		if err != nil {
 			return nil, fmt.Errorf("e3 page (%s): %w", kind, err)
 		}
-		dm, err := ubench.DiffMultiWriter(tmk.DefaultConfig(dmwNodes, kind), 16, dmwWriter)
+		dm, err := ubench.DiffMultiWriter(withBenchTracer(tmk.DefaultConfig(dmwNodes, kind)), 16, dmwWriter)
 		if err != nil {
 			return nil, fmt.Errorf("e3 diff-multiwriter (%s): %w", kind, err)
 		}
-		br, err := ubench.Barrier(tmk.DefaultConfig(pageNodes, kind), 5)
+		br, err := ubench.Barrier(withBenchTracer(tmk.DefaultConfig(pageNodes, kind)), 5)
 		if err != nil {
 			return nil, fmt.Errorf("e3 barrier (%s): %w", kind, err)
 		}
@@ -237,6 +237,144 @@ func PrintBenchDiff(w io.Writer, suite string, deltas []BenchDelta) {
 			fprintf(w, "  %-42s %-7s %14d %14d %9s\n", name, d.Transport, d.Old, d.New, delta)
 		}
 	}
+}
+
+// Bench regression gate (`make bench-gate`): regenerate every suite
+// in-memory and hold each row to the checked-in BENCH_<suite>.json
+// within a per-row tolerance, turning the perf trajectory from an
+// informational diff into an enforced contract. The simulations are
+// deterministic, so on an unchanged tree every delta is exactly zero;
+// the tolerance exists for intentional cross-commit movement — anything
+// outside it means "update the checked-in file deliberately or explain
+// the regression", never noise.
+
+// Gate tolerance defaults: a row passes when |new−old| ≤
+// max(GateAbsNs, GateRelTol·|old|). The absolute floor keeps
+// sub-microsecond rows (per-op latencies) from failing on rounding-scale
+// movement; the relative bound scales with the long application runs.
+const (
+	GateRelTol = 0.02 // 2% relative tolerance
+	GateAbsNs  = 500  // 500ns absolute floor
+)
+
+// GateViolation is one row outside its tolerance (or missing outright).
+type GateViolation struct {
+	Suite string
+	Delta BenchDelta
+	Why   string
+}
+
+// GateReport is one suite's gate outcome.
+type GateReport struct {
+	Suite      string
+	Rows       int // rows compared against the checked-in file
+	Added      int // rows present only in the regenerated suite (informational)
+	Violations []GateViolation
+}
+
+// GateBench regenerates the selected suites ("all" or one of e0–e3) and
+// gates each against the checked-in file in dir. A removed row is a
+// violation (a benchmark silently disappearing is a coverage loss); an
+// added row is informational. relTol/absNs ≤ 0 select the defaults.
+func GateBench(suite, dir string, relTol float64, absNs int64) ([]GateReport, error) {
+	if relTol <= 0 {
+		relTol = GateRelTol
+	}
+	if absNs <= 0 {
+		absNs = GateAbsNs
+	}
+	ran := false
+	var reports []GateReport
+	for _, g := range benchGens() {
+		if suite != "all" && suite != g.name {
+			continue
+		}
+		ran = true
+		cur, err := g.fn()
+		if err != nil {
+			return nil, err
+		}
+		old, err := ReadBench(filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", g.name)))
+		if err != nil {
+			return nil, err
+		}
+		rep := GateReport{Suite: g.name}
+		for _, d := range DiffBench(old, cur) {
+			switch {
+			case !d.HasNew:
+				rep.Violations = append(rep.Violations, GateViolation{
+					Suite: g.name, Delta: d, Why: "row removed from regenerated suite"})
+			case !d.HasOld:
+				rep.Added++
+			default:
+				rep.Rows++
+				tol := absNs
+				if rel := int64(relTol * float64(abs64(d.Old))); rel > tol {
+					tol = rel
+				}
+				if diff := abs64(d.New - d.Old); diff > tol {
+					rep.Violations = append(rep.Violations, GateViolation{
+						Suite: g.name, Delta: d,
+						Why: fmt.Sprintf("|%d−%d| = %d%s exceeds tolerance %d%s",
+							d.New, d.Old, diff, d.Unit, tol, d.Unit)})
+				}
+			}
+		}
+		reports = append(reports, rep)
+	}
+	if !ran {
+		return nil, fmt.Errorf("unknown suite %q", suite)
+	}
+	return reports, nil
+}
+
+// PrintGate renders the gate outcome and reports whether every suite
+// passed.
+func PrintGate(w io.Writer, reports []GateReport) bool {
+	ok := true
+	for _, rep := range reports {
+		status := "PASS"
+		if len(rep.Violations) > 0 {
+			status = "FAIL"
+			ok = false
+		}
+		fprintf(w, "gate %s: %s (%d rows within tolerance", rep.Suite, status, rep.Rows-len(rep.Violations))
+		if rep.Added > 0 {
+			fprintf(w, ", %d new rows", rep.Added)
+		}
+		fprintf(w, ")\n")
+		for _, v := range rep.Violations {
+			name := v.Delta.Name
+			if v.Delta.Nodes > 0 {
+				name = fmt.Sprintf("%s (n=%d)", v.Delta.Name, v.Delta.Nodes)
+			}
+			fprintf(w, "  FAIL %-42s %-7s %s\n", name, v.Delta.Transport, v.Why)
+		}
+	}
+	return ok
+}
+
+// benchGens lists the suite generators in suite order.
+func benchGens() []struct {
+	name string
+	fn   func() (*BenchSuite, error)
+} {
+	return []struct {
+		name string
+		fn   func() (*BenchSuite, error)
+	}{
+		{"e0", BenchE0},
+		{"e1", BenchE1},
+		{"e2", func() (*BenchSuite, error) { return BenchE2([]int{2, 4, 8}) }},
+		{"e3", BenchE3},
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // BenchAll runs every suite and writes its file into dir, returning the

@@ -9,6 +9,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // Kind discriminates protocol messages.
@@ -135,6 +137,14 @@ type Message struct {
 	Seq     uint32 // per-sender sequence, for reply matching and dup filtering
 	From    int32  // sending process
 	ReplyTo int32  // process the reply must go to (survives forwarding)
+
+	// Ctx is the causal trace context (DESIGN.md §13). It is message-level
+	// header state, not payload: transports carry its canonical wire form
+	// (trace.EncodeCtx) as uncharged envelope metadata, stamp it here on
+	// receive, and read it to parent the edges of replies and forwards.
+	// Encode/Decode deliberately ignore it — billing it would perturb the
+	// measurement, and tracing must be bit-identical on/off.
+	Ctx trace.Ctx
 
 	Lock    int32
 	Barrier int32

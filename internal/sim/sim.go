@@ -26,6 +26,7 @@ type Simulator struct {
 
 	tracer *trace.Tracer
 	tc     simCounters // cached registry entries, valid iff tracer != nil
+	causal *trace.Causal
 }
 
 // simCounters caches the scheduler's hot-path registry entries so the
@@ -78,6 +79,14 @@ func (s *Simulator) SetTracer(t *trace.Tracer) {
 
 // Tracer returns the attached structured tracer, or nil.
 func (s *Simulator) Tracer() *trace.Tracer { return s.tracer }
+
+// SetCausal attaches a causal-DAG collector (nil detaches). Like the
+// tracer it is observation only: contexts travel as unbilled frame
+// metadata, so results are bit-identical with and without it.
+func (s *Simulator) SetCausal(c *trace.Causal) { s.causal = c }
+
+// Causal returns the attached causal collector, or nil.
+func (s *Simulator) Causal() *trace.Causal { return s.causal }
 
 // Tracef emits a trace line prefixed with the current virtual time.
 func (s *Simulator) Tracef(format string, args ...any) {

@@ -89,6 +89,7 @@ type Datagram struct {
 	Data    []byte
 	Src     myrinet.NodeID
 	SrcPort int
+	Aux     []byte // uncharged envelope metadata (causal trace context), or nil
 }
 
 // StackStats aggregates node-level socket statistics.
@@ -122,6 +123,7 @@ type Stack struct {
 type pendingTx struct {
 	dst     myrinet.NodeID
 	payload []byte
+	aux     []byte
 }
 
 // NewStack boots the kernel network stack on a GM node. It opens kernel
@@ -174,6 +176,7 @@ func (st *Stack) Node() *gm.Node { return st.node }
 // dropped on overflow), waiters are woken, and SIGIO is raised if armed.
 func (st *Stack) kernelRx(rv *gm.Recv) {
 	data := append([]byte(nil), rv.Data...)
+	aux := rv.Aux
 	src := rv.From
 	st.port.ProvideReceiveBuffer(rv.Buffer) // kernel recycles immediately
 	st.s.After(st.params.RxInterrupt, func() {
@@ -201,7 +204,7 @@ func (st *Stack) kernelRx(rv *gm.Recv) {
 			st.traceDrop("drop-overflow", src, len(payload))
 			return
 		}
-		sk.queue = append(sk.queue, Datagram{Data: payload, Src: src, SrcPort: srcPort})
+		sk.queue = append(sk.queue, Datagram{Data: payload, Src: src, SrcPort: srcPort, Aux: aux})
 		sk.queuedBytes += len(payload)
 		st.stats.DatagramsRecvd++
 		st.stats.BytesRecvd += int64(len(payload))
@@ -335,6 +338,15 @@ func (sk *Socket) ForceClose() {
 // receiver; delivery is not guaranteed (the receiving socket buffer may
 // overflow). The caller pays syscall + copy + protocol costs.
 func (sk *Socket) SendTo(p *sim.Proc, dst myrinet.NodeID, dstPort int, data []byte) error {
+	return sk.SendToAux(p, dst, dstPort, data, nil)
+}
+
+// SendToAux is SendTo with uncharged envelope metadata: aux rides the
+// datagram outside the billed bytes (it never changes any charge or any
+// wire size) and surfaces as Datagram.Aux / TryRecvFromAux at the
+// receiver. Retransmissions of the same logical datagram must resend
+// the same aux.
+func (sk *Socket) SendToAux(p *sim.Proc, dst myrinet.NodeID, dstPort int, data, aux []byte) error {
 	st := sk.stack
 	if sk.closed {
 		return ErrNoSuchSocket
@@ -374,7 +386,7 @@ func (sk *Socket) SendTo(p *sim.Proc, dst myrinet.NodeID, dstPort int, data []by
 		st.traceDrop("drop-corrupt", dst, len(data))
 		return nil
 	}
-	st.transmit(p, dst, payload)
+	st.transmit(p, dst, payload, aux)
 	return nil
 }
 
@@ -417,22 +429,22 @@ func (st *Stack) SendFromKernel(dst myrinet.NodeID, dstPort int, data []byte) er
 
 // transmit pushes a kernel datagram out through GM, queueing if the
 // kernel is out of tx buffers for the class.
-func (st *Stack) transmit(p *sim.Proc, dst myrinet.NodeID, payload []byte) {
+func (st *Stack) transmit(p *sim.Proc, dst myrinet.NodeID, payload, aux []byte) {
 	class := st.node.System().Params().ClassFor(len(payload))
 	bufs := st.sendBufs[class]
 	if len(bufs) == 0 {
-		st.txQueue = append(st.txQueue, pendingTx{dst: dst, payload: payload})
+		st.txQueue = append(st.txQueue, pendingTx{dst: dst, payload: payload, aux: aux})
 		return
 	}
 	b := bufs[len(bufs)-1]
 	st.sendBufs[class] = bufs[:len(bufs)-1]
 	copy(b.Bytes(), payload)
-	err := st.port.Send(p, dst, KernelPort, b, len(payload), st.kernelSendDone(class, b))
+	err := st.port.SendAux(p, dst, KernelPort, b, len(payload), aux, st.kernelSendDone(class, b))
 	if err != nil {
 		// Token exhaustion or disabled port: queue and let completions or
 		// recovery drain it. The buffer goes back to the pool.
 		st.sendBufs[class] = append(st.sendBufs[class], b)
-		st.txQueue = append(st.txQueue, pendingTx{dst: dst, payload: payload})
+		st.txQueue = append(st.txQueue, pendingTx{dst: dst, payload: payload, aux: aux})
 	}
 }
 
@@ -475,7 +487,7 @@ func (st *Stack) drainTxQueue() {
 		b := bufs[len(bufs)-1]
 		st.sendBufs[class] = bufs[:len(bufs)-1]
 		copy(b.Bytes(), tx.payload)
-		st.port.SendFromKernel(tx.dst, KernelPort, b, len(tx.payload), st.kernelSendDone(class, b))
+		st.port.SendFromKernelAux(tx.dst, KernelPort, b, len(tx.payload), tx.aux, st.kernelSendDone(class, b))
 	}
 }
 
@@ -508,17 +520,24 @@ func (sk *Socket) RecvFrom(p *sim.Proc, buf []byte) (n int, src myrinet.NodeID, 
 // TryRecvFrom is RecvFrom without blocking; ok reports whether a datagram
 // was available.
 func (sk *Socket) TryRecvFrom(p *sim.Proc, buf []byte) (n int, src myrinet.NodeID, srcPort int, ok bool) {
+	n, src, srcPort, _, ok = sk.TryRecvFromAux(p, buf)
+	return n, src, srcPort, ok
+}
+
+// TryRecvFromAux is TryRecvFrom surfacing the datagram's uncharged
+// envelope metadata (nil when the sender attached none).
+func (sk *Socket) TryRecvFromAux(p *sim.Proc, buf []byte) (n int, src myrinet.NodeID, srcPort int, aux []byte, ok bool) {
 	st := sk.stack
 	p.Advance(st.params.SyscallEntry)
 	if len(sk.queue) == 0 {
-		return 0, 0, 0, false
+		return 0, 0, 0, nil, false
 	}
 	dg := sk.queue[0]
 	sk.queue = sk.queue[:copy(sk.queue, sk.queue[1:])]
 	sk.queuedBytes -= len(dg.Data)
 	n = copy(buf, dg.Data)
 	p.Advance(st.params.UDPRecvProcessing + sim.BytesTime(n, st.params.CopyBandwidth))
-	return n, dg.Src, dg.SrcPort, true
+	return n, dg.Src, dg.SrcPort, dg.Aux, true
 }
 
 // Select blocks until one of the sockets has a pending datagram or the

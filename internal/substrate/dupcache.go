@@ -20,8 +20,10 @@ type DupKey struct {
 type DupEntry struct {
 	Done        bool   // a reply was sent
 	Reply       []byte // the encoded cached reply (resent on duplicates)
+	ReplyAux    []byte // the reply's causal-context metadata (resent with it)
 	To          int    // reply destination rank
 	ForwardedTo int    // where the request was relayed, or -1
+	FwdAux      []byte // the forward's causal-context metadata (resent with it)
 }
 
 // DupCache is a fixed-capacity FIFO duplicate-request filter.

@@ -293,6 +293,12 @@ func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
 			t.rejectFrame(p, rv, "decode")
 			return
 		}
+		if cz := p.Sim().Causal(); cz != nil {
+			// Arrival before the duplicate filter: GM-level redelivery
+			// carries the same span, so Arrive stays idempotent.
+			m.Ctx = trace.DecodeCtx(rv.Aux)
+			cz.Arrive(m.Ctx, p.ID(), int64(p.Now()))
+		}
 		key := substrate.DupKey{Origin: m.ReplyTo, Seq: m.Seq}
 		if e, seen := t.dup.Lookup(key); seen {
 			t.dupRequest(p, rv, tag, m, e)
@@ -355,8 +361,26 @@ func (t *Transport) CallBegin(p *sim.Proc, dst int, req *msg.Message) substrate.
 	pc := &pendingCall{dst: dst, seq: req.Seq, kind: req.Kind, issued: p.Now()}
 	t.pending[pc.seq] = pc
 	t.stats.RequestsSent++
-	t.transmit(p, dst, AsyncPort, frameMsg, req)
+	t.transmit(p, dst, AsyncPort, frameMsg, req, t.reqEdge(p, dst, req))
 	return pc
+}
+
+// reqEdge records the send half of an outbound request in the causal DAG
+// and returns the encoded context the frame carries (nil with causal
+// tracing off). The parent is the request's explicit context when the
+// caller set one, otherwise the rank's mainline context.
+func (t *Transport) reqEdge(p *sim.Proc, dst int, req *msg.Message) []byte {
+	cz := p.Sim().Causal()
+	if cz == nil {
+		return nil
+	}
+	parent := req.Ctx.Span
+	if req.Ctx.Zero() {
+		parent = cz.Cur(t.rank).Span
+	}
+	ctx := cz.Edge("req:"+req.Kind.String(), t.rank, dst, p.ID(), parent,
+		req.EncodedSize(), int64(p.Now()))
+	return trace.EncodeCtx(ctx)
 }
 
 // Collect implements substrate.Transport: poll the synchronous port
@@ -397,6 +421,11 @@ func (t *Transport) Collect(p *sim.Proc, pending []substrate.Pending) []*msg.Mes
 		pc.done = true
 		pc.reply = m
 		pc.completed = p.Now()
+		if cz := p.Sim().Causal(); cz != nil && !m.Ctx.Zero() {
+			// The matched reply is what unblocks the mainline: requests the
+			// rank issues next are caused by it.
+			cz.SetCur(t.rank, m.Ctx)
+		}
 		t.stats.RepliesRecvd++
 		t.stats.ReplyWaitTime += pc.completed - pc.issued
 		if tr := p.Sim().Tracer(); tr != nil {
@@ -444,6 +473,19 @@ func (t *Transport) Reply(p *sim.Proc, req *msg.Message, rep *msg.Message) {
 	rep.From = int32(t.rank)
 	rep.ReplyTo = int32(t.rank)
 	body := rep.Encode()
+	var aux []byte
+	if cz := p.Sim().Causal(); cz != nil {
+		// A reply is caused by the request it answers, unless the handler
+		// set an explicit enabling cause (barrier releases: the true cause
+		// is the last arrival, not this rank's own early arrival).
+		parent := req.Ctx.Span
+		if !rep.Ctx.Zero() {
+			parent = rep.Ctx.Span
+		}
+		ctx := cz.Edge("rep:"+rep.Kind.String(), t.rank, int(req.ReplyTo), p.ID(),
+			parent, len(body), int64(p.Now()))
+		aux = trace.EncodeCtx(ctx)
+	}
 	key := substrate.DupKey{Origin: req.ReplyTo, Seq: req.Seq}
 	e, ok := t.dup.Lookup(key)
 	if !ok {
@@ -451,9 +493,10 @@ func (t *Transport) Reply(p *sim.Proc, req *msg.Message, rep *msg.Message) {
 	}
 	e.Done = true
 	e.Reply = body
+	e.ReplyAux = aux
 	e.To = int(req.ReplyTo)
 	t.stats.RepliesSent++
-	t.transmitBody(p, int(req.ReplyTo), SyncPort, frameMsg, rep.Kind, body)
+	t.transmitBody(p, int(req.ReplyTo), SyncPort, frameMsg, rep.Kind, body, aux)
 }
 
 // Forward implements substrate.Transport: relays a request, preserving
@@ -461,11 +504,18 @@ func (t *Transport) Reply(p *sim.Proc, req *msg.Message, rep *msg.Message) {
 // request re-triggers the forward if the first relay chain was lost.
 func (t *Transport) Forward(p *sim.Proc, dst int, req *msg.Message) {
 	req.From = int32(t.rank)
+	var aux []byte
+	if cz := p.Sim().Causal(); cz != nil {
+		ctx := cz.Edge("fwd:"+req.Kind.String(), t.rank, dst, p.ID(),
+			req.Ctx.Span, req.EncodedSize(), int64(p.Now()))
+		aux = trace.EncodeCtx(ctx)
+	}
 	if e, ok := t.dup.Lookup(substrate.DupKey{Origin: req.ReplyTo, Seq: req.Seq}); ok {
 		e.ForwardedTo = dst
+		e.FwdAux = aux
 	}
 	t.stats.ForwardsSent++
-	t.transmit(p, dst, AsyncPort, frameMsg, req)
+	t.transmit(p, dst, AsyncPort, frameMsg, req, aux)
 }
 
 // Send implements substrate.Transport: one-shot request.
@@ -475,7 +525,7 @@ func (t *Transport) Send(p *sim.Proc, dst int, req *msg.Message) {
 	req.From = int32(t.rank)
 	req.ReplyTo = int32(t.rank)
 	t.stats.RequestsSent++
-	t.transmit(p, dst, AsyncPort, frameMsg, req)
+	t.transmit(p, dst, AsyncPort, frameMsg, req, t.reqEdge(p, dst, req))
 }
 
 // recvSyncFrame decodes one synchronous-port arrival into a reply
@@ -503,6 +553,10 @@ func (t *Transport) recvSyncFrame(p *sim.Proc, rv *gm.Recv) *msg.Message {
 		t.syncPort.ProvideReceiveBuffer(rv.Buffer)
 		return nil
 	}
+	if cz := p.Sim().Causal(); cz != nil {
+		m.Ctx = trace.DecodeCtx(rv.Aux)
+		cz.Arrive(m.Ctx, p.ID(), int64(p.Now()))
+	}
 	t.stats.BytesRecvd += int64(len(rv.Data))
 	if tag == frameData {
 		t.rv.finishReceive(p, t.syncPort, rv.Buffer)
@@ -514,13 +568,13 @@ func (t *Transport) recvSyncFrame(p *sim.Proc, rv *gm.Recv) *msg.Message {
 
 // transmit frames, stages, and sends one message to (dst, dstPort),
 // applying the rendezvous protocol for oversized frames when enabled.
-func (t *Transport) transmit(p *sim.Proc, dst, dstPort int, tag byte, m *msg.Message) {
-	t.transmitBody(p, dst, dstPort, tag, m.Kind, m.Encode())
+func (t *Transport) transmit(p *sim.Proc, dst, dstPort int, tag byte, m *msg.Message, aux []byte) {
+	t.transmitBody(p, dst, dstPort, tag, m.Kind, m.Encode(), aux)
 }
 
 // transmitBody is transmit for an already-encoded message (the recovery
 // path resends cached replies without re-encoding).
-func (t *Transport) transmitBody(p *sim.Proc, dst, dstPort int, tag byte, kind msg.Kind, body []byte) {
+func (t *Transport) transmitBody(p *sim.Proc, dst, dstPort int, tag byte, kind msg.Kind, body, aux []byte) {
 	n := len(body) + 1
 	params := t.node.System().Params()
 	if n > params.MaxMessage() {
@@ -530,7 +584,7 @@ func (t *Transport) transmitBody(p *sim.Proc, dst, dstPort int, tag byte, kind m
 	}
 	class := params.ClassFor(n)
 	if t.cfg.Rendezvous && class >= t.cfg.RendezvousClass {
-		t.rv.sendLarge(p, dst, dstPort, body)
+		t.rv.sendLarge(p, dst, dstPort, body, aux)
 		return
 	}
 	buf := t.takeSendBuffer(p, class)
@@ -539,7 +593,7 @@ func (t *Transport) transmitBody(p *sim.Proc, dst, dstPort int, tag byte, kind m
 	p.Advance(sim.BytesTime(len(body), t.cfg.CopyBandwidth))
 	copy(buf.Bytes()[1:], body)
 	t.stats.BytesSent += int64(n)
-	t.gmSend(p, t.portFor(dstPort), dst, dstPort, buf, n, class)
+	t.gmSend(p, t.portFor(dstPort), dst, dstPort, buf, n, class, aux)
 }
 
 // portFor returns our sending port for a destination port: requests go
@@ -558,10 +612,10 @@ func (t *Transport) portFor(dstPort int) *gm.Port {
 // faulty one the completion hands the frame to the recovery machinery
 // (recovery.go) — resume the port, retransmit with backoff, let the
 // receiver's duplicate filter absorb redeliveries.
-func (t *Transport) gmSend(p *sim.Proc, port *gm.Port, dst, dstPort int, buf *gm.Buffer, n, class int) {
-	ps := &pendingSend{port: port, dst: dst, dstPort: dstPort, buf: buf, n: n, class: class}
+func (t *Transport) gmSend(p *sim.Proc, port *gm.Port, dst, dstPort int, buf *gm.Buffer, n, class int, aux []byte) {
+	ps := &pendingSend{port: port, dst: dst, dstPort: dstPort, buf: buf, n: n, class: class, aux: aux}
 	for {
-		err := port.Send(p, myrinet.NodeID(dst), dstPort, buf, n, t.completion(ps))
+		err := port.SendAux(p, myrinet.NodeID(dst), dstPort, buf, n, aux, t.completion(ps))
 		if err == nil {
 			return
 		}

@@ -37,6 +37,7 @@ type pendingSend struct {
 	buf      *gm.Buffer
 	n        int
 	class    int
+	aux      []byte // causal-context metadata, resent with every retransmit
 	attempts int
 }
 
@@ -112,7 +113,7 @@ func (t *Transport) scheduleRetransmit(ps *pendingSend) {
 			t.scheduleRetransmit(ps)
 			return
 		}
-		err := ps.port.SendFromKernel(myrinet.NodeID(ps.dst), ps.dstPort, ps.buf, ps.n, t.completion(ps))
+		err := ps.port.SendFromKernelAux(myrinet.NodeID(ps.dst), ps.dstPort, ps.buf, ps.n, ps.aux, t.completion(ps))
 		if err != nil {
 			t.scheduleRetransmit(ps)
 			return
@@ -203,11 +204,11 @@ func (t *Transport) dupRequest(p *sim.Proc, rv *gm.Recv, tag byte, m *msg.Messag
 	// retransmission land.
 	t.asyncPort.ProvideReceiveBuffer(rv.Buffer)
 	if e.Done {
-		t.transmitBody(p, e.To, SyncPort, frameMsg, m.Kind, e.Reply)
+		t.transmitBody(p, e.To, SyncPort, frameMsg, m.Kind, e.Reply, e.ReplyAux)
 	} else if e.ForwardedTo >= 0 {
 		fwd := *m
 		fwd.From = int32(t.rank)
 		t.stats.ForwardsSent++
-		t.transmit(p, e.ForwardedTo, AsyncPort, frameMsg, &fwd)
+		t.transmit(p, e.ForwardedTo, AsyncPort, frameMsg, &fwd, e.FwdAux)
 	}
 }

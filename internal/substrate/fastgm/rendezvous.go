@@ -42,6 +42,7 @@ type stagedSend struct {
 	dst     int
 	dstPort int
 	body    []byte
+	aux     []byte // causal-context metadata, shipped with the data frame
 }
 
 func (rv *rendezvousState) init(t *Transport) {
@@ -53,7 +54,7 @@ func (rv *rendezvousState) init(t *Transport) {
 
 // sendLarge stages body and sends the RTS. The bulk transfer completes
 // asynchronously when the CTS arrives.
-func (rv *rendezvousState) sendLarge(p *sim.Proc, dst, dstPort int, body []byte) {
+func (rv *rendezvousState) sendLarge(p *sim.Proc, dst, dstPort int, body, aux []byte) {
 	t := rv.t
 	t.stats.RendezvousRTS++
 	if tr := p.Sim().Tracer(); tr != nil {
@@ -63,7 +64,7 @@ func (rv *rendezvousState) sendLarge(p *sim.Proc, dst, dstPort int, body []byte)
 	}
 	id := rv.nextID
 	rv.nextID++
-	rv.staged[id] = &stagedSend{dst: dst, dstPort: dstPort, body: body}
+	rv.staged[id] = &stagedSend{dst: dst, dstPort: dstPort, body: body, aux: aux}
 
 	class := t.node.System().Params().ClassFor(len(body) + 1)
 	ctrl := make([]byte, 6)
@@ -140,7 +141,7 @@ func (rv *rendezvousState) onCTS(p *sim.Proc, body []byte) {
 	p.Advance(sim.BytesTime(len(st.body), t.cfg.CopyBandwidth))
 	copy(buf.Bytes()[1:], st.body)
 	t.stats.BytesSent += int64(n)
-	t.gmSend(p, t.portFor(st.dstPort), st.dst, st.dstPort, buf, n, class)
+	t.gmSend(p, t.portFor(st.dstPort), st.dst, st.dstPort, buf, n, class, st.aux)
 }
 
 // finishReceive deregisters the dynamically pinned buffer a rendezvous
@@ -166,5 +167,6 @@ func (t *Transport) rawSend(p *sim.Proc, dst, dstPort int, tag byte, body []byte
 	buf.Bytes()[0] = tag
 	copy(buf.Bytes()[1:], body)
 	t.stats.BytesSent += int64(n)
-	t.gmSend(p, t.portFor(dstPort), dst, dstPort, buf, n, class)
+	// Control frames (RTS/CTS) are transport plumbing, not causal edges.
+	t.gmSend(p, t.portFor(dstPort), dst, dstPort, buf, n, class, nil)
 }

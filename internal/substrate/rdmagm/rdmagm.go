@@ -85,6 +85,7 @@ type pendingVerb struct {
 	seq       uint32
 	op        byte
 	frame     []byte // encoded descriptor, kept for retransmission
+	aux       []byte // causal-context metadata, resent with every retransmit
 	data      []byte // Get payload once resolved
 	old       int64  // FetchAdd pre-add value once resolved
 	err       error
@@ -265,6 +266,13 @@ func (t *Transport) post(p *sim.Proc, dst int, vf *verbFrame) substrate.PendingV
 	pv := &pendingVerb{dst: dst, seq: vf.seq, op: vf.op, issued: p.Now()}
 	pv.frame = make([]byte, verbFrameLen(vf))
 	encodeVerb(pv.frame, vf)
+	if cz := p.Sim().Causal(); cz != nil {
+		// A verb is always posted from the initiator's mainline (there is
+		// no handler-context posting path).
+		ctx := cz.Edge("verb:"+verbName(vf.op), t.rank, dst, p.ID(),
+			cz.Cur(t.rank).Span, len(pv.frame), int64(p.Now()))
+		pv.aux = trace.EncodeCtx(ctx)
+	}
 	t.verbs[pv.seq] = pv
 	t.qpDepth[dst]++
 	if t.PeerDead(dst) {
@@ -284,8 +292,8 @@ func (t *Transport) sendVerb(p *sim.Proc, pv *pendingVerb) {
 	copy(buf.Bytes(), pv.frame)
 	t.Stats().BytesSent += int64(len(pv.frame))
 	for {
-		err := t.verbPort.Send(p, myrinet.NodeID(pv.dst), VerbPort, buf, len(pv.frame),
-			t.verbSendCompletion(buf, class, pv.dst))
+		err := t.verbPort.SendAux(p, myrinet.NodeID(pv.dst), VerbPort, buf, len(pv.frame),
+			pv.aux, t.verbSendCompletion(buf, class, pv.dst))
 		if err == nil {
 			return
 		}
@@ -364,8 +372,8 @@ func (t *Transport) verbTick(pv *pendingVerb) {
 	buf := bufs[len(bufs)-1]
 	t.sendPool[class] = bufs[:len(bufs)-1]
 	copy(buf.Bytes(), pv.frame)
-	err := t.verbPort.SendFromKernel(myrinet.NodeID(pv.dst), VerbPort, buf, len(pv.frame),
-		t.verbSendCompletion(buf, class, pv.dst))
+	err := t.verbPort.SendFromKernelAux(myrinet.NodeID(pv.dst), VerbPort, buf, len(pv.frame),
+		pv.aux, t.verbSendCompletion(buf, class, pv.dst))
 	if err != nil {
 		t.sendPool[class] = append(t.sendPool[class], buf)
 		t.sendCond.Broadcast()
@@ -516,6 +524,10 @@ func (t *Transport) handleCompletion(p *sim.Proc, rv *gm.Recv) {
 		return
 	}
 	st.BytesRecvd += int64(len(rv.Data))
+	cz := p.Sim().Causal()
+	if cz != nil {
+		cz.Arrive(trace.DecodeCtx(rv.Aux), p.ID(), int64(p.Now()))
+	}
 	pv := t.verbs[cf.seq]
 	if pv == nil || pv.done || pv.op != cf.op {
 		// A duplicate completion (verb retransmitted after the original
@@ -544,6 +556,12 @@ func (t *Transport) handleCompletion(p *sim.Proc, rv *gm.Recv) {
 			Off: cf.off, Len: cf.length, Size: int(cf.size)}
 	}
 	t.resolve(pv)
+	if cz != nil {
+		if ctx := trace.DecodeCtx(rv.Aux); !ctx.Zero() {
+			// The matched completion is what unblocks WaitVerbs' mainline.
+			cz.SetCur(t.rank, ctx)
+		}
+	}
 	if tr := p.Sim().Tracer(); tr != nil {
 		tr.Emit(trace.Event{T: int64(pv.issued), Dur: int64(pv.completed - pv.issued),
 			Layer: trace.LayerSubstrate, Kind: "verb:" + verbName(pv.op),
@@ -582,6 +600,13 @@ func (t *Transport) onVerbFrame(rv *gm.Recv) {
 		return
 	}
 	st.BytesRecvd += int64(len(rv.Data))
+	cz := t.proc.Sim().Causal()
+	if cz != nil {
+		// The firmware sink has no host process; the flow endpoint is the
+		// target process's track. Redelivered verbs carry the same span, so
+		// Arrive stays idempotent.
+		cz.Arrive(trace.DecodeCtx(rv.Aux), t.proc.ID(), int64(t.proc.Sim().Now()))
+	}
 	key := substrate.DupKey{Origin: vf.origin, Seq: vf.seq}
 	if e, seen := t.vdup.Lookup(key); seen {
 		// Redelivered verb: never re-execute (FetchAdd idempotence);
@@ -589,7 +614,7 @@ func (t *Transport) onVerbFrame(rv *gm.Recv) {
 		st.DupRequests++
 		t.verbPort.ProvideReceiveBuffer(rv.Buffer)
 		if e.Done {
-			t.sendCompletion(e.To, e.Reply)
+			t.sendCompletion(e.To, e.Reply, e.ReplyAux)
 		}
 		return
 	}
@@ -622,34 +647,44 @@ func (t *Transport) onVerbFrame(rv *gm.Recv) {
 			comp = encodeCompletion(int32(t.rank), vf, compOK, nil, old, 0)
 		}
 	}
-	e.Done = true
-	e.Reply = comp
-	e.To = int(vf.origin)
-	t.verbPort.ProvideReceiveBuffer(rv.Buffer)
-
 	// Firmware service + DMA latency, then the completion entry.
 	delay := t.rcfg.NICServiceCost + sim.BytesTime(dmaBytes, t.rcfg.DMABandwidth)
 	dst := int(vf.origin)
-	t.proc.Sim().After(delay, func() { t.sendCompletion(dst, comp) })
+	var compAux []byte
+	if cz != nil {
+		// The completion is caused by the verb that requested it; its send
+		// time is when the firmware actually ships the entry.
+		vctx := trace.DecodeCtx(rv.Aux)
+		cctx := cz.Edge("comp:"+verbName(vf.op), t.rank, dst, t.proc.ID(),
+			vctx.Span, len(comp), int64(t.proc.Sim().Now()+delay))
+		compAux = trace.EncodeCtx(cctx)
+	}
+	e.Done = true
+	e.Reply = comp
+	e.ReplyAux = compAux
+	e.To = int(vf.origin)
+	t.verbPort.ProvideReceiveBuffer(rv.Buffer)
+
+	t.proc.Sim().After(delay, func() { t.sendCompletion(dst, comp, compAux) })
 }
 
 // sendCompletion ships one CQ entry from kernel/event context,
 // best-effort with a short retry when buffers or tokens are dry: a lost
 // completion is recovered by the initiator's verb retransmission.
-func (t *Transport) sendCompletion(dst int, comp []byte) {
+func (t *Transport) sendCompletion(dst int, comp, aux []byte) {
 	if t.rdmaHalted || dst < 0 || dst >= t.size || dst == t.rank {
 		return
 	}
 	class := t.node.System().Params().ClassFor(len(comp))
 	bufs := t.sendPool[class]
 	if len(bufs) == 0 {
-		t.proc.Sim().After(compRetry, func() { t.sendCompletion(dst, comp) })
+		t.proc.Sim().After(compRetry, func() { t.sendCompletion(dst, comp, aux) })
 		return
 	}
 	buf := bufs[len(bufs)-1]
 	t.sendPool[class] = bufs[:len(bufs)-1]
 	copy(buf.Bytes(), comp)
-	err := t.cqPort.SendFromKernel(myrinet.NodeID(dst), CQPort, buf, len(comp),
+	err := t.cqPort.SendFromKernelAux(myrinet.NodeID(dst), CQPort, buf, len(comp), aux,
 		func(st gm.SendStatus) {
 			t.sendPool[class] = append(t.sendPool[class], buf)
 			t.sendCond.Broadcast()
@@ -665,7 +700,7 @@ func (t *Transport) sendCompletion(dst int, comp []byte) {
 		if err == gm.ErrPortDisabled {
 			t.ensureResume(t.cqPort)
 		}
-		t.proc.Sim().After(compRetry, func() { t.sendCompletion(dst, comp) })
+		t.proc.Sim().After(compRetry, func() { t.sendCompletion(dst, comp, aux) })
 		return
 	}
 	t.Stats().BytesSent += int64(len(comp))

@@ -297,11 +297,11 @@ func (t *Transport) onSIGIO(p *sim.Proc, payload any) {
 			continue
 		}
 		for {
-			n, _, _, ok := sk.TryRecvFrom(p, t.reqBuf)
+			n, _, _, aux, ok := sk.TryRecvFromAux(p, t.reqBuf)
 			if !ok {
 				break
 			}
-			t.dispatchRequest(p, t.reqBuf[:n])
+			t.dispatchRequest(p, t.reqBuf[:n], aux)
 		}
 	}
 	t.stats.RequestService += p.Now() - start
@@ -313,7 +313,7 @@ func (t *Transport) onSIGIO(p *sim.Proc, payload any) {
 
 // dispatchRequest decodes and runs one incoming request through the
 // duplicate filter and the DSM handler.
-func (t *Transport) dispatchRequest(p *sim.Proc, raw []byte) {
+func (t *Transport) dispatchRequest(p *sim.Proc, raw, aux []byte) {
 	p.Advance(t.cfg.DispatchCost)
 	m, err := msg.Decode(raw)
 	if err != nil {
@@ -326,6 +326,12 @@ func (t *Transport) dispatchRequest(p *sim.Proc, raw []byte) {
 		// heartbeats share Seq 0) and never handed to the DSM handler.
 		return
 	}
+	if cz := p.Sim().Causal(); cz != nil {
+		// Arrival before the duplicate filter: retransmitted copies carry
+		// the same span, so Arrive stays idempotent across the resends.
+		m.Ctx = trace.DecodeCtx(aux)
+		cz.Arrive(m.Ctx, p.ID(), int64(p.Now()))
+	}
 	t.stats.RequestsRecvd++
 	t.stats.BytesRecvd += int64(len(raw))
 	key := substrate.DupKey{Origin: m.ReplyTo, Seq: m.Seq}
@@ -333,12 +339,12 @@ func (t *Transport) dispatchRequest(p *sim.Proc, raw []byte) {
 		t.stats.DupRequests++
 		if e.Done {
 			// Re-send the cached reply: the original likely got lost.
-			t.send(p, e.To, repPortBase+t.rank, e.Reply)
+			t.send(p, e.To, repPortBase+t.rank, e.Reply, e.ReplyAux)
 		} else if e.ForwardedTo >= 0 {
 			// The forward (or everything downstream) may have been lost;
 			// relay again. Downstream duplicate filters absorb extras.
 			t.stats.ForwardsSent++
-			t.send(p, e.ForwardedTo, reqPortBase+t.rank, m.Encode())
+			t.send(p, e.ForwardedTo, reqPortBase+t.rank, m.Encode(), e.FwdAux)
 		}
 		return
 	}
@@ -361,6 +367,7 @@ type pendingCall struct {
 	seq       uint32
 	kind      msg.Kind
 	data      []byte // encoded request, kept for retransmission
+	aux       []byte // causal-context metadata, resent with every retransmit
 	reply     *msg.Message
 	done      bool
 	issued    sim.Time
@@ -402,6 +409,7 @@ func (t *Transport) CallBegin(p *sim.Proc, dst int, req *msg.Message) substrate.
 		issued: p.Now(),
 		rto:    t.cfg.RetransmitInitial,
 	}
+	pc.aux = t.reqEdge(p, dst, req, len(pc.data))
 	t.pending[pc.seq] = pc
 	if t.dead[dst] {
 		t.giveUpPending(p, pc, "peer-dead", 0)
@@ -409,9 +417,26 @@ func (t *Transport) CallBegin(p *sim.Proc, dst int, req *msg.Message) substrate.
 	}
 	t.stats.RequestsSent++
 	t.stats.BytesSent += int64(len(pc.data))
-	t.send(p, dst, reqPortBase+t.rank, pc.data)
+	t.send(p, dst, reqPortBase+t.rank, pc.data, pc.aux)
 	pc.deadline = p.Now() + pc.rto
 	return pc
+}
+
+// reqEdge records the send half of an outbound request in the causal DAG
+// and returns the encoded context the frame carries (nil with causal
+// tracing off). The parent is the request's explicit context when the
+// caller set one, otherwise the rank's mainline context.
+func (t *Transport) reqEdge(p *sim.Proc, dst int, req *msg.Message, bytes int) []byte {
+	cz := p.Sim().Causal()
+	if cz == nil {
+		return nil
+	}
+	parent := req.Ctx.Span
+	if req.Ctx.Zero() {
+		parent = cz.Cur(t.rank).Span
+	}
+	ctx := cz.Edge("req:"+req.Kind.String(), t.rank, dst, p.ID(), parent, bytes, int64(p.Now()))
+	return trace.EncodeCtx(ctx)
 }
 
 // Collect implements substrate.Transport: select on the reply sockets
@@ -465,7 +490,7 @@ func (t *Transport) Collect(p *sim.Proc, pending []substrate.Pending) []*msg.Mes
 				}
 				t.stats.RequestsSent++
 				t.stats.BytesSent += int64(len(pc.data))
-				t.send(p, pc.dst, reqPortBase+t.rank, pc.data)
+				t.send(p, pc.dst, reqPortBase+t.rank, pc.data, pc.aux)
 				if pc.rto *= 2; pc.rto > t.cfg.RetransmitMax {
 					pc.rto = t.cfg.RetransmitMax
 				}
@@ -488,6 +513,11 @@ func (t *Transport) Collect(p *sim.Proc, pending []substrate.Pending) []*msg.Mes
 		pc.done = true
 		pc.reply = m
 		pc.completed = p.Now()
+		if cz := p.Sim().Causal(); cz != nil && !m.Ctx.Zero() {
+			// The matched reply is what unblocks the mainline: requests the
+			// rank issues next are caused by it.
+			cz.SetCur(t.rank, m.Ctx)
+		}
 		t.stats.RepliesRecvd++
 		t.stats.ReplyWaitTime += pc.completed - pc.issued
 		if tr := p.Sim().Tracer(); tr != nil {
@@ -539,7 +569,7 @@ func (t *Transport) repSockets() []*sockets.Socket {
 // recvReply pulls one reply datagram from the idx-th live reply socket.
 func (t *Transport) recvReply(p *sim.Proc, idx int) *msg.Message {
 	socks := t.repSockets()
-	n, _, _, ok := socks[idx].TryRecvFrom(p, t.repBuf)
+	n, _, _, aux, ok := socks[idx].TryRecvFromAux(p, t.repBuf)
 	if !ok {
 		return nil
 	}
@@ -547,6 +577,10 @@ func (t *Transport) recvReply(p *sim.Proc, idx int) *msg.Message {
 	m, err := msg.Decode(t.repBuf[:n])
 	if err != nil {
 		panic(fmt.Sprintf("udpgm: corrupt reply on node %d: %v", t.rank, err))
+	}
+	if cz := p.Sim().Causal(); cz != nil {
+		m.Ctx = trace.DecodeCtx(aux)
+		cz.Arrive(m.Ctx, p.ID(), int64(p.Now()))
 	}
 	t.heard(int(m.From))
 	return m
@@ -560,6 +594,19 @@ func (t *Transport) Reply(p *sim.Proc, req *msg.Message, rep *msg.Message) {
 	rep.From = int32(t.rank)
 	rep.ReplyTo = int32(t.rank)
 	data := rep.Encode()
+	var aux []byte
+	if cz := p.Sim().Causal(); cz != nil {
+		// A reply is caused by the request it answers, unless the handler
+		// set an explicit enabling cause (barrier releases: the true cause
+		// is the last arrival, not this rank's own early arrival).
+		parent := req.Ctx.Span
+		if !rep.Ctx.Zero() {
+			parent = rep.Ctx.Span
+		}
+		ctx := cz.Edge("rep:"+rep.Kind.String(), t.rank, origin, p.ID(),
+			parent, len(data), int64(p.Now()))
+		aux = trace.EncodeCtx(ctx)
+	}
 	key := substrate.DupKey{Origin: req.ReplyTo, Seq: req.Seq}
 	e, ok := t.dup.Lookup(key)
 	if !ok {
@@ -567,10 +614,11 @@ func (t *Transport) Reply(p *sim.Proc, req *msg.Message, rep *msg.Message) {
 	}
 	e.Done = true
 	e.Reply = data
+	e.ReplyAux = aux
 	e.To = origin
 	t.stats.RepliesSent++
 	t.stats.BytesSent += int64(len(data))
-	t.send(p, origin, repPortBase+t.rank, data)
+	t.send(p, origin, repPortBase+t.rank, data, aux)
 }
 
 // Forward implements substrate.Transport: relay req to dst preserving the
@@ -579,12 +627,19 @@ func (t *Transport) Reply(p *sim.Proc, req *msg.Message, rep *msg.Message) {
 func (t *Transport) Forward(p *sim.Proc, dst int, req *msg.Message) {
 	req.From = int32(t.rank)
 	data := req.Encode()
+	var aux []byte
+	if cz := p.Sim().Causal(); cz != nil {
+		ctx := cz.Edge("fwd:"+req.Kind.String(), t.rank, dst, p.ID(),
+			req.Ctx.Span, len(data), int64(p.Now()))
+		aux = trace.EncodeCtx(ctx)
+	}
 	if e, ok := t.dup.Lookup(substrate.DupKey{Origin: req.ReplyTo, Seq: req.Seq}); ok {
 		e.ForwardedTo = dst
+		e.FwdAux = aux
 	}
 	t.stats.ForwardsSent++
 	t.stats.BytesSent += int64(len(data))
-	t.send(p, dst, reqPortBase+t.rank, data)
+	t.send(p, dst, reqPortBase+t.rank, data, aux)
 }
 
 // Send implements substrate.Transport: one-shot request, no reply.
@@ -594,15 +649,16 @@ func (t *Transport) Send(p *sim.Proc, dst int, req *msg.Message) {
 	req.From = int32(t.rank)
 	req.ReplyTo = int32(t.rank)
 	data := req.Encode()
+	aux := t.reqEdge(p, dst, req, len(data))
 	t.stats.RequestsSent++
 	t.stats.BytesSent += int64(len(data))
-	t.send(p, dst, reqPortBase+t.rank, data)
+	t.send(p, dst, reqPortBase+t.rank, data, aux)
 }
 
 // send transmits raw bytes to (dst rank, dstPort) over any of our bound
 // sockets (addressing is by node + port; the sending socket only
 // determines the source port, which receivers ignore).
-func (t *Transport) send(p *sim.Proc, dst, dstPort int, data []byte) {
+func (t *Transport) send(p *sim.Proc, dst, dstPort int, data, aux []byte) {
 	if len(data) > t.MaxData() {
 		panic(fmt.Sprintf("udpgm: %d-byte message exceeds TreadMarks' %d-byte cap "+
 			"(too many consistency intervals in one exchange; coarsen the application's "+
@@ -619,7 +675,7 @@ func (t *Transport) send(p *sim.Proc, dst, dstPort int, data []byte) {
 	}
 	// Rank maps to fabric node identically: one DSM process per node, as
 	// in the paper's runs.
-	if err := sk.SendTo(p, myrinet.NodeID(dst), dstPort, data); err != nil {
+	if err := sk.SendToAux(p, myrinet.NodeID(dst), dstPort, data, aux); err != nil {
 		panic(fmt.Sprintf("udpgm: sendto rank %d: %v", dst, err))
 	}
 }

@@ -26,6 +26,12 @@ type barrierState struct {
 	episode  int32
 	arrivals []*msg.Message // children's arrive requests, this episode
 	cond     *sim.Cond
+
+	// Causal-tracing observation (DESIGN.md §13): the context and time of
+	// the latest child arrival, consulted when the releases go out to name
+	// their enabling cause. Costs no virtual time.
+	lastArrive  trace.Ctx
+	lastArriveT sim.Time
 }
 
 // barrierParent returns the rank this process reports to, or -1 for the
@@ -99,6 +105,7 @@ func (tp *Proc) Barrier(id int32) {
 	// Phase 2: report our subtree's new intervals upward and apply the
 	// release coming back down.
 	var pIvs, pPgs int
+	var releaseCtx trace.Ctx
 	if parent >= 0 {
 		tp.tr.DisableAsync(tp.sp)
 		recs := tp.store.since(tp.lastBarrierVC)
@@ -120,12 +127,35 @@ func (tp *Proc) Barrier(id int32) {
 		if rep.Kind != msg.KBarrierRelease {
 			panic(fmt.Sprintf("tmk: bad barrier release %v", rep.Kind))
 		}
+		releaseCtx = rep.Ctx
 		tp.tr.DisableAsync(tp.sp)
 		tp.applyIntervals(rep.Intervals)
 		tp.tr.EnableAsync(tp.sp)
 	}
 
-	// Phase 3: release our children with exactly what each lacks.
+	// Phase 3: release our children with exactly what each lacks. With
+	// causal tracing on, each release names its enabling cause: the
+	// release received from our parent (internal node), the last child
+	// arrival (a root that waited), or the root's own timeline (a root
+	// that was itself the straggler). Parenting on the child's own arrival
+	// would mis-attribute every child's wait to its own round-trip instead
+	// of the straggler's lateness.
+	var enabling trace.Ctx
+	if cz := tp.sp.Sim().Causal(); cz != nil {
+		switch {
+		case parent >= 0:
+			enabling = releaseCtx
+		case tp.barrier.lastArriveT > start:
+			enabling = tp.barrier.lastArrive
+		default:
+			enabling = trace.Ctx{Trace: cz.TraceID(), Span: trace.SpanLocal}
+		}
+		if parent < 0 {
+			// The root receives no release; whatever enabled its own release
+			// is also what unblocks its mainline after the barrier.
+			cz.SetCur(tp.rank, enabling)
+		}
+	}
 	tp.tr.DisableAsync(tp.sp)
 	for _, req := range arrivals {
 		recs := tp.store.since(VC(req.VC))
@@ -134,6 +164,7 @@ func (tp *Proc) Barrier(id int32) {
 			Barrier:   id,
 			Episode:   req.Episode,
 			Intervals: toWire(recs),
+			Ctx:       enabling,
 		})
 	}
 	tp.barrier.episode++
@@ -157,6 +188,10 @@ func (tp *Proc) handleBarrierArrive(req *msg.Message) {
 			tp.rank, tp.barrier.episode, req.ReplyTo, req.Episode))
 	}
 	tp.applyIntervals(req.Intervals)
+	if tp.sp.Sim().Causal() != nil {
+		tp.barrier.lastArrive = req.Ctx
+		tp.barrier.lastArriveT = tp.sp.Now()
+	}
 	tp.barrier.arrivals = append(tp.barrier.arrivals, req)
 	tp.barrier.cond.Broadcast()
 }

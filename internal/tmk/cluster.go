@@ -64,6 +64,13 @@ type Config struct {
 	// bit-identical to unprofiled ones.
 	Prof *prof.Profiler
 
+	// Causal, when non-nil, attaches the causal-DAG collector (DESIGN.md
+	// §13): every substrate frame carries a compact trace context as
+	// uncharged envelope metadata and is recorded as a typed edge. Like
+	// Trace and Prof it is observation only — causal-on runs are
+	// bit-identical to causal-off ones.
+	Causal *trace.Causal
+
 	// Crash configures the crash-failure model: the seeded injector, the
 	// substrate liveness detector, and the recovery policy (abort with a
 	// post-mortem, or barrier-epoch checkpoint/restart). The zero value
@@ -181,6 +188,9 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Trace != nil {
 		c.sim.SetTracer(cfg.Trace)
 	}
+	if cfg.Causal != nil {
+		c.sim.SetCausal(cfg.Causal)
+	}
 	c.fabric = myrinet.NewFabric(c.sim, cfg.Net, cfg.Procs)
 	c.gmsys = gm.NewSystem(c.sim, c.fabric, cfg.GM)
 	if cfg.Transport == TransportUDPGM {
@@ -265,6 +275,9 @@ func (c *Cluster) spawnGeneration(gen, resumeEpoch int) {
 			c.appFn(tp)
 			tp.Barrier(finalBarrier)
 			tp.appEnd = sp.Now()
+			if cz := c.sim.Causal(); cz != nil {
+				cz.End(rank, int64(tp.appEnd))
+			}
 
 			// Shutdown rendezvous (out of band, like the launcher's): on a
 			// lossy fabric a peer may still be retrying a request whose

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"encoding/binary"
+)
+
+// Causal tracing (DESIGN.md §13): every cross-node frame carries a
+// compact context — (traceID, parentSpanID) — so the run assembles a
+// causal DAG whose vertices are per-rank timeline points and whose
+// edges are typed frames (requests, replies, forwards, one-sided verbs
+// and their completions). The collector lives beside the event ring:
+// attach one to a simulation with sim.SetCausal and every substrate
+// stamps, propagates, and records contexts. Like the tracer and the
+// profiler, it is pure observation — the context rides the frame
+// envelope as unbilled metadata, never as charged payload bytes, so a
+// causal-context-on run is bit-identical to a context-off run.
+
+// Ctx is the compact causal context a frame carries: the run's trace ID
+// and the span (edge) ID of the frame itself — which becomes the
+// parent of whatever the receiver does in response.
+type Ctx struct {
+	Trace uint32
+	Span  uint64
+}
+
+// Zero reports whether c carries no context.
+func (c Ctx) Zero() bool { return c == Ctx{} }
+
+// SpanLocal is a sentinel span: "this action's cause is the sender's
+// own local timeline, not any received frame". A barrier manager that
+// was itself the last arrival uses it to suppress the usual
+// enabling-cause override (the critical-path walk then falls back to
+// the manager's latest in-edge).
+const SpanLocal = ^uint64(0)
+
+// Context wire format (DESIGN.md §13): 1-byte magic, 1-byte version,
+// then trace ID and span ID little-endian. Anything shorter, or with a
+// wrong magic/version, decodes to the zero Ctx — malformed metadata
+// degrades to "no context", never to an error.
+const (
+	ctxMagic   = 0xC7
+	ctxVersion = 1
+	// CtxWireSize is the encoded size of a causal context.
+	CtxWireSize = 14
+)
+
+// EncodeCtx serializes a context into its canonical wire form.
+func EncodeCtx(c Ctx) []byte {
+	b := make([]byte, CtxWireSize)
+	b[0] = ctxMagic
+	b[1] = ctxVersion
+	binary.LittleEndian.PutUint32(b[2:6], c.Trace)
+	binary.LittleEndian.PutUint64(b[6:14], c.Span)
+	return b
+}
+
+// DecodeCtx parses a wire-form context. Malformed or truncated input
+// yields the zero Ctx; trailing bytes are ignored.
+func DecodeCtx(b []byte) Ctx {
+	if len(b) < CtxWireSize || b[0] != ctxMagic || b[1] != ctxVersion {
+		return Ctx{}
+	}
+	return Ctx{
+		Trace: binary.LittleEndian.Uint32(b[2:6]),
+		Span:  binary.LittleEndian.Uint64(b[6:14]),
+	}
+}
+
+// CausalEdge is one frame in the DAG. From/To are DSM ranks; FromPID /
+// ToPID are the simulator process IDs (the Chrome-trace track IDs) of
+// the sending and receiving contexts. RecvT is -1 until the edge's
+// frame is first accepted — retransmitted duplicates carry the same
+// span and are counted, not re-recorded.
+type CausalEdge struct {
+	ID      uint64
+	Kind    string // e.g. "req:lock-acquire", "rep:diff", "fwd:lock-acquire", "verb:put", "comp:get"
+	From    int
+	To      int
+	FromPID int
+	ToPID   int
+	Parent  uint64 // causal parent edge ID, 0 = sender's local timeline
+	Bytes   int
+	SendT   int64
+	RecvT   int64
+}
+
+// Arrived reports whether the edge's frame was accepted.
+func (e *CausalEdge) Arrived() bool { return e.RecvT >= 0 }
+
+// Causal collects a run's causal DAG. Edge IDs are a deterministic
+// counter, so a causal-on rerun of the same tree reproduces the DAG
+// exactly. Not safe for concurrent use — the simulator is
+// single-threaded.
+type Causal struct {
+	traceID uint32
+	edges   []CausalEdge
+	cur     map[int]Ctx
+	ends    map[int]int64
+	dups    int64
+}
+
+// NewCausal returns an empty collector.
+func NewCausal() *Causal {
+	return &Causal{
+		traceID: 1,
+		cur:     make(map[int]Ctx),
+		ends:    make(map[int]int64),
+	}
+}
+
+// TraceID returns the run's trace identifier.
+func (c *Causal) TraceID() uint32 { return c.traceID }
+
+// Edge records the send half of a frame and returns the context the
+// frame must carry. parent == 0 or SpanLocal means "caused by the
+// sender's own timeline".
+func (c *Causal) Edge(kind string, from, to, fromPID int, parent uint64, bytes int, sendT int64) Ctx {
+	if parent == SpanLocal || parent > uint64(len(c.edges)) {
+		parent = 0
+	}
+	id := uint64(len(c.edges) + 1)
+	c.edges = append(c.edges, CausalEdge{
+		ID: id, Kind: kind, From: from, To: to, FromPID: fromPID, ToPID: -1,
+		Parent: parent, Bytes: bytes, SendT: sendT, RecvT: -1,
+	})
+	return Ctx{Trace: c.traceID, Span: id}
+}
+
+// Arrive records the receive half. Idempotent: the first acceptance
+// wins; duplicates (GM-level or transport-level retransmission) are
+// counted in DupArrivals. Zero, foreign, or out-of-range contexts are
+// ignored — a frame without a context is simply not an edge.
+func (c *Causal) Arrive(ctx Ctx, toPID int, recvT int64) {
+	if ctx.Trace != c.traceID || ctx.Span == 0 || ctx.Span == SpanLocal ||
+		ctx.Span > uint64(len(c.edges)) {
+		return
+	}
+	e := &c.edges[ctx.Span-1]
+	if e.RecvT >= 0 {
+		c.dups++
+		return
+	}
+	e.RecvT = recvT
+	e.ToPID = toPID
+}
+
+// SetCur records rank's mainline context: the edge that last unblocked
+// its main thread (a matched reply, a barrier's enabling cause).
+// Requests the rank later issues from its mainline are parented on it.
+func (c *Causal) SetCur(rank int, ctx Ctx) { c.cur[rank] = ctx }
+
+// Cur returns rank's mainline context (zero if never set).
+func (c *Causal) Cur(rank int) Ctx { return c.cur[rank] }
+
+// End marks rank's application end time (its return from the final
+// barrier); the critical-path walk starts from the latest of these.
+func (c *Causal) End(rank int, t int64) { c.ends[rank] = t }
+
+// Len returns the number of recorded edges.
+func (c *Causal) Len() int { return len(c.edges) }
+
+// DupArrivals counts duplicate frame acceptances that were suppressed
+// (same span arriving more than once — retransmission working as
+// intended, not new edges).
+func (c *Causal) DupArrivals() int64 { return c.dups }
+
+// Edges returns a copy of the DAG's edges in creation (ID) order.
+func (c *Causal) Edges() []CausalEdge {
+	out := make([]CausalEdge, len(c.edges))
+	copy(out, c.edges)
+	return out
+}
+
+// edge returns the edge with the given ID, or nil.
+func (c *Causal) edge(id uint64) *CausalEdge {
+	if id == 0 || id == SpanLocal || id > uint64(len(c.edges)) {
+		return nil
+	}
+	return &c.edges[id-1]
+}

@@ -20,6 +20,8 @@ type chromeEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -27,6 +29,10 @@ type chromeEvent struct {
 // "thread" per simulated process (pid 1 is the whole simulation).
 // The output loads directly in Perfetto (ui.perfetto.dev) or
 // chrome://tracing. Spans become "X" complete events, instants "i".
+// With a causal collector attached (AttachCausal), every arrived edge
+// additionally becomes a flow — an "s"/"f" event pair Perfetto renders
+// as an arrow from the sender's track at send time to the receiver's
+// track at receive time.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
@@ -48,6 +54,26 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		return err
 	}
 
+	// Causal flows: one "s"/"f" pair per arrived edge, binding to the
+	// enclosing slices on the sender's and receiver's tracks.
+	var flows []chromeEvent
+	if t.causal != nil {
+		for _, e := range t.causal.Edges() {
+			if !e.Arrived() || e.FromPID < 0 || e.ToPID < 0 {
+				continue
+			}
+			args := map[string]any{"from": e.From, "to": e.To}
+			if e.Bytes > 0 {
+				args["bytes"] = e.Bytes
+			}
+			flows = append(flows,
+				chromeEvent{Name: e.Kind, Cat: "causal", Ph: "s", ID: e.ID,
+					Pid: 1, Tid: e.FromPID, Ts: float64(e.SendT) / 1e3, Args: args},
+				chromeEvent{Name: e.Kind, Cat: "causal", Ph: "f", BP: "e", ID: e.ID,
+					Pid: 1, Tid: e.ToPID, Ts: float64(e.RecvT) / 1e3})
+		}
+	}
+
 	// Thread-name metadata for every process that has a registered name
 	// or appears in an event.
 	tids := make(map[int]bool)
@@ -61,6 +87,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		} else {
 			tids[hardwareTid] = true
 		}
+	}
+	for i := range flows {
+		tids[flows[i].Tid] = true
 	}
 	ids := make([]int, 0, len(tids))
 	for id := range tids {
@@ -79,7 +108,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
 			Args: map[string]any{"name": name},
 		}
-		if err := enc(meta, len(events) == 0 && id == ids[len(ids)-1]); err != nil {
+		if err := enc(meta, len(events) == 0 && len(flows) == 0 && id == ids[len(ids)-1]); err != nil {
 			return err
 		}
 	}
@@ -114,7 +143,12 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			}
 			ce.Args = args
 		}
-		if err := enc(ce, i == len(events)-1); err != nil {
+		if err := enc(ce, len(flows) == 0 && i == len(events)-1); err != nil {
+			return err
+		}
+	}
+	for i, fe := range flows {
+		if err := enc(fe, i == len(flows)-1); err != nil {
 			return err
 		}
 	}
@@ -136,8 +170,8 @@ func WriteBreakdown(w io.Writer, title string, rows []BreakdownRow) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "  %-9s %-24s %10s %14s %11s %11s %12s\n",
-		"layer", "kind", "count", "time(ms)", "p50(us)", "p95(us)", "bytes"); err != nil {
+	if _, err := fmt.Fprintf(w, "  %-9s %-24s %10s %14s %11s %11s %11s %12s\n",
+		"layer", "kind", "count", "time(ms)", "p50(us)", "p95(us)", "p99(us)", "bytes"); err != nil {
 		return err
 	}
 	lastLayer := ""
@@ -159,9 +193,9 @@ func WriteBreakdown(w io.Writer, title string, rows []BreakdownRow) error {
 			layerTotal = 0
 		}
 		layerTotal += r.Total
-		if _, err := fmt.Fprintf(w, "  %-9s %-24s %10d %14.3f %11.3f %11.3f %12d\n",
+		if _, err := fmt.Fprintf(w, "  %-9s %-24s %10d %14.3f %11.3f %11.3f %11.3f %12d\n",
 			r.Layer, r.Kind, r.Count, float64(r.Total)/1e6,
-			float64(r.P50)/1e3, float64(r.P95)/1e3, r.Bytes); err != nil {
+			float64(r.P50)/1e3, float64(r.P95)/1e3, float64(r.P99)/1e3, r.Bytes); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeCtx holds the context decoder to its leniency contract:
+// arbitrary bytes — truncated, wrong magic, wrong version, trailing
+// garbage — must decode to a Ctx without panicking, malformed input
+// must degrade to the zero Ctx ("no context", never an error), and any
+// non-zero decode must round-trip bit-exactly through EncodeCtx.
+func FuzzDecodeCtx(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{ctxMagic})
+	f.Add([]byte{ctxMagic, ctxVersion})
+	f.Add(EncodeCtx(Ctx{Trace: 1, Span: 1}))
+	f.Add(EncodeCtx(Ctx{Trace: 0xdeadbeef, Span: ^uint64(0)})[:13])
+	f.Add(append(EncodeCtx(Ctx{Trace: 7, Span: 42}), 0xff, 0x00, 0xc7))
+	f.Add([]byte{0x00, ctxVersion, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{ctxMagic, 0x02, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c := DecodeCtx(b)
+		if len(b) < CtxWireSize || b[0] != ctxMagic || b[1] != ctxVersion {
+			if !c.Zero() {
+				t.Fatalf("malformed input %x decoded to non-zero %+v", b, c)
+			}
+			return
+		}
+		// Well-formed prefix: re-encoding must reproduce the first
+		// CtxWireSize bytes (trailing bytes are ignored), and decoding the
+		// canonical form must yield the same context.
+		enc := EncodeCtx(c)
+		if !bytes.Equal(enc, b[:CtxWireSize]) {
+			t.Fatalf("EncodeCtx(DecodeCtx(%x)) = %x, want the input prefix", b[:CtxWireSize], enc)
+		}
+		if rt := DecodeCtx(enc); rt != c {
+			t.Fatalf("round trip changed context: %+v -> %+v", c, rt)
+		}
+	})
+}

@@ -96,6 +96,9 @@ func (h *Histogram) P50() int64 { return h.Percentile(0.50) }
 // P95 returns the (bucketed) 95th percentile.
 func (h *Histogram) P95() int64 { return h.Percentile(0.95) }
 
+// P99 returns the (bucketed) 99th percentile.
+func (h *Histogram) P99() int64 { return h.Percentile(0.99) }
+
 // Registry holds a simulation's counters and histograms, keyed by
 // (layer, name). Lookup creates on first use, so instrumentation sites
 // never need registration boilerplate; hot paths should capture the
@@ -159,8 +162,8 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, k := range r.HistogramNames() {
 		h := r.hists[k]
-		n, err := fmt.Fprintf(w, "hist    %-40s n=%-10d mean=%.1f p50=%d p95=%d max=%d\n",
-			k, h.N, h.Mean(), h.P50(), h.P95(), h.Max)
+		n, err := fmt.Fprintf(w, "hist    %-40s n=%-10d mean=%.1f p50=%d p95=%d p99=%d max=%d\n",
+			k, h.N, h.Mean(), h.P50(), h.P95(), h.P99(), h.Max)
 		total += int64(n)
 		if err != nil {
 			return total, err

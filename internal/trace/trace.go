@@ -78,6 +78,7 @@ type Tracer struct {
 	overwrote int64 // events lost to ring wrap-around
 	names     map[int]string
 	reg       *Registry
+	causal    *Causal
 }
 
 // New creates a tracer whose ring holds capacity events; capacity ≤ 0
@@ -133,6 +134,13 @@ func (t *Tracer) SetThreadName(proc int, name string) { t.names[proc] = name }
 // Metrics returns the tracer's counter/histogram registry.
 func (t *Tracer) Metrics() *Registry { return t.reg }
 
+// AttachCausal pairs the tracer with a run's causal-DAG collector so
+// WriteChromeTrace can draw message-flow arrows between process tracks.
+func (t *Tracer) AttachCausal(c *Causal) { t.causal = c }
+
+// Causal returns the attached causal collector, or nil.
+func (t *Tracer) Causal() *Causal { return t.causal }
+
 // BreakdownRow aggregates every event of one (layer, kind) pair. The
 // percentiles are exact (computed from every recorded duration, not from
 // buckets) under nearest-rank semantics; they expose the tails a mean
@@ -146,6 +154,7 @@ type BreakdownRow struct {
 	Bytes int64 // summed Bytes
 	P50   int64 // median Dur, virtual ns
 	P95   int64 // 95th-percentile Dur, virtual ns
+	P99   int64 // 99th-percentile Dur, virtual ns
 	Max   int64 // largest Dur, virtual ns
 }
 
@@ -196,6 +205,7 @@ func (t *Tracer) Breakdown() []BreakdownRow {
 		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 		r.P50 = pctNearestRank(ds, 0.50)
 		r.P95 = pctNearestRank(ds, 0.95)
+		r.P99 = pctNearestRank(ds, 0.99)
 		r.Max = ds[len(ds)-1]
 		rows = append(rows, *r)
 	}
