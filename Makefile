@@ -6,11 +6,11 @@ GO       ?= go
 FUZZTIME ?= 5s
 BENCHDIR ?= .
 
-.PHONY: all check fmt vet build test race fuzz-smoke bench bench-diff bench-gate prof-smoke chaos-smoke crash-smoke rdma-smoke critical-smoke
+.PHONY: all check fmt vet build test race fuzz-smoke bench bench-diff bench-gate prof-smoke chaos-smoke crash-smoke churn-smoke rdma-smoke critical-smoke
 
 all: check
 
-check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke crash-smoke rdma-smoke critical-smoke bench bench-diff bench-gate
+check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke crash-smoke churn-smoke rdma-smoke critical-smoke bench bench-diff bench-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -34,6 +34,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/msg/
 	$(GO) test -run '^$$' -fuzz '^FuzzApplyDiff$$' -fuzztime $(FUZZTIME) ./internal/tmk/
 	$(GO) test -run '^$$' -fuzz '^FuzzDiffRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/tmk/
+	$(GO) test -run '^$$' -fuzz '^FuzzMemberFrame$$' -fuzztime $(FUZZTIME) ./internal/tmk/
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleAsyncFrame$$' -fuzztime $(FUZZTIME) ./internal/substrate/fastgm/
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleVerbFrame$$' -fuzztime $(FUZZTIME) ./internal/substrate/rdmagm/
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleCompletion$$' -fuzztime $(FUZZTIME) ./internal/substrate/rdmagm/
@@ -53,7 +54,14 @@ chaos-smoke:
 crash-smoke:
 	$(GO) run ./cmd/tmkrun -crash
 
-# Machine-readable bench trajectory: writes BENCH_e0/e1/e2/e3.json into
+# Membership churn sweep: a seeded schedule of join/leave/crash events at
+# barrier fences, all four applications on all three substrates,
+# asserting bit-correct results, bounded partial recovery (no generation
+# restart), converged views, determinism, and zero-churn identity.
+churn-smoke:
+	$(GO) run ./cmd/tmkrun -churn
+
+# Machine-readable bench trajectory: writes BENCH_e0/e1/e2/e3/churn.json into
 # BENCHDIR. Deterministic — rerunning on the same tree is byte-identical,
 # so `git diff BENCH_*.json` across commits shows real perf movement.
 bench:

@@ -1,6 +1,6 @@
 // Command bench runs the deterministic performance suites (E0 netperf,
 // E1 microbenchmarks, E2 application sweep, E3 one-sided vs two-sided
-// substrate comparison) and writes each as a
+// substrate comparison, churn membership cost) and writes each as a
 // machine-readable BENCH_<suite>.json (schema tmk-bench/1). The
 // simulations are deterministic, so rerunning on the same tree
 // reproduces every file byte-identically — any diff between commits is a
@@ -23,7 +23,7 @@
 //
 // Usage:
 //
-//	bench [-suite all|e0|e1|e2|e3] [-out DIR] [-diff] [-gate]
+//	bench [-suite all|e0|e1|e2|e3|churn] [-out DIR] [-diff] [-gate]
 //	      [-gate-rel 0.02] [-gate-abs-ns 500] [-trace-cap N]
 package main
 
@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "all", "which suite to run: e0, e1, e2, e3, all")
+	suite := flag.String("suite", "all", "which suite to run: e0, e1, e2, e3, churn, all")
 	out := flag.String("out", ".", "directory to write BENCH_<suite>.json into")
 	diff := flag.Bool("diff", false, "compare regenerated suites against the checked-in files in -out instead of writing")
 	gate := flag.Bool("gate", false, "regression gate: fail unless every regenerated row is within tolerance of the checked-in files in -out")
@@ -78,29 +78,26 @@ func main() {
 
 	var paths []string
 	var err error
-	switch *suite {
-	case "all":
+	if *suite == "all" {
 		paths, err = harness.BenchAll(*out)
-	case "e0", "e1", "e2", "e3":
-		var s *harness.BenchSuite
-		switch *suite {
-		case "e0":
-			s, err = harness.BenchE0()
-		case "e1":
-			s, err = harness.BenchE1()
-		case "e2":
-			s, err = harness.BenchE2([]int{2, 4, 8})
-		case "e3":
-			s, err = harness.BenchE3()
+	} else {
+		found := false
+		for _, g := range harness.BenchGens() {
+			if g.Name != *suite {
+				continue
+			}
+			found = true
+			var s *harness.BenchSuite
+			if s, err = g.Fn(); err == nil {
+				var p string
+				p, err = harness.WriteBench(*out, s)
+				paths = []string{p}
+			}
 		}
-		if err == nil {
-			var p string
-			p, err = harness.WriteBench(*out, s)
-			paths = []string{p}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
+			os.Exit(2)
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown suite %q\n", *suite)
-		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -133,31 +130,21 @@ func reportRing(tracer *trace.Tracer) {
 // is expected to move between commits — so only a failure to run or to
 // read a checked-in file is an error.
 func diffSuites(suite, dir string) error {
-	type gen struct {
-		name string
-		fn   func() (*harness.BenchSuite, error)
-	}
-	gens := []gen{
-		{"e0", harness.BenchE0},
-		{"e1", harness.BenchE1},
-		{"e2", func() (*harness.BenchSuite, error) { return harness.BenchE2([]int{2, 4, 8}) }},
-		{"e3", harness.BenchE3},
-	}
 	ran := false
-	for _, g := range gens {
-		if suite != "all" && suite != g.name {
+	for _, g := range harness.BenchGens() {
+		if suite != "all" && suite != g.Name {
 			continue
 		}
 		ran = true
-		cur, err := g.fn()
+		cur, err := g.Fn()
 		if err != nil {
 			return err
 		}
-		old, err := harness.ReadBench(filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", g.name)))
+		old, err := harness.ReadBench(filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", g.Name)))
 		if err != nil {
 			return err
 		}
-		harness.PrintBenchDiff(os.Stdout, g.name, harness.DiffBench(old, cur))
+		harness.PrintBenchDiff(os.Stdout, g.Name, harness.DiffBench(old, cur))
 	}
 	if !ran {
 		return fmt.Errorf("unknown suite %q", suite)

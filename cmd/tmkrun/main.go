@@ -9,6 +9,7 @@
 //	       [-seed N] [-homeless] [-prof] [-prof-json profile.json] [-trace-cap N]
 //	tmkrun -chaos [-seed N] [-nodes 4]
 //	tmkrun -crash [-seed N] [-nodes 4]
+//	tmkrun -churn [-seed N] [-nodes 4]
 //
 // -prof attaches the protocol-entity profiler and prints the per-page /
 // per-lock / per-barrier attribution tables and the page×epoch heatmap,
@@ -30,6 +31,13 @@
 // bit-correct) and a lock-structured app (coordinated abort whose
 // post-mortem names the dead rank and the blocking protocol entity), on
 // both transports, plus determinism and inert-config identity checks.
+//
+// -churn runs the elastic-membership sweep: a seeded schedule of
+// join/leave/crash events (standby extras entering the ring at barrier
+// fences, one crashed mid-run, a compute rank departing the ring) on all
+// four applications over all three substrates, verifying bit-correct
+// results, bounded partial recovery (no generation restart), converged
+// membership views, determinism, and zero-churn identity.
 package main
 
 import (
@@ -55,6 +63,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation RNG seed (fault schedules, tie-breaking)")
 	chaos := flag.Bool("chaos", false, "run the chaos sweep (all apps × transports on a lossy fabric)")
 	crash := flag.Bool("crash", false, "run the crash-tolerance sweep (rank death: checkpoint/restart + coordinated abort)")
+	churn := flag.Bool("churn", false, "run the membership churn sweep (join/leave/crash at barrier fences, all apps × substrates)")
 	profFlag := flag.Bool("prof", false, "attach the protocol-entity profiler and print its tables")
 	profJSON := flag.String("prof-json", "", "write the entity profile as JSON (implies -prof)")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity for the -prof breakdown (0 = default)")
@@ -84,6 +93,21 @@ func main() {
 			}
 		})
 		if err := harness.CrashSweep(os.Stdout, spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *churn {
+		spec := harness.DefaultChurnSpec()
+		spec.Seed = *seed
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "nodes" {
+				spec.Nodes = *nodes
+			}
+		})
+		if err := harness.Churn(os.Stdout, spec); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -99,7 +99,8 @@ type Port struct {
 	intrProc    *sim.Proc
 	intrEnabled bool
 
-	sink func(*Recv)
+	sink   func(*Recv)
+	filter func(*Recv) bool
 
 	stats PortStats
 }
@@ -112,6 +113,15 @@ func (p *Port) tracer() *trace.Tracer { return p.node.sys.s.Tracer() }
 // models a kernel-owned port (the Sockets-GM path): the "kernel" consumes
 // arrivals immediately and recycles the receive buffers itself.
 func (p *Port) SetSink(fn func(*Recv)) { p.sink = fn }
+
+// SetFilter installs a NIC-context classifier invoked for every frame
+// this port accepts, before queueing or sinking. Returning true consumes
+// the frame: the receive buffer is re-posted immediately and the host
+// never sees it. This models firmware-level protocol handling (in the
+// spirit of the paper's firmware modification): a liveness probe is
+// observed at arrival even while the host computes or masks interrupts,
+// and it never occupies a host receive buffer.
+func (p *Port) SetFilter(fn func(*Recv) bool) { p.filter = fn }
 
 // ID returns the port number.
 func (p *Port) ID() int { return p.id }
@@ -413,6 +423,10 @@ func (p *Port) accept(src myrinet.NodeID, pm *partialMsg, b *Buffer) {
 		p.node.sys.s.After(p.node.sys.params.AckLatency, rec.complete)
 	}
 
+	if p.filter != nil && p.filter(rv) {
+		p.ProvideReceiveBuffer(b)
+		return
+	}
 	if p.sink != nil {
 		p.sink(rv)
 		return
@@ -445,6 +459,13 @@ func (p *Port) Poll(proc *sim.Proc) *Recv {
 		return nil
 	}
 	proc.Advance(params.PollOverhead + params.RecvDispatch)
+	if len(p.rxQ) == 0 {
+		// The poll charge is a blocking point: an interrupt serviced during
+		// it can run a handler that drains this same port (a lock grant
+		// flushing diffs reaps the completion queue). Report empty rather
+		// than consume a message that is no longer there.
+		return nil
+	}
 	rv := p.rxQ[0]
 	p.rxQ = p.rxQ[:copy(p.rxQ, p.rxQ[1:])]
 	return rv

@@ -133,6 +133,44 @@ func BenchE3() (*BenchSuite, error) {
 	return s, nil
 }
 
+// BenchChurn captures the elastic-membership cost: the default churn
+// schedule (two joins, a crash absorbed by partial recovery, a ring
+// leave) applied to one application on every substrate, next to the
+// zero-churn run. The generator itself enforces zero-churn identity —
+// membership enabled with no events must be bit-identical to no
+// membership layer at all — so the checked-in zero-churn rows are the
+// same numbers the e-suites see, and the gate holds both sides.
+func BenchChurn() (*BenchSuite, error) {
+	spec := DefaultChurnSpec()
+	app := chaosApps()[0]
+	s := &BenchSuite{Schema: BenchSchema, Suite: "churn"}
+	for _, kind := range AllTransports {
+		churned, err := VerifiedRun(app, spec.Nodes, kind, spec.Mutate)
+		if err != nil {
+			return nil, fmt.Errorf("churn bench (%s): %w", kind, err)
+		}
+		plain, err := RunApp(app, spec.Nodes, kind, func(cfg *tmk.Config) { cfg.Seed = spec.Seed })
+		if err != nil {
+			return nil, err
+		}
+		inert, err := RunApp(app, spec.Nodes, kind, func(cfg *tmk.Config) {
+			cfg.Seed = spec.Seed
+			cfg.Membership = tmk.MemberConfig{Enabled: true}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sameResult(plain, inert); err != nil {
+			return nil, fmt.Errorf("churn bench: zero-churn membership perturbed %s/%s: %w", app.Name(), kind, err)
+		}
+		s.Entries = append(s.Entries,
+			BenchEntry{Name: "Churn/" + app.Name(), Transport: string(kind), Nodes: spec.Nodes, Value: int64(churned.ExecTime), Unit: "ns"},
+			BenchEntry{Name: "ZeroChurn/" + app.Name(), Transport: string(kind), Nodes: spec.Nodes, Value: int64(inert.ExecTime), Unit: "ns"},
+		)
+	}
+	return s, nil
+}
+
 // WriteBench writes the suite as dir/BENCH_<suite>.json and returns the
 // path. Output is byte-deterministic.
 func WriteBench(dir string, s *BenchSuite) (string, error) {
@@ -285,25 +323,25 @@ func GateBench(suite, dir string, relTol float64, absNs int64) ([]GateReport, er
 	}
 	ran := false
 	var reports []GateReport
-	for _, g := range benchGens() {
-		if suite != "all" && suite != g.name {
+	for _, g := range BenchGens() {
+		if suite != "all" && suite != g.Name {
 			continue
 		}
 		ran = true
-		cur, err := g.fn()
+		cur, err := g.Fn()
 		if err != nil {
 			return nil, err
 		}
-		old, err := ReadBench(filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", g.name)))
+		old, err := ReadBench(filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", g.Name)))
 		if err != nil {
 			return nil, err
 		}
-		rep := GateReport{Suite: g.name}
+		rep := GateReport{Suite: g.Name}
 		for _, d := range DiffBench(old, cur) {
 			switch {
 			case !d.HasNew:
 				rep.Violations = append(rep.Violations, GateViolation{
-					Suite: g.name, Delta: d, Why: "row removed from regenerated suite"})
+					Suite: g.Name, Delta: d, Why: "row removed from regenerated suite"})
 			case !d.HasOld:
 				rep.Added++
 			default:
@@ -314,7 +352,7 @@ func GateBench(suite, dir string, relTol float64, absNs int64) ([]GateReport, er
 				}
 				if diff := abs64(d.New - d.Old); diff > tol {
 					rep.Violations = append(rep.Violations, GateViolation{
-						Suite: g.name, Delta: d,
+						Suite: g.Name, Delta: d,
 						Why: fmt.Sprintf("|%d−%d| = %d%s exceeds tolerance %d%s",
 							d.New, d.Old, diff, d.Unit, tol, d.Unit)})
 				}
@@ -354,19 +392,22 @@ func PrintGate(w io.Writer, reports []GateReport) bool {
 	return ok
 }
 
-// benchGens lists the suite generators in suite order.
-func benchGens() []struct {
-	name string
-	fn   func() (*BenchSuite, error)
-} {
-	return []struct {
-		name string
-		fn   func() (*BenchSuite, error)
-	}{
+// BenchGen names one suite generator.
+type BenchGen struct {
+	Name string
+	Fn   func() (*BenchSuite, error)
+}
+
+// BenchGens lists the suite generators in suite order; every driver
+// (write, diff, gate) iterates this one list so a new suite cannot be
+// wired into some modes and silently missed by others.
+func BenchGens() []BenchGen {
+	return []BenchGen{
 		{"e0", BenchE0},
 		{"e1", BenchE1},
 		{"e2", func() (*BenchSuite, error) { return BenchE2([]int{2, 4, 8}) }},
 		{"e3", BenchE3},
+		{"churn", BenchChurn},
 	}
 }
 
@@ -380,15 +421,9 @@ func abs64(v int64) int64 {
 // BenchAll runs every suite and writes its file into dir, returning the
 // paths written.
 func BenchAll(dir string) ([]string, error) {
-	suites := []func() (*BenchSuite, error){
-		BenchE0,
-		BenchE1,
-		func() (*BenchSuite, error) { return BenchE2([]int{2, 4, 8}) },
-		BenchE3,
-	}
 	var paths []string
-	for _, fn := range suites {
-		s, err := fn()
+	for _, g := range BenchGens() {
+		s, err := g.Fn()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/tmk"
+)
+
+// Churn sweep: run the paper's four applications on all three substrates
+// under a seeded schedule of membership events — standby extras joining
+// the ring at barrier fences, a joined extra leaving, another crashing —
+// and hold the elastic-membership story (DESIGN.md §14) to its
+// invariants:
+//
+//  1. Correctness: every application verifies bit-exact against its
+//     sequential reference, churn or not — the same check the unchurned
+//     runs pass, so churned results are bit-identical to unchurned ones.
+//  2. Bounded recovery: a single-rank crash is absorbed by partial
+//     recovery — only the dead rank's entities are re-placed (counted),
+//     with no crash report, no checkpoints, and no generation restart.
+//  3. Convergence: every live rank's final membership view sits at the
+//     fence epoch, and the executed events match the schedule exactly.
+//  4. Determinism: the same churned configuration run twice is
+//     byte-identical — churn is part of the simulation, not noise.
+//  5. Identity: membership enabled with no extras and no schedule is
+//     bit-identical to a run without the layer at all.
+
+// ChurnSpec configures the churn sweep.
+type ChurnSpec struct {
+	Nodes int
+	Extra int // standby ranks beyond Nodes, eligible to join
+	Seed  int64
+
+	// Schedule is executed in order at barrier fences; AtBarrier counts
+	// barrier crossings from 1, and events sharing a crossing run at one
+	// fence in schedule order. TSP is the barrier-poorest chaos app (its
+	// work is lock-based), so events must sit at crossings ≤4 to fire in
+	// every app.
+	Schedule []tmk.ChurnEvent
+}
+
+// DefaultChurnSpec returns the standard churn scenario: two standby
+// extras join on consecutive fences, one is crashed while the other is
+// still in the ring (HLRC page homes are only ever re-placed onto a
+// live joined extra, so the crash precedes any ring drain), then a
+// compute rank departs the ring — it keeps computing, but its manager
+// roles move.
+func DefaultChurnSpec() ChurnSpec {
+	return ChurnSpec{
+		Nodes: 4,
+		Extra: 2,
+		Seed:  1,
+		Schedule: []tmk.ChurnEvent{
+			{AtBarrier: 2, Kind: "join", Rank: 4},
+			{AtBarrier: 3, Kind: "join", Rank: 5},
+			{AtBarrier: 4, Kind: "crash", Rank: 4},
+			{AtBarrier: 4, Kind: "leave", Rank: 1},
+		},
+	}
+}
+
+// Mutate applies the spec to a run configuration.
+func (cs ChurnSpec) Mutate(cfg *tmk.Config) {
+	cfg.Seed = cs.Seed
+	cfg.Membership = tmk.MemberConfig{
+		Enabled:  true,
+		Extra:    cs.Extra,
+		Schedule: append([]tmk.ChurnEvent(nil), cs.Schedule...),
+	}
+}
+
+// expect derives the event counts and final fence epoch the schedule
+// must produce (one epoch per distinct fence crossing).
+func (cs ChurnSpec) expect() (joins, leaves, crashes int64, epoch int32) {
+	fences := map[int]bool{}
+	for _, ev := range cs.Schedule {
+		fences[ev.AtBarrier] = true
+		switch ev.Kind {
+		case "join":
+			joins++
+		case "leave":
+			leaves++
+		case "crash":
+			crashes++
+		}
+	}
+	return joins, leaves, crashes, int32(len(fences))
+}
+
+// Churn runs the sweep and writes a report. It returns an error on the
+// first violated invariant.
+func Churn(w io.Writer, spec ChurnSpec) error {
+	joins, leaves, crashes, epoch := spec.expect()
+	fprintf(w, "Churn sweep: %d nodes + %d standby, seed %d, %d events (%d join / %d leave / %d crash)\n\n",
+		spec.Nodes, spec.Extra, spec.Seed, len(spec.Schedule), joins, leaves, crashes)
+	fprintf(w, "%-8s %-7s %12s %6s %6s %6s %6s %6s %6s %6s %8s %7s\n",
+		"app", "tport", "time", "epoch", "joins", "leaves", "crash", "recov", "hlock", "hpage", "hbytes", "replay")
+
+	for _, app := range chaosApps() {
+		for _, kind := range AllTransports {
+			res, err := VerifiedRun(app, spec.Nodes, kind, spec.Mutate)
+			if err != nil {
+				return fmt.Errorf("churn: %s/%s: %w", app.Name(), kind, err)
+			}
+			st := &res.Stats
+			m := res.Member
+			if m == nil {
+				return fmt.Errorf("churn: %s/%s: no membership report", app.Name(), kind)
+			}
+			fprintf(w, "%-8s %-7s %12v %6d %6d %6d %6d %6d %6d %6d %8d %7d\n",
+				app.Name(), kind, res.ExecTime, m.Epoch,
+				st.MemberJoins, st.MemberLeaves, st.MemberCrashes, st.MemberPartialRecoveries,
+				st.MemberHandoffLocks, st.MemberHandoffPages, st.MemberHandoffBytes, st.MemberDiffsReplayed)
+
+			// Invariant 2: the crash stayed a partial recovery.
+			if res.Crash != nil {
+				return fmt.Errorf("churn: %s/%s: escalated to generation recovery: %s", app.Name(), kind, res.Crash)
+			}
+			if st.Checkpoints != 0 {
+				return fmt.Errorf("churn: %s/%s: recovery took %d checkpoints, want 0", app.Name(), kind, st.Checkpoints)
+			}
+			if st.MemberJoins != joins || st.MemberLeaves != leaves || st.MemberCrashes != crashes {
+				return fmt.Errorf("churn: %s/%s: events executed %d/%d/%d, schedule says %d/%d/%d",
+					app.Name(), kind, st.MemberJoins, st.MemberLeaves, st.MemberCrashes, joins, leaves, crashes)
+			}
+			if st.MemberPartialRecoveries != crashes {
+				return fmt.Errorf("churn: %s/%s: %d partial recoveries for %d crashes",
+					app.Name(), kind, st.MemberPartialRecoveries, crashes)
+			}
+			// Under HLRC every app has page homes on the ring, so a crash
+			// must re-place something; on the two-sided substrates only
+			// lock managers and the barrier root are ring entities, and a
+			// lock-free app can legitimately hand off nothing.
+			if kind == tmk.TransportRDMAGM && crashes > 0 {
+				if st.MemberHandoffPages == 0 {
+					return fmt.Errorf("churn: %s/%s: no page homes moved under HLRC churn", app.Name(), kind)
+				}
+				if st.MemberDiffsReplayed == 0 {
+					return fmt.Errorf("churn: %s/%s: crash rebuilt no pages from surviving diffs", app.Name(), kind)
+				}
+			}
+			// Invariant 3: converged views at the final fence epoch.
+			if m.Epoch != epoch {
+				return fmt.Errorf("churn: %s/%s: fence epoch %d, want %d", app.Name(), kind, m.Epoch, epoch)
+			}
+			// Compute ranks are fence participants and converge
+			// synchronously; extras learn views lazily from heartbeat
+			// piggyback, so a run ending right after the last fence may
+			// leave them a beat behind.
+			for r := 0; r < spec.Nodes; r++ {
+				if m.Live&(1<<r) != 0 && m.ViewEpochs[r] != m.Epoch {
+					return fmt.Errorf("churn: %s/%s: live rank %d stuck at view epoch %d (fence epoch %d)",
+						app.Name(), kind, r, m.ViewEpochs[r], m.Epoch)
+				}
+			}
+		}
+	}
+
+	// Invariant 4: determinism — the same churned configuration twice.
+	app := chaosApps()[0]
+	for _, kind := range AllTransports {
+		a, err := VerifiedRun(app, spec.Nodes, kind, spec.Mutate)
+		if err != nil {
+			return err
+		}
+		b, err := VerifiedRun(app, spec.Nodes, kind, spec.Mutate)
+		if err != nil {
+			return err
+		}
+		if err := sameResult(a, b); err != nil {
+			return fmt.Errorf("churn: %s/%s not deterministic: %w", app.Name(), kind, err)
+		}
+	}
+
+	// Invariant 5: an empty membership layer is invisible — enabled with
+	// no extras and no schedule, the placement override map stays empty
+	// and results are bit-identical to a run without the layer.
+	for _, kind := range AllTransports {
+		base, err := RunApp(app, spec.Nodes, kind, func(cfg *tmk.Config) { cfg.Seed = spec.Seed })
+		if err != nil {
+			return err
+		}
+		inert, err := RunApp(app, spec.Nodes, kind, func(cfg *tmk.Config) {
+			cfg.Seed = spec.Seed
+			cfg.Membership = tmk.MemberConfig{Enabled: true}
+		})
+		if err != nil {
+			return err
+		}
+		if err := sameResult(base, inert); err != nil {
+			return fmt.Errorf("churn: zero-churn membership perturbed %s/%s: %w", app.Name(), kind, err)
+		}
+	}
+	fprintf(w, "\nall invariants held: bit-correct results under churn, crashes absorbed by partial\n")
+	fprintf(w, "recovery (no generation restart), views converged, deterministic, zero-churn identical\n")
+	return nil
+}

@@ -193,8 +193,8 @@ func TestBenchReproducibleByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pathsA) != 4 || len(pathsB) != 4 {
-		t.Fatalf("suite counts: %v vs %v", pathsA, pathsB)
+	if want := len(BenchGens()); len(pathsA) != want || len(pathsB) != want {
+		t.Fatalf("suite counts (want %d): %v vs %v", want, pathsA, pathsB)
 	}
 	for i, pa := range pathsA {
 		a, err := os.ReadFile(pa)

@@ -2,6 +2,7 @@ package fastgm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/gm"
 	"repro/internal/msg"
@@ -60,6 +61,11 @@ type Transport struct {
 	// Halt() during crash teardown; every timer and completion checks it.
 	live   livenessState
 	halted bool
+
+	// view, when set before Start, is piggybacked on every heartbeat
+	// frame and delivered from every heartbeat received (the membership
+	// layer's epoch-stamped view exchange; substrate.MemberControl).
+	view substrate.ViewExchange
 
 	// pending maps seq → outstanding call. Seq alone identifies a call
 	// (sequence numbers are unique per sender) and must, because forwarded
@@ -225,6 +231,43 @@ func (t *Transport) Shutdown(p *sim.Proc) {
 	t.live.stopped = true
 }
 
+// SetViewExchange implements substrate.MemberControl: attach the
+// membership-view piggyback. Must run before Start — the heartbeat send
+// buffers are sized for the view frame when they are registered.
+func (t *Transport) SetViewExchange(v substrate.ViewExchange) {
+	if t.proc != nil {
+		panic("fastgm: SetViewExchange after Start")
+	}
+	t.view = v
+}
+
+// ForgetPeer implements substrate.MemberControl: purge every per-peer
+// entry for a departed rank. Duplicate-cache entries keyed by its origin
+// are dropped (a re-joining rank restarts its sequence numbers), and any
+// calls still pending toward it resolve as abandoned, exactly as if the
+// liveness layer had declared it dead. The peer is also marked dead in
+// the liveness state (without a recorded failure) so heartbeat ticks
+// stop probing its closed port.
+func (t *Transport) ForgetPeer(peer int) {
+	t.live.markDeparted(peer)
+	t.dup.PurgeOrigin(int32(peer))
+	seqs := make([]uint32, 0, len(t.pending))
+	for seq, pc := range t.pending {
+		if pc.dst == peer {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		pc := t.pending[seq]
+		delete(t.pending, seq)
+		pc.done = true
+		pc.completed = t.proc.Sim().Now()
+		t.stats.SendsAbandoned++
+	}
+	t.abandonStagedTo(peer)
+}
+
 // armTimer schedules the periodic async-port check for AsyncTimer.
 func (t *Transport) armTimer() {
 	s := t.proc.Sim()
@@ -283,8 +326,12 @@ func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
 	tag, body := rv.Data[0], rv.Data[1:]
 	switch tag {
 	case frameHB:
-		// A heartbeat carries no payload: its arrival already refreshed the
-		// peer's last-heard clock above.
+		// A heartbeat's arrival already refreshed the peer's last-heard
+		// clock above; with a view exchange attached its body carries the
+		// peer's membership view.
+		if t.view != nil && len(body) > 0 {
+			t.view.OnPeerView(int(rv.From), body)
+		}
 		t.asyncPort.ProvideReceiveBuffer(rv.Buffer)
 	case frameMsg, frameData:
 		p.Advance(t.cfg.DispatchCost)

@@ -61,12 +61,40 @@ func (lv *livenessState) start() {
 	for i := range lv.lastHeard {
 		lv.lastHeard[i] = now
 	}
-	class := t.node.System().Params().ClassFor(1)
+	// With a membership-view exchange attached, every heartbeat carries
+	// the view frame; size the registered send buffers for it (LocalView
+	// keeps a fixed length for the life of the run).
+	payload := 1
+	if t.view != nil {
+		payload += len(t.view.LocalView())
+	}
+	class := t.node.System().Params().ClassFor(payload)
 	slot := gm.ClassCapacity(class)
 	mem := t.node.Register(t.proc, t.size*slot)
 	for i := 0; i < t.size; i++ {
 		lv.hbBufs = append(lv.hbBufs, mem.SubBuffer(i*slot, class))
 	}
+	// Heartbeats are serviced in NIC context (the paper's firmware-mod
+	// spirit): arrival refreshes the peer's last-heard clock and delivers
+	// the piggybacked membership view even while the host computes with
+	// asynchronous delivery masked — a multi-millisecond diff flush must
+	// not make live peers look silent. Probe frames are consumed at the
+	// NIC and never occupy a host receive buffer; every other frame still
+	// refreshes the clock at arrival and flows to the host unchanged.
+	t.asyncPort.SetFilter(func(rv *gm.Recv) bool {
+		lv.heard(int(rv.From))
+		if len(rv.Data) == 0 || rv.Data[0] != frameHB {
+			return false
+		}
+		if t.view != nil && len(rv.Data) > 1 {
+			t.view.OnPeerView(int(rv.From), rv.Data[1:])
+		}
+		return true
+	})
+	t.syncPort.SetFilter(func(rv *gm.Recv) bool {
+		lv.heard(int(rv.From))
+		return false
+	})
 	s.After(lv.cfg.Interval, lv.tick)
 }
 
@@ -106,7 +134,11 @@ func (lv *livenessState) sendHeartbeat(peer int) {
 	buf := lv.hbBufs[len(lv.hbBufs)-1]
 	lv.hbBufs = lv.hbBufs[:len(lv.hbBufs)-1]
 	buf.Bytes()[0] = frameHB
-	err := t.asyncPort.SendFromKernel(myrinet.NodeID(peer), AsyncPort, buf, 1,
+	n := 1
+	if t.view != nil {
+		n += copy(buf.Bytes()[1:], t.view.LocalView())
+	}
+	err := t.asyncPort.SendFromKernel(myrinet.NodeID(peer), AsyncPort, buf, n,
 		func(st gm.SendStatus) {
 			lv.hbBufs = append(lv.hbBufs, buf)
 			if st != gm.SendOK && !t.halted {
@@ -129,6 +161,20 @@ func (lv *livenessState) heard(peer int) {
 		return
 	}
 	lv.lastHeard[peer] = lv.t.proc.Sim().Now()
+}
+
+// markDeparted records an administratively departed peer as dead — ticks
+// stop probing it and the silence detector never fires on it — without
+// recording a failure or invoking the watchdog callback. Without this,
+// survivors keep heartbeating toward the departed rank's closed port;
+// those sends park in GM retransmission and drain the shared heartbeat
+// buffer pool, silencing the sender toward everyone else.
+func (lv *livenessState) markDeparted(peer int) {
+	if peer < 0 || peer >= len(lv.dead) || peer == lv.t.rank || lv.dead[peer] {
+		return
+	}
+	lv.dead[peer] = true
+	lv.t.abandonStagedTo(peer)
 }
 
 // isDead reports whether peer has been declared dead.

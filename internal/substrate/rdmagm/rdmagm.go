@@ -175,6 +175,14 @@ func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
 	}
 
 	t.verbPort.SetSink(t.onVerbFrame)
+	if t.rcfg.Fast.Liveness.Enabled {
+		// One-sided traffic proves the initiator alive at NIC level, even
+		// while this host computes with asynchronous delivery masked.
+		t.cqPort.SetFilter(func(rv *gm.Recv) bool {
+			t.NoteHeard(int(rv.From))
+			return false
+		})
+	}
 	// Interpose on the dead-peer callback so outstanding verbs toward a
 	// peer the liveness layer declares dead are abandoned before the
 	// DSM's watchdog runs.
@@ -189,6 +197,29 @@ func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
 // SetOnPeerDead implements substrate.CrashControl, preserving the verb
 // abandonment interposition installed by Start.
 func (t *Transport) SetOnPeerDead(fn func(peer int, err error)) { t.onDeadChain = fn }
+
+// ForgetPeer implements substrate.MemberControl: the embedded purge
+// (duplicate cache, pending calls) plus the one-sided state — the
+// verb duplicate filter keyed by the departed origin, and any verbs
+// still outstanding toward it (SetViewExchange is inherited from the
+// embedded fastgm transport, whose heartbeats this substrate shares).
+func (t *Transport) ForgetPeer(peer int) {
+	t.vdup.PurgeOrigin(int32(peer))
+	seqs := make([]uint32, 0, len(t.verbs))
+	for seq, pv := range t.verbs {
+		if pv.dst == peer {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		pv := t.verbs[seq]
+		t.Stats().VerbsAbandoned++
+		pv.err = &substrate.PeerUnreachableError{Rank: t.rank, Peer: peer, Kind: "member-departed"}
+		t.resolve(pv)
+	}
+	t.Transport.ForgetPeer(peer)
+}
 
 // Halt implements substrate.CrashControl: the embedded teardown plus the
 // one-sided ports.

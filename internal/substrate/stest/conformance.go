@@ -2,6 +2,7 @@ package stest
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"repro/internal/gm"
@@ -32,6 +33,8 @@ func RunConformance(t *testing.T, build Builder) {
 	t.Run("CorruptedReplyCRC", func(t *testing.T) { ConformanceCorruptedReplyCRC(t, build) })
 	t.Run("PortDisabledMidBurstResumed", func(t *testing.T) { ConformancePortDisabledMidBurstResumed(t, build) })
 	t.Run("SilentPeerMidRendezvous", func(t *testing.T) { ConformanceSilentPeerMidRendezvous(t, build) })
+	t.Run("HeartbeatViewPiggyback", func(t *testing.T) { ConformanceHeartbeatViewPiggyback(t, build) })
+	t.Run("MemberTeardown", func(t *testing.T) { ConformanceMemberTeardown(t, build) })
 	t.Run("ScatterGather", func(t *testing.T) { ConformanceScatterGather(t, build) })
 	t.Run("ScatterGatherFaultStorm", func(t *testing.T) { ConformanceScatterGatherFaultStorm(t, build) })
 }
@@ -213,32 +216,36 @@ func ConformancePortDisabledMidBurstResumed(t *testing.T, build Builder) {
 	requireAllPortsEnabled(t, c)
 }
 
-// ConformanceSilentPeerMidRendezvous: the peer of a large transfer goes
-// silent after startup — for FAST/GM the sender's RTS is staged but the
-// CTS never arrives; for UDP/GM every retransmitted datagram vanishes
-// into a dead process. With liveness enabled both substrates must time
-// the peer out and fail the Call with a diagnostic naming it, instead of
-// hanging the simulation. The builder is probed only to learn which
-// transport family is under test; the scenario then constructs its own
-// liveness-enabled cluster.
-func ConformanceSilentPeerMidRendezvous(t *testing.T, build Builder) {
-	var c *Cluster
+// livenessCluster probes the builder to learn which transport family is
+// under test, then constructs a fresh n-rank cluster of the same family
+// with heartbeat liveness enabled.
+func livenessCluster(build Builder, n int) *Cluster {
 	probe := build(2, 1)
 	_, oneSided := probe.Transports[0].(substrate.OneSided)
 	switch {
 	case probe.Stacks != nil:
 		cfg := udpgm.DefaultConfig()
 		cfg.Liveness = substrate.LivenessConfig{Enabled: true}
-		c = NewUDPConfig(2, 1, cfg)
+		return NewUDPConfig(n, 1, cfg)
 	case oneSided:
 		cfg := rdmagm.DefaultConfig()
 		cfg.Fast.Liveness = substrate.LivenessConfig{Enabled: true}
-		c = NewRDMA(2, 1, cfg)
+		return NewRDMA(n, 1, cfg)
 	default:
 		cfg := fastgm.DefaultConfig()
 		cfg.Liveness = substrate.LivenessConfig{Enabled: true}
-		c = NewFast(2, 1, cfg)
+		return NewFast(n, 1, cfg)
 	}
+}
+
+// ConformanceSilentPeerMidRendezvous: the peer of a large transfer goes
+// silent after startup — for FAST/GM the sender's RTS is staged but the
+// CTS never arrives; for UDP/GM every retransmitted datagram vanishes
+// into a dead process. With liveness enabled both substrates must time
+// the peer out and fail the Call with a diagnostic naming it, instead of
+// hanging the simulation.
+func ConformanceSilentPeerMidRendezvous(t *testing.T, build Builder) {
+	c := livenessCluster(build, 2)
 	started := 0
 	startCond := sim.NewCond("stest:silent-start")
 	rendezvous := func(p *sim.Proc) {
@@ -798,6 +805,118 @@ func ConformanceOverflowRetransmission(t *testing.T, build Builder) {
 	if ap := c.GM.Node(0).Port(fastgm.AsyncPort); ap != nil {
 		if st := ap.Stats(); st.Timeouts != 0 {
 			t.Errorf("%d GM send timeouts (fail-stop condition)", st.Timeouts)
+		}
+	}
+}
+
+// testMemberView is a minimal substrate.ViewExchange: a fixed local
+// frame, and a record of the latest frame heard from each peer.
+type testMemberView struct {
+	frame []byte
+	got   map[int][]byte
+}
+
+func newTestMemberView(rank int) *testMemberView {
+	return &testMemberView{
+		frame: bytes.Repeat([]byte{byte(0xE0 + rank)}, 20),
+		got:   make(map[int][]byte),
+	}
+}
+
+func (v *testMemberView) LocalView() []byte { return v.frame }
+func (v *testMemberView) OnPeerView(peer int, frame []byte) {
+	v.got[peer] = append([]byte(nil), frame...)
+}
+
+// ConformanceHeartbeatViewPiggyback: with a view exchange attached and
+// liveness enabled, every heartbeat carries the sender's membership view
+// and the receiver's exchange observes it — even while the receiver does
+// nothing but compute. This is the substrate half of the elastic
+// membership contract: view convergence must not depend on the host
+// mainline servicing any particular request.
+func ConformanceHeartbeatViewPiggyback(t *testing.T, build Builder) {
+	c := livenessCluster(build, 2)
+	views := []*testMemberView{newTestMemberView(0), newTestMemberView(1)}
+	for rank, tr := range c.Transports {
+		mc, ok := tr.(substrate.MemberControl)
+		if !ok {
+			t.Fatal("transport does not implement substrate.MemberControl")
+		}
+		mc.SetViewExchange(views[rank])
+	}
+	noHandler := func(p *sim.Proc, m *msg.Message) {}
+	for rank := range c.Transports {
+		rank := rank
+		c.Sim.Spawn(fmt.Sprintf("rank%d", rank), 0, func(p *sim.Proc) {
+			c.Transports[rank].Start(p, noHandler)
+			p.Advance(5 * sim.Millisecond) // several heartbeat intervals
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for rank := range views {
+		peer := 1 - rank
+		if got := views[rank].got[peer]; !bytes.Equal(got, views[peer].frame) {
+			t.Errorf("rank %d heard view %x from peer %d, want %x", rank, got, peer, views[peer].frame)
+		}
+		if st := c.Transports[rank].Stats(); st.HeartbeatsSent == 0 {
+			t.Errorf("rank %d sent no heartbeats", rank)
+		}
+	}
+}
+
+// ConformanceMemberTeardown: ForgetPeer — the membership layer's
+// per-peer teardown for a departed rank — makes subsequent calls toward
+// that peer resolve promptly with a nil reply instead of hanging or
+// retransmitting into the void, leaves traffic toward every other peer
+// untouched, and records no failure (departure is administrative, not a
+// fault the watchdog should surface).
+func ConformanceMemberTeardown(t *testing.T, build Builder) {
+	c := livenessCluster(build, 3)
+	var before, gone, after *msg.Message
+	done := false
+	c.Spawn(
+		func(rank int) substrate.Handler {
+			return func(p *sim.Proc, m *msg.Message) {
+				c.Transports[rank].Reply(p, m, &msg.Message{Kind: msg.KPong, Page: m.Page * 10})
+			}
+		},
+		func(rank int, p *sim.Proc, tr substrate.Transport) {
+			if rank != 0 {
+				for !done { // stay alive to serve (and to heartbeat)
+					p.Advance(sim.Millisecond)
+				}
+				return
+			}
+			before = tr.Call(p, 1, &msg.Message{Kind: msg.KPing, Page: 1})
+			mc, ok := tr.(substrate.MemberControl)
+			if !ok {
+				t.Error("transport does not implement substrate.MemberControl")
+				done = true
+				return
+			}
+			mc.ForgetPeer(1)
+			gone = tr.Call(p, 1, &msg.Message{Kind: msg.KPing, Page: 2})
+			after = tr.Call(p, 2, &msg.Message{Kind: msg.KPing, Page: 3})
+			done = true
+		},
+	)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if before == nil || before.Page != 10 {
+		t.Errorf("call before teardown: %+v, want Page 10", before)
+	}
+	if gone != nil {
+		t.Errorf("call to a forgotten peer returned a reply: %+v", gone)
+	}
+	if after == nil || after.Page != 30 {
+		t.Errorf("call to an unaffected peer after teardown: %+v, want Page 30", after)
+	}
+	if cc, ok := c.Transports[0].(substrate.CrashControl); ok {
+		if pf := cc.PeerFailure(); pf != nil {
+			t.Errorf("administrative teardown recorded a failure: %v", pf)
 		}
 	}
 }

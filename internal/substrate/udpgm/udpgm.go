@@ -13,6 +13,7 @@ package udpgm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/msg"
 	"repro/internal/myrinet"
@@ -100,6 +101,11 @@ type Transport struct {
 	hbData      []byte
 	failure     *substrate.PeerUnreachableError
 	onDead      func(peer int, err error)
+
+	// view, when set before Start, rides in every heartbeat datagram's
+	// PageData field and is delivered from every heartbeat received (the
+	// membership layer's view exchange; substrate.MemberControl).
+	view substrate.ViewExchange
 }
 
 // New creates the transport for process rank of size over the node's
@@ -174,6 +180,44 @@ func (t *Transport) Shutdown(p *sim.Proc) {
 	}
 }
 
+// SetViewExchange implements substrate.MemberControl: attach the
+// membership-view piggyback before Start.
+func (t *Transport) SetViewExchange(v substrate.ViewExchange) {
+	if t.proc != nil {
+		panic("udpgm: SetViewExchange after Start")
+	}
+	t.view = v
+}
+
+// ForgetPeer implements substrate.MemberControl: drop the departed
+// rank's duplicate-cache entries (a re-joining rank restarts its
+// sequence numbers) and resolve any calls still pending toward it as
+// abandoned, as if the liveness layer had declared it dead.
+func (t *Transport) ForgetPeer(peer int) {
+	// Mark the departed rank dead administratively (no recorded failure,
+	// no watchdog callback) so heartbeat ticks stop probing its closed
+	// port and retransmissions toward it never start.
+	if peer >= 0 && peer < len(t.dead) && peer != t.rank {
+		t.dead[peer] = true
+	}
+	t.dup.PurgeOrigin(int32(peer))
+	seqs := make([]uint32, 0, len(t.pending))
+	for seq, pc := range t.pending {
+		if pc.dst == peer {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	now := t.proc.Sim().Now()
+	for _, seq := range seqs {
+		pc := t.pending[seq]
+		delete(t.pending, seq)
+		pc.done = true
+		pc.completed = now
+		t.stats.SendsAbandoned++
+	}
+}
+
 // startLiveness arms the heartbeat clock (no-op with liveness disabled).
 func (t *Transport) startLiveness(p *sim.Proc) {
 	if !t.liveCfg.Enabled {
@@ -209,7 +253,16 @@ func (t *Transport) livenessTick() {
 			t.declareDead(peer, "heartbeat-miss", 0)
 			continue
 		}
-		if t.stack.SendFromKernel(myrinet.NodeID(peer), reqPortBase+t.rank, t.hbData) == nil {
+		data := t.hbData
+		if t.view != nil {
+			// The membership view changes over the run, so the heartbeat is
+			// re-encoded each tick with the current view in PageData. A nil
+			// view keeps the pre-encoded datagram bit-identical.
+			hb := &msg.Message{Kind: msg.KHeartbeat, From: int32(t.rank),
+				ReplyTo: int32(t.rank), PageData: t.view.LocalView()}
+			data = hb.Encode()
+		}
+		if t.stack.SendFromKernel(myrinet.NodeID(peer), reqPortBase+t.rank, data) == nil {
 			t.stats.HeartbeatsSent++
 		}
 	}
@@ -323,7 +376,12 @@ func (t *Transport) dispatchRequest(p *sim.Proc, raw, aux []byte) {
 	if m.Kind == msg.KHeartbeat {
 		// Liveness probe: the arrival already refreshed the sender's
 		// last-heard clock. Intercepted before the duplicate filter (all
-		// heartbeats share Seq 0) and never handed to the DSM handler.
+		// heartbeats share Seq 0) and never handed to the DSM handler. With
+		// a view exchange attached, the probe carries the peer's membership
+		// view in PageData.
+		if t.view != nil && len(m.PageData) > 0 {
+			t.view.OnPeerView(int(m.From), m.PageData)
+		}
 		return
 	}
 	if cz := p.Sim().Causal(); cz != nil {

@@ -8,11 +8,14 @@ import (
 	"repro/internal/trace"
 )
 
-// Barriers (paper Section 1.1): centralized at the manager (rank 0).
-// Clients close their interval and send a barrier-arrive message carrying
-// their vector clock and the intervals created since the last barrier;
-// the manager merges everything and, when the last arrival lands,
-// releases each client with exactly the intervals that client lacks.
+// Barriers (paper Section 1.1): centralized at the manager — the
+// ring-placed root, which is rank 0 in a static cluster (the membership
+// layer may re-place the root on a compute rank when its owner leaves
+// the ring, DESIGN.md §14). Clients close their interval and send a
+// barrier-arrive message carrying their vector clock and the intervals
+// created since the last barrier; the manager merges everything and,
+// when the last arrival lands, releases each client with exactly the
+// intervals that client lacks.
 //
 // As the paper's §5 future-work direction ("scaling a DSM system to a
 // cluster having 256 nodes ... further optimization to communication and
@@ -35,29 +38,35 @@ type barrierState struct {
 }
 
 // barrierParent returns the rank this process reports to, or -1 for the
-// root.
+// root. The flat topology reports to the ring-placed root; the combining
+// tree keeps its static shape (membership forbids fanout ≥ 2).
 func (tp *Proc) barrierParent() int {
-	if tp.rank == 0 {
-		return -1
-	}
 	k := tp.cluster.cfg.BarrierFanout
 	if k < 2 {
-		return 0 // flat: everyone reports to the root
+		root := tp.barrierRoot()
+		if tp.rank == root {
+			return -1
+		}
+		return root
+	}
+	if tp.rank == 0 {
+		return -1
 	}
 	return (tp.rank - 1) / k
 }
 
-// barrierChildren returns how many ranks report to this process.
+// barrierChildren returns how many ranks report to this process. Only
+// the w compute ranks cross barriers — standby extras never arrive.
 func (tp *Proc) barrierChildren() int {
 	k := tp.cluster.cfg.BarrierFanout
 	if k < 2 {
-		if tp.rank == 0 {
-			return tp.n - 1
+		if tp.rank == tp.barrierRoot() {
+			return tp.w - 1
 		}
 		return 0
 	}
 	count := 0
-	for c := k*tp.rank + 1; c <= k*tp.rank+k && c < tp.n; c++ {
+	for c := k*tp.rank + 1; c <= k*tp.rank+k && c < tp.w; c++ {
 		count++
 	}
 	return count
@@ -179,6 +188,10 @@ func (tp *Proc) Barrier(id int32) {
 	if pf := tp.prof(); pf != nil {
 		pf.BarrierDepart(tp.rank, id, ep, int64(tp.sp.Now()-start), pIvs, pPgs)
 	}
+
+	// Membership fence: churn events scheduled at this crossing execute
+	// here, after every compute rank is through the barrier (membership.go).
+	tp.maybeChurn()
 }
 
 // handleBarrierArrive runs at a parent when one of its children arrives.

@@ -2,6 +2,7 @@ package tmk
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/gm"
 	"repro/internal/myrinet"
@@ -83,6 +84,14 @@ type Config struct {
 	// measured baseline for the overlap win (the DiffMultiWriter bench
 	// rows run it side by side with the default).
 	SerialDiffFetch bool
+
+	// Membership enables the elastic-membership layer (DESIGN.md §14):
+	// protocol entities are placed on a consistent-hashed ring of live
+	// ranks, standby extras can join/leave at barrier fences with bounded
+	// role handoff, and a crashed extra's entities are re-placed and
+	// restored while the run continues. The zero value — and Enabled with
+	// no extras and no schedule — is bit-identical to a run without it.
+	Membership MemberConfig
 }
 
 // DefaultConfig returns a calibrated n-process configuration. The
@@ -108,7 +117,9 @@ func DefaultConfig(n int, kind TransportKind) Config {
 // Cluster is one assembled DSM run.
 type Cluster struct {
 	cfg    Config
-	n      int
+	n      int // total ranks: w compute processes plus standby extras
+	w      int // compute ranks (= Config.Procs): app partitioning, barriers
+	member *memberState
 	sim    *sim.Simulator
 	fabric *myrinet.Fabric
 	gmsys  *gm.System
@@ -153,6 +164,10 @@ type Result struct {
 	// all generations, or nil — the surfaced form of what used to be a
 	// silent forever-pending send.
 	PeerFailure *substrate.PeerUnreachableError
+	// Member summarizes the elastic-membership layer's end state (nil
+	// unless Config.Membership.Enabled): final epoch, live/ring bitmaps,
+	// moved-entity count, and every rank's converged view epoch.
+	Member *MemberReport
 }
 
 // finalBarrier is the implicit shutdown barrier id.
@@ -183,19 +198,40 @@ func NewCluster(cfg Config) *Cluster {
 			cfg.RDMA.Fast.Liveness = lv
 		}
 	}
-	c := &Cluster{cfg: cfg, n: cfg.Procs}
+	validateMembership(&cfg)
+	total := cfg.Procs
+	if cfg.Membership.Enabled {
+		total += cfg.Membership.Extra
+		// Churn needs a failure detector: departed and dead extras go
+		// silent, and survivors must notice (and find membership already
+		// converged) instead of retrying forever. With no extras and no
+		// schedule nothing is armed — the zero-churn bit-identity.
+		if (cfg.Membership.Extra > 0 || len(cfg.Membership.Schedule) > 0) && !cfg.Fast.Liveness.Enabled {
+			lv := substrate.LivenessConfig{Enabled: true}.Norm()
+			cfg.UDP.Liveness = lv
+			cfg.Fast.Liveness = lv
+			cfg.RDMA.Fast.Liveness = lv
+		}
+	}
+	c := &Cluster{cfg: cfg, n: total, w: cfg.Procs}
+	if cfg.Membership.Enabled {
+		c.member = newMemberState(c.w, c.n)
+	}
 	c.sim = sim.New(cfg.Seed)
+	if os.Getenv("TMK_DEBUG_TRACE") != "" {
+		c.sim.SetTrace(func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) })
+	}
 	if cfg.Trace != nil {
 		c.sim.SetTracer(cfg.Trace)
 	}
 	if cfg.Causal != nil {
 		c.sim.SetCausal(cfg.Causal)
 	}
-	c.fabric = myrinet.NewFabric(c.sim, cfg.Net, cfg.Procs)
+	c.fabric = myrinet.NewFabric(c.sim, cfg.Net, total)
 	c.gmsys = gm.NewSystem(c.sim, c.fabric, cfg.GM)
 	if cfg.Transport == TransportUDPGM {
-		c.stacks = make([]*sockets.Stack, cfg.Procs)
-		for i := 0; i < cfg.Procs; i++ {
+		c.stacks = make([]*sockets.Stack, total)
+		for i := 0; i < total; i++ {
 			c.stacks[i] = sockets.NewStack(c.sim, c.gmsys.Node(myrinet.NodeID(i)), cfg.Sockets)
 		}
 	}
@@ -251,6 +287,15 @@ func (c *Cluster) spawnGeneration(gen, resumeEpoch int) {
 			}
 			c.procs[rank] = tp
 			c.allProcs = append(c.allProcs, tp)
+			if c.member != nil {
+				tp.viewLive = c.member.live
+				tp.viewInRing = c.member.inRing
+				// Attach the view piggyback before the transport sizes its
+				// heartbeat buffers (fastgm preposts them in Start).
+				if mc, ok := tr.(substrate.MemberControl); ok {
+					mc.SetViewExchange(tp)
+				}
+			}
 			tr.Start(sp, tp.handleRequest)
 			// The stall watchdog rides on the transport's failure
 			// detector: any declared-dead peer (liveness miss or retry
@@ -271,13 +316,19 @@ func (c *Cluster) spawnGeneration(gen, resumeEpoch int) {
 				sp.WaitOn(startCond)
 			}
 
-			tp.appStart = sp.Now()
-			c.appFn(tp)
-			tp.Barrier(finalBarrier)
-			tp.appEnd = sp.Now()
-			if cz := c.sim.Causal(); cz != nil {
-				cz.End(rank, int64(tp.appEnd))
+			if rank < c.w {
+				tp.appStart = sp.Now()
+				c.appFn(tp)
+				tp.Barrier(finalBarrier)
+				tp.appEnd = sp.Now()
+				if cz := c.sim.Causal(); cz != nil {
+					cz.End(rank, int64(tp.appEnd))
+				}
 			}
+			// Standby extras (rank ≥ w) run no application body and cross
+			// no barrier: they serve protocol requests and heartbeats from
+			// the handler until the compute ranks finish (or a churn event
+			// departs them), parked right here on the finish rendezvous.
 
 			// Shutdown rendezvous (out of band, like the launcher's): on a
 			// lossy fabric a peer may still be retrying a request whose
@@ -343,6 +394,18 @@ func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
 	}
 	res.NetFaults = c.fabric.FaultStats()
 	res.Crash = c.crash.report
+	if m := c.member; m != nil {
+		mr := &MemberReport{Epoch: m.epoch, Live: m.live, InRing: m.inRing,
+			Moves: len(m.owner), ViewEpochs: make([]int32, c.n)}
+		for r, tp := range c.procs {
+			if tp == nil || !m.isLive(r) {
+				mr.ViewEpochs[r] = -1
+				continue
+			}
+			mr.ViewEpochs[r] = tp.viewEpoch
+		}
+		res.Member = mr
+	}
 	if res.Crash != nil && res.Crash.Action == "abort" {
 		return res, &CrashAbortError{Report: res.Crash}
 	}

@@ -125,6 +125,19 @@ type crashState struct {
 // marks state, kills, and schedules: the teardown completes in afterCrash
 // once every killed process has unwound.
 func (c *Cluster) handleCrash(detector, peer int, err error) {
+	// Under elastic membership a scheduled departure or crash of a standby
+	// extra is handled at the fence before any detector fires: the dead
+	// rank's entities are already re-placed and the view epoch advanced.
+	// The heartbeat detection that follows is expected — count it and
+	// stand down instead of condemning the generation (the partial-recovery
+	// path that replaces whole-generation restart, DESIGN.md §14).
+	if m := c.member; m != nil && peer >= c.w && !m.isLive(peer) {
+		if tp := c.procs[detector]; tp != nil {
+			tp.stats.MemberDeadDetections++
+		}
+		c.sim.Tracef("tmk: rank %d detected departed extra %d; membership already converged", detector, peer)
+		return
+	}
 	if c.crash.handled {
 		return
 	}

@@ -167,7 +167,7 @@ func TestCrashAtTime(t *testing.T) {
 			cfg.Crash = tmk.CrashConfig{
 				Enabled:    true,
 				Rank:       2,
-				AtTime:     3_000_000, // 3ms: mid-epoch
+				AtTime:     2_000_000, // 2ms: mid-epoch
 				Checkpoint: true,
 			}
 			res, err := tmk.Run(cfg, epochApp(5))

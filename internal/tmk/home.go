@@ -37,10 +37,11 @@ import (
 // writer's release by some synchronization chain, by which time the
 // notice has arrived anyway.
 
-// homeOf returns the rank serving as page pg's home. The assignment is
-// static round-robin over the global page space, so consecutive pages of
-// a region spread across the cluster without any directory state.
-func (tp *Proc) homeOf(pg int32) int { return int(pg % int32(tp.n)) }
+// homeOf returns the rank serving as page pg's home: static round-robin
+// over the compute ranks (consecutive pages of a region spread across
+// the cluster without any directory state), overridden by the membership
+// ring when the home has moved to a joined extra (DESIGN.md §14).
+func (tp *Proc) homeOf(pg int32) int { return tp.cluster.placePage(pg) }
 
 // windowOff maps a page to its byte offset inside its region's window.
 func windowOff(pm *pageMeta) int { return int(pm.id-pm.region.StartPage) * PageSize }

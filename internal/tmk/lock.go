@@ -7,14 +7,15 @@ import (
 	"repro/internal/trace"
 )
 
-// Lock management (paper Section 1.1 / TreadMarks): every lock has a
-// statically assigned manager (lock id mod n). Acquires go to the
-// manager, which either grants directly (when it was itself the last
-// releaser — the microbenchmark's "direct" case) or forwards the request
-// to the last holder it handed the lock to (the "indirect" case: three
-// messages). The granter piggybacks the consistency intervals the
-// requester has not yet seen; releases are purely local unless a
-// forwarded request is queued.
+// Lock management (paper Section 1.1 / TreadMarks): every lock has an
+// assigned manager — lock id mod n statically, overridden by the
+// membership ring when the manager role has moved (DESIGN.md §14).
+// Acquires go to the manager, which either grants directly (when it was
+// itself the last releaser — the microbenchmark's "direct" case) or
+// forwards the request to the last holder it handed the lock to (the
+// "indirect" case: three messages). The granter piggybacks the
+// consistency intervals the requester has not yet seen; releases are
+// purely local unless a forwarded request is queued.
 type lockState struct {
 	id int32
 
@@ -31,7 +32,7 @@ type lockState struct {
 	tail int
 }
 
-func (tp *Proc) lockManager(id int32) int { return int(id) % tp.n }
+func (tp *Proc) lockManager(id int32) int { return tp.cluster.placeLock(id) }
 
 func (tp *Proc) lock(id int32) *lockState {
 	ls := tp.locks[id]
@@ -133,8 +134,15 @@ func (tp *Proc) serveLockWaiters(ls *lockState) {
 }
 
 // grantLock closes our interval and ships the grant with the intervals
-// the requester lacks.
+// the requester lacks. Under HLRC the interval close blocks in WaitVerbs
+// flushing diffs home, so the whole grant runs with asynchronous delivery
+// masked: a concurrent acquire serviced mid-flush would observe the token
+// still present and grant it a second time.
 func (tp *Proc) grantLock(ls *lockState, req *msg.Message) {
+	if tp.homeBased {
+		tp.tr.DisableAsync(tp.sp)
+		defer tp.tr.EnableAsync(tp.sp)
+	}
 	tp.sp.Sim().Tracef("tmk: rank %d grants lock %d to %d (vc=%v)", tp.rank, ls.id, req.ReplyTo, tp.vc)
 	tp.closeInterval()
 	recs := tp.store.since(VC(req.VC))

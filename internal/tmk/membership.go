@@ -1,0 +1,836 @@
+package tmk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/substrate"
+	"repro/internal/trace"
+)
+
+// Elastic membership (DESIGN.md §14). TreadMarks' protocol entities —
+// lock managers, page homes, the barrier root — are statically placed by
+// rank arithmetic, which bakes a fixed node set into every protocol
+// message and forces whole-generation recovery when any rank dies. The
+// membership layer lifts placement onto a consistent-hashed ring of live
+// ranks (the Kademlia-style discipline from the ROADMAP): each in-ring
+// member owns a set of virtual points, every entity hashes to a point on
+// the same circle, and an entity is owned by the member whose point
+// follows it.
+//
+// Two properties make this safe to bolt onto an LRC protocol mid-run:
+//
+//  1. Placement is materialized, not recomputed. The static rank
+//     arithmetic remains the base placement; the ring only decides which
+//     entities *move* when membership changes, and every move is recorded
+//     in an override map consulted by lockManager/homeOf/barrierRoot.
+//     With no churn the map stays empty and every run is bit-identical
+//     to the static protocol.
+//
+//  2. Transitions are fence-synchronous. Join, leave, and crash events
+//     execute at a membership fence immediately after a barrier
+//     crossing, when every compute rank is quiescent (no protocol call
+//     in flight — a blocked call would have kept its rank out of the
+//     barrier) and every interval is closed and, under HLRC, flushed.
+//     Manager state is therefore a pure function of the quiesced
+//     cluster: a lock's token sits at the manager's recorded chain tail,
+//     and a page home's window contents equal the happens-before
+//     ordered application of every writer's retained diffs.
+//
+// The epoch-stamped view (epoch, live set, ring set) is pushed directly
+// to the quiesced compute ranks at the fence and piggybacked on the
+// substrates' heartbeat frames for everyone else — standby and joined
+// extras converge within one heartbeat interval without any dedicated
+// message.
+
+// ChurnEvent is one scheduled membership transition, executed at the
+// fence following the AtBarrier-th barrier crossing (counting every
+// Barrier call on the compute ranks, from 1).
+type ChurnEvent struct {
+	AtBarrier int    // barrier-crossing count that triggers the event
+	Kind      string // "join", "leave", or "crash"
+	Rank      int    // the rank joining, departing, or dying
+}
+
+// MemberConfig enables the elastic-membership layer. The zero value is
+// inert; Enabled with no extras and no schedule is bit-identical to a
+// run without the layer (the zero-churn regression enforces this).
+type MemberConfig struct {
+	Enabled bool
+	// Extra spawns this many standby ranks beyond Config.Procs. Extras
+	// run no application code and arrive at no barrier; they serve
+	// protocol requests, heartbeat, and become eligible ring members
+	// when a "join" event admits them.
+	Extra int
+	// Schedule is the seeded churn schedule, executed in order at each
+	// event's barrier fence.
+	Schedule []ChurnEvent
+}
+
+// entityKind discriminates the ring-placed protocol entities.
+type entityKind uint8
+
+const (
+	entLock entityKind = 1
+	entPage entityKind = 2
+	entRoot entityKind = 3
+)
+
+// entityKey names one ring-placed entity (the root's id is 0).
+type entityKey struct {
+	kind entityKind
+	id   int32
+}
+
+func (e entityKey) String() string {
+	switch e.kind {
+	case entLock:
+		return fmt.Sprintf("lock %d", e.id)
+	case entPage:
+		return fmt.Sprintf("page %d", e.id)
+	default:
+		return "barrier root"
+	}
+}
+
+// hash returns the entity's position on the ring circle.
+func (e entityKey) hash() uint64 {
+	switch e.kind {
+	case entLock:
+		return fnv64(fmt.Sprintf("L:%d", e.id))
+	case entPage:
+		return fnv64(fmt.Sprintf("P:%d", e.id))
+	default:
+		return fnv64("B")
+	}
+}
+
+// fnv64 is FNV-1a, the ring's point hash (stable across runs — placement
+// must be a pure function of ids, never of iteration order).
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ringVnodes is the number of virtual points per member; more points
+// smooth the capture fraction a joiner takes.
+const ringVnodes = 8
+
+// memberState is the cluster-side canonical membership: epoch, bitmaps,
+// the placement override map, and the fence synchronization state. It is
+// mutated only by the fence leader while every compute rank is parked.
+type memberState struct {
+	epoch  int32
+	live   uint64 // rank r is running (compute ranks and spawned extras)
+	inRing uint64 // rank r owns ring points (compute ranks; joined extras)
+
+	// owner records every entity whose placement moved off its static
+	// base. Empty ⇔ the run is bit-identical to the static protocol.
+	owner map[entityKey]int
+
+	fenceSeq   int
+	fenceCount int
+	fenceCond  *sim.Cond
+}
+
+func newMemberState(w, total int) *memberState {
+	m := &memberState{
+		owner:     make(map[entityKey]int),
+		fenceCond: sim.NewCond("tmk:member:fence"),
+	}
+	for r := 0; r < total; r++ {
+		m.live |= 1 << uint(r)
+	}
+	for r := 0; r < w; r++ {
+		m.inRing |= 1 << uint(r)
+	}
+	return m
+}
+
+func (m *memberState) isLive(r int) bool   { return m.live&(1<<uint(r)) != 0 }
+func (m *memberState) isInRing(r int) bool { return m.inRing&(1<<uint(r)) != 0 }
+
+// ringPoint is one virtual point owned by a member.
+type ringPoint struct {
+	h    uint64
+	rank int
+}
+
+// ringPointsFor builds the sorted point set of the given members.
+func ringPointsFor(members []int) []ringPoint {
+	pts := make([]ringPoint, 0, len(members)*ringVnodes)
+	for _, r := range members {
+		for v := 0; v < ringVnodes; v++ {
+			pts = append(pts, ringPoint{h: fnv64(fmt.Sprintf("m:%d:%d", r, v)), rank: r})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].rank < pts[j].rank
+	})
+	return pts
+}
+
+// succOn returns the member owning position h: the first point clockwise
+// of h, wrapping to the smallest point. Returns -1 on an empty ring.
+func succOn(pts []ringPoint, h uint64) int {
+	if len(pts) == 0 {
+		return -1
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].h > h })
+	if i == len(pts) {
+		i = 0
+	}
+	return pts[i].rank
+}
+
+// members lists the in-ring live ranks passing keep (nil keeps all), in
+// rank order.
+func (m *memberState) members(total int, keep func(int) bool) []int {
+	var out []int
+	for r := 0; r < total; r++ {
+		if m.isInRing(r) && m.isLive(r) && (keep == nil || keep(r)) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Wire frames. The view frame rides in heartbeat payloads; the handoff
+// frames carry serialized manager state between the old and new owner of
+// a moved entity. Both codecs are fuzzed (FuzzMemberFrame) — decoders
+// must reject arbitrary input with an error, never a panic.
+
+// memberViewLen is the fixed view-frame size: epoch i32 + live u64 +
+// inRing u64, little-endian.
+const memberViewLen = 4 + 8 + 8
+
+func encodeMemberView(epoch int32, live, inRing uint64) []byte {
+	b := make([]byte, memberViewLen)
+	putU32(b[0:], uint32(epoch))
+	putU64(b[4:], live)
+	putU64(b[12:], inRing)
+	return b
+}
+
+func decodeMemberView(b []byte) (epoch int32, live, inRing uint64, err error) {
+	if len(b) != memberViewLen {
+		return 0, 0, 0, fmt.Errorf("tmk: member view frame: %d bytes, want %d", len(b), memberViewLen)
+	}
+	return int32(getU32(b[0:])), getU64(b[4:]), getU64(b[12:]), nil
+}
+
+// handoffFrame is the decoded form of a serialized entity handoff.
+type handoffFrame struct {
+	kind entityKind
+	id   int32
+	tail int32  // entLock: the manager's chain tail (= the token holder)
+	data []byte // entPage: the page image for the new home's window
+}
+
+// encodeHandoff serializes a handoff frame: kind u8, id i32, then either
+// tail i32 (lock/root) or a u32-length-prefixed page image (page).
+func encodeHandoff(f handoffFrame) []byte {
+	switch f.kind {
+	case entPage:
+		b := make([]byte, 1+4+4+len(f.data))
+		b[0] = byte(f.kind)
+		putU32(b[1:], uint32(f.id))
+		putU32(b[5:], uint32(len(f.data)))
+		copy(b[9:], f.data)
+		return b
+	default:
+		b := make([]byte, 1+4+4)
+		b[0] = byte(f.kind)
+		putU32(b[1:], uint32(f.id))
+		putU32(b[5:], uint32(f.tail))
+		return b
+	}
+}
+
+func decodeHandoff(b []byte) (handoffFrame, error) {
+	var f handoffFrame
+	if len(b) < 9 {
+		return f, fmt.Errorf("tmk: handoff frame: %d bytes, want ≥ 9", len(b))
+	}
+	f.kind = entityKind(b[0])
+	f.id = int32(getU32(b[1:]))
+	switch f.kind {
+	case entLock, entRoot:
+		if len(b) != 9 {
+			return f, fmt.Errorf("tmk: %v handoff frame: %d bytes, want 9", f.kind, len(b))
+		}
+		f.tail = int32(getU32(b[5:]))
+	case entPage:
+		n := int(getU32(b[5:]))
+		if n != len(b)-9 {
+			return f, fmt.Errorf("tmk: page handoff frame: payload %d, have %d", n, len(b)-9)
+		}
+		if n > PageSize {
+			return f, fmt.Errorf("tmk: page handoff frame: payload %d exceeds page size", n)
+		}
+		f.data = b[9:]
+	default:
+		return f, fmt.Errorf("tmk: handoff frame: unknown kind %d", f.kind)
+	}
+	return f, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}
+
+// ---------------------------------------------------------------------------
+// The per-process view and its heartbeat exchange (substrate.ViewExchange).
+
+// LocalView encodes this process's current membership view for the
+// transport to piggyback on its next heartbeat frame.
+func (tp *Proc) LocalView() []byte {
+	return encodeMemberView(tp.viewEpoch, tp.viewLive, tp.viewInRing)
+}
+
+// OnPeerView merges a view heard on a heartbeat: strictly newer epochs
+// are adopted wholesale (views are totally ordered by epoch — only the
+// fence leader ever advances it, under a quiesced cluster).
+func (tp *Proc) OnPeerView(peer int, frame []byte) {
+	epoch, live, inRing, err := decodeMemberView(frame)
+	if err != nil {
+		return // malformed piggyback: ignore, the heartbeat itself counted
+	}
+	tp.stats.MemberViewsHeard++
+	if epoch > tp.viewEpoch {
+		tp.viewEpoch = epoch
+		tp.viewLive = live
+		tp.viewInRing = inRing
+		tp.stats.MemberViewAdopts++
+		tp.sp.Sim().Tracef("tmk: rank %d adopts membership view epoch %d from %d", tp.rank, epoch, peer)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Placement. The static rank arithmetic is the base; the override map
+// records every entity the ring moved.
+
+func (c *Cluster) placeLock(id int32) int {
+	if c.member != nil {
+		if o, ok := c.member.owner[entityKey{entLock, id}]; ok {
+			return o
+		}
+	}
+	return int(id) % c.w
+}
+
+func (c *Cluster) placePage(pg int32) int {
+	if c.member != nil {
+		if o, ok := c.member.owner[entityKey{entPage, pg}]; ok {
+			return o
+		}
+	}
+	return int(pg % int32(c.w))
+}
+
+func (c *Cluster) placeRoot() int {
+	if c.member != nil {
+		if o, ok := c.member.owner[entityKey{entRoot, 0}]; ok {
+			return o
+		}
+	}
+	return 0
+}
+
+// barrierRoot returns the current ring-placed barrier root (rank 0 in a
+// static cluster) — also the collective leader AllocShared routes to.
+func (tp *Proc) barrierRoot() int { return tp.cluster.placeRoot() }
+
+// ---------------------------------------------------------------------------
+// The membership fence.
+
+// maybeChurn runs at the tail of every Barrier crossing: if the schedule
+// has events due at this crossing count, all compute ranks rendezvous
+// here and the last arrival executes the transitions while the cluster
+// is provably quiescent.
+func (tp *Proc) maybeChurn() {
+	c := tp.cluster
+	m := c.member
+	if m == nil || len(c.cfg.Membership.Schedule) == 0 {
+		return
+	}
+	crossing := int(tp.stats.Barriers)
+	due := false
+	for _, ev := range c.cfg.Membership.Schedule {
+		if ev.AtBarrier == crossing {
+			due = true
+			break
+		}
+	}
+	if !due {
+		return
+	}
+	seq := m.fenceSeq
+	m.fenceCount++
+	if m.fenceCount < c.w {
+		tp.blockedOn = fmt.Sprintf("membership fence (barrier crossing %d, epoch %d)", crossing, m.epoch)
+		for m.fenceSeq == seq {
+			tp.sp.WaitOn(m.fenceCond)
+		}
+		tp.blockedOn = ""
+		return
+	}
+	m.fenceCount = 0
+	c.runChurn(tp, crossing)
+	m.fenceSeq++
+	m.fenceCond.Broadcast()
+}
+
+// runChurn executes every event due at this crossing, bumps the view
+// epoch, and pushes the new view to the quiesced compute ranks (extras
+// converge via the heartbeat piggyback).
+func (c *Cluster) runChurn(leader *Proc, crossing int) {
+	m := c.member
+	for _, ev := range c.cfg.Membership.Schedule {
+		if ev.AtBarrier != crossing {
+			continue
+		}
+		c.sim.Tracef("tmk: membership: %s rank %d at crossing %d (epoch %d)", ev.Kind, ev.Rank, crossing, m.epoch)
+		if tr := c.sim.Tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(c.sim.Now()), Layer: trace.LayerTMK,
+				Kind: "member-" + ev.Kind, Proc: leader.rank, Peer: ev.Rank})
+		}
+		switch ev.Kind {
+		case "join":
+			c.churnJoin(leader, ev.Rank)
+		case "leave":
+			c.churnLeave(leader, ev.Rank)
+		case "crash":
+			c.churnCrash(leader, ev.Rank)
+		default:
+			panic(fmt.Sprintf("tmk: unknown churn event kind %q", ev.Kind))
+		}
+	}
+	m.epoch++
+	for r := 0; r < c.w; r++ {
+		p := c.procs[r]
+		p.viewEpoch = m.epoch
+		p.viewLive = m.live
+		p.viewInRing = m.inRing
+	}
+}
+
+// liveLockIDs enumerates every lock id materialized anywhere on a live
+// rank, sorted (placement decisions must not depend on map order).
+func (c *Cluster) liveLockIDs() []int32 {
+	seen := make(map[int32]bool)
+	for r, tp := range c.procs {
+		if tp == nil || !c.member.isLive(r) {
+			continue
+		}
+		for id := range tp.locks {
+			seen[id] = true
+		}
+	}
+	ids := make([]int32, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// churnJoin admits a standby extra to the ring. The joiner captures
+// exactly the entities whose ring position it now succeeds — a bounded
+// ~1/(members+1) arc — and each captured entity's manager state is
+// serialized, shipped, and restored before any rank resumes. The barrier
+// root never moves on a join (roots must cross barriers; extras do not).
+func (c *Cluster) churnJoin(leader *Proc, r int) {
+	m := c.member
+	if r < c.w || r >= c.n {
+		panic(fmt.Sprintf("tmk: join of rank %d: not a standby extra", r))
+	}
+	if !m.isLive(r) || m.isInRing(r) {
+		panic(fmt.Sprintf("tmk: join of rank %d: not live or already in ring", r))
+	}
+	m.inRing |= 1 << uint(r)
+	pts := ringPointsFor(m.members(c.n, nil))
+	for _, id := range c.liveLockIDs() {
+		e := entityKey{entLock, id}
+		if succOn(pts, e.hash()) == r && c.placeLock(id) != r {
+			c.handoffLock(leader, id, c.placeLock(id), r)
+		}
+	}
+	if c.cfg.HomeBased {
+		for pg := int32(0); pg < c.nextPage; pg++ {
+			e := entityKey{entPage, pg}
+			if succOn(pts, e.hash()) == r && c.placePage(pg) != r {
+				c.handoffPage(leader, pg, c.placePage(pg), r)
+			}
+		}
+	}
+	leader.stats.MemberJoins++
+}
+
+// churnLeave removes a rank from the ring and re-places every entity it
+// owned. A compute rank keeps running (it merely sheds its manager
+// roles); an extra departs entirely — state is handed off from its
+// still-reachable memory, then it is killed and every survivor purges
+// its per-peer transport state.
+func (c *Cluster) churnLeave(leader *Proc, r int) {
+	m := c.member
+	if !m.isLive(r) || !m.isInRing(r) {
+		panic(fmt.Sprintf("tmk: leave of rank %d: not a live ring member", r))
+	}
+	m.inRing &^= 1 << uint(r)
+	c.replaceEntitiesOf(leader, r, false)
+	if r >= c.w {
+		c.departRank(r)
+	}
+	leader.stats.MemberLeaves++
+}
+
+// churnCrash handles a scheduled extra death: the rank is declared dead,
+// only its entities are re-placed — locks from the surviving token
+// census, page homes rebuilt from every live writer's retained diffs —
+// and the run continues. The substrates' heartbeat detectors notice the
+// silence shortly after and find the membership layer already converged
+// (handleCrash's membership branch counts the detection and stands down
+// instead of tearing the generation down).
+func (c *Cluster) churnCrash(leader *Proc, r int) {
+	m := c.member
+	if r < c.w || r >= c.n {
+		panic(fmt.Sprintf("tmk: crash of rank %d: only standby extras crash under membership", r))
+	}
+	if !m.isLive(r) {
+		panic(fmt.Sprintf("tmk: crash of rank %d: already dead", r))
+	}
+	m.live &^= 1 << uint(r)
+	m.inRing &^= 1 << uint(r)
+	c.replaceEntitiesOf(leader, r, true)
+	c.departRank(r)
+	leader.stats.MemberCrashes++
+	leader.stats.MemberPartialRecoveries++
+}
+
+// departRank kills a departing/dead extra and purges its per-peer state
+// (duplicate caches, pending calls) on every survivor, so a later joiner
+// reusing the rank id can never match a stale (origin, seq) entry.
+func (c *Cluster) departRank(r int) {
+	if tp := c.procs[r]; tp != nil {
+		tp.sp.Kill()
+	}
+	for q, tp := range c.procs {
+		if tp == nil || q == r || !c.member.isLive(q) {
+			continue
+		}
+		if mc, ok := tp.tr.(substrate.MemberControl); ok {
+			mc.ForgetPeer(r)
+		}
+	}
+}
+
+// replaceEntitiesOf re-places every entity currently owned by rank r.
+// With rebuild set (crash), page homes are reconstructed from surviving
+// writers' diffs instead of copied from r's memory.
+func (c *Cluster) replaceEntitiesOf(leader *Proc, r int, rebuild bool) {
+	m := c.member
+	anyPts := ringPointsFor(m.members(c.n, nil))
+	extraPts := ringPointsFor(m.members(c.n, func(q int) bool { return q >= c.w }))
+	computePts := ringPointsFor(m.members(c.n, func(q int) bool { return q < c.w }))
+
+	for _, id := range c.liveLockIDs() {
+		if c.placeLock(id) != r {
+			continue
+		}
+		to := succOn(anyPts, entityKey{entLock, id}.hash())
+		if to < 0 {
+			panic("tmk: membership: no live ring member to take lock " + fmt.Sprint(id))
+		}
+		if rebuild {
+			c.recoverLock(leader, id, r, to)
+		} else {
+			c.handoffLock(leader, id, r, to)
+		}
+	}
+	if c.cfg.HomeBased {
+		for pg := int32(0); pg < c.nextPage; pg++ {
+			if c.placePage(pg) != r {
+				continue
+			}
+			to := succOn(extraPts, entityKey{entPage, pg}.hash())
+			if to < 0 {
+				panic(fmt.Sprintf("tmk: membership: no in-ring extra to take page %d's home "+
+					"(home re-placement requires a live joined extra)", pg))
+			}
+			if rebuild {
+				c.recoverPage(leader, pg, to)
+			} else {
+				c.handoffPage(leader, pg, r, to)
+			}
+		}
+	}
+	if c.placeRoot() == r {
+		to := succOn(computePts, entityKey{entRoot, 0}.hash())
+		if to < 0 {
+			panic("tmk: membership: no compute rank to take the barrier root")
+		}
+		m.owner[entityKey{entRoot, 0}] = to
+		leader.stats.MemberHandoffRoots++
+		c.sim.Tracef("tmk: membership: barrier root %d -> %d", r, to)
+	}
+}
+
+// handoffLock ships a lock's manager state (its chain tail — at a
+// quiesced fence the tail is the token holder) from the old manager to
+// the new one through the wire codec, charging the leader for the bytes.
+func (c *Cluster) handoffLock(leader *Proc, id int32, from, to int) {
+	fp := c.procs[from]
+	ols := fp.locks[id]
+	if ols == nil {
+		// The manager role was never exercised: the token still sits here
+		// lazily. Materialize it so the recorded tail is authoritative.
+		ols = &lockState{id: id, haveToken: true, tail: from}
+		fp.locks[id] = ols
+	}
+	if len(ols.waiters) > 0 {
+		panic(fmt.Sprintf("tmk: lock %d handoff with %d queued waiters (fence not quiescent)", id, len(ols.waiters)))
+	}
+	frame := encodeHandoff(handoffFrame{kind: entLock, id: id, tail: int32(ols.tail)})
+	c.applyLockHandoff(leader, to, frame)
+	c.member.owner[entityKey{entLock, id}] = to
+	c.sim.Tracef("tmk: membership: lock %d manager %d -> %d (tail %d)", id, from, to, ols.tail)
+}
+
+// recoverLock re-places a dead manager's lock from surviving state: the
+// token census. Extras never acquire locks, so the token is always held
+// (or lazily parked) at some live rank; the new manager's chain tail is
+// wherever the census finds it.
+func (c *Cluster) recoverLock(leader *Proc, id int32, dead, to int) {
+	tail := -1
+	for q, tp := range c.procs {
+		if tp == nil || q == dead || !c.member.isLive(q) {
+			continue
+		}
+		if ls := tp.locks[id]; ls != nil && ls.haveToken {
+			tail = q
+			break
+		}
+	}
+	if tail < 0 {
+		// No live rank has materialized the token: it was never granted
+		// away from the original static manager, which is a compute rank
+		// (dead managers are extras) — park the tail there.
+		tail = int(id) % c.w
+		sp := c.procs[tail]
+		if sp.locks[id] == nil {
+			sp.locks[id] = &lockState{id: id, haveToken: true, tail: tail}
+		}
+	}
+	frame := encodeHandoff(handoffFrame{kind: entLock, id: id, tail: int32(tail)})
+	c.applyLockHandoff(leader, to, frame)
+	c.member.owner[entityKey{entLock, id}] = to
+	c.sim.Tracef("tmk: membership: lock %d recovered from dead manager %d -> %d (token at %d)", id, dead, to, tail)
+}
+
+// applyLockHandoff decodes a lock handoff at the new manager. Only the
+// chain tail is adopted: token/held/waiters are the new manager's own
+// local state (it may itself be the token holder).
+func (c *Cluster) applyLockHandoff(leader *Proc, to int, frame []byte) {
+	f, err := decodeHandoff(frame)
+	if err != nil || f.kind != entLock {
+		panic(fmt.Sprintf("tmk: lock handoff frame: %v", err))
+	}
+	np := c.procs[to]
+	nls := np.locks[f.id]
+	if nls == nil {
+		nls = &lockState{id: f.id}
+		np.locks[f.id] = nls
+	}
+	nls.tail = int(f.tail)
+	leader.sp.Advance(sim.BytesTime(len(frame), leader.cpu.MemcpyBandwidth))
+	leader.stats.MemberHandoffLocks++
+	leader.stats.MemberHandoffBytes += int64(len(frame))
+}
+
+// handoffPage ships a page home's window image to the new home (always a
+// joined extra) through the wire codec.
+func (c *Cluster) handoffPage(leader *Proc, pg int32, from, to int) {
+	fp := c.procs[from]
+	pm := fp.pages[pg]
+	if pm == nil || !pm.haveCopy {
+		panic(fmt.Sprintf("tmk: page %d handoff: old home %d has no copy", pg, from))
+	}
+	frame := encodeHandoff(handoffFrame{kind: entPage, id: pg, data: pm.data})
+	c.applyPageHandoff(leader, pg, to, frame)
+	c.sim.Tracef("tmk: membership: page %d home %d -> %d", pg, from, to)
+}
+
+// recoverPage rebuilds a dead home's page at the new home from zeros
+// plus every live writer's retained diffs, applied in the same
+// happens-before linear extension the homeless protocol uses. Pages
+// start zeroed and all application content flows through the twin/diff
+// machinery, so the replay reproduces the lost window exactly.
+func (c *Cluster) recoverPage(leader *Proc, pg int32, to int) {
+	type replayDiff struct {
+		sum  int64
+		proc int32
+		ts   int32
+		data []byte
+	}
+	var diffs []replayDiff
+	for q, tp := range c.procs {
+		if tp == nil || !c.member.isLive(q) {
+			continue
+		}
+		for key, d := range tp.myDiffs {
+			if key.page != pg {
+				continue
+			}
+			rec := tp.store.get(int32(q), key.ts)
+			if rec == nil {
+				panic(fmt.Sprintf("tmk: rank %d diff page %d ts %d with no interval record", q, pg, key.ts))
+			}
+			diffs = append(diffs, replayDiff{sum: rec.vc.Sum(), proc: int32(q), ts: key.ts, data: d})
+		}
+	}
+	sort.Slice(diffs, func(i, j int) bool {
+		a, b := diffs[i], diffs[j]
+		if a.sum != b.sum {
+			return a.sum < b.sum
+		}
+		if a.proc != b.proc {
+			return a.proc < b.proc
+		}
+		return a.ts < b.ts
+	})
+	buf := make([]byte, PageSize)
+	for _, d := range diffs {
+		if err := ApplyDiff(buf, d.data); err != nil {
+			panic(fmt.Sprintf("tmk: page %d rebuild: %v", pg, err))
+		}
+		leader.sp.Advance(sim.BytesTime(len(d.data), leader.cpu.MemcpyBandwidth))
+		leader.stats.MemberDiffsReplayed++
+	}
+	frame := encodeHandoff(handoffFrame{kind: entPage, id: pg, data: buf})
+	c.applyPageHandoff(leader, pg, to, frame)
+	c.sim.Tracef("tmk: membership: page %d rebuilt at %d from %d surviving diffs", pg, to, len(diffs))
+}
+
+// applyPageHandoff decodes a page handoff at the new home: the image
+// lands in the home's registered window (readers' Gets serve from it
+// immediately) and the page is marked resident. Extras never receive
+// intervals, so a home page on an extra is never invalidated — exactly
+// the HLRC home discipline.
+func (c *Cluster) applyPageHandoff(leader *Proc, pg int32, to int, frame []byte) {
+	f, err := decodeHandoff(frame)
+	if err != nil || f.kind != entPage {
+		panic(fmt.Sprintf("tmk: page handoff frame: %v", err))
+	}
+	np := c.procs[to]
+	pm := np.pages[pg]
+	if pm == nil {
+		panic(fmt.Sprintf("tmk: page %d handoff: new home %d has not mapped the region", pg, to))
+	}
+	copy(pm.data, f.data)
+	pm.haveCopy = true
+	if pm.state == pageInvalid {
+		pm.state = pageReadOnly
+	}
+	leader.sp.Advance(sim.BytesTime(len(frame), leader.cpu.MemcpyBandwidth))
+	leader.stats.MemberHandoffPages++
+	leader.stats.MemberHandoffBytes += int64(len(frame))
+	c.member.owner[entityKey{entPage, pg}] = to
+}
+
+// validateMembership checks the configuration at cluster assembly.
+func validateMembership(cfg *Config) {
+	mc := cfg.Membership
+	if !mc.Enabled {
+		if mc.Extra > 0 || len(mc.Schedule) > 0 {
+			panic("tmk: Membership.Extra/Schedule without Membership.Enabled")
+		}
+		return
+	}
+	if mc.Extra < 0 {
+		panic("tmk: negative Membership.Extra")
+	}
+	total := cfg.Procs + mc.Extra
+	if total > 64 {
+		panic(fmt.Sprintf("tmk: membership supports at most 64 ranks, got %d", total))
+	}
+	if cfg.BarrierFanout >= 2 {
+		panic("tmk: membership requires the flat barrier (BarrierFanout < 2): the ring re-places a single root")
+	}
+	if cfg.Crash.Checkpoint {
+		panic("tmk: membership and checkpoint/restart are mutually exclusive recovery models")
+	}
+	joined := make(map[int]bool)
+	gone := make(map[int]bool)
+	for _, ev := range mc.Schedule {
+		if ev.AtBarrier < 1 {
+			panic(fmt.Sprintf("tmk: churn event %q rank %d: AtBarrier must be ≥ 1", ev.Kind, ev.Rank))
+		}
+		switch ev.Kind {
+		case "join":
+			if ev.Rank < cfg.Procs || ev.Rank >= total {
+				panic(fmt.Sprintf("tmk: join of rank %d: not a standby extra", ev.Rank))
+			}
+			if joined[ev.Rank] || gone[ev.Rank] {
+				panic(fmt.Sprintf("tmk: rank %d joins twice or after departing", ev.Rank))
+			}
+			joined[ev.Rank] = true
+		case "leave":
+			if ev.Rank == 0 {
+				panic("tmk: rank 0 cannot leave (it is the collective allocator)")
+			}
+			if ev.Rank >= cfg.Procs && !joined[ev.Rank] {
+				panic(fmt.Sprintf("tmk: leave of extra %d before it joined", ev.Rank))
+			}
+			if gone[ev.Rank] {
+				panic(fmt.Sprintf("tmk: rank %d departs twice", ev.Rank))
+			}
+			if ev.Rank >= cfg.Procs {
+				gone[ev.Rank] = true
+			}
+		case "crash":
+			if ev.Rank < cfg.Procs || ev.Rank >= total {
+				panic(fmt.Sprintf("tmk: crash of rank %d: only standby extras crash under membership", ev.Rank))
+			}
+			if !joined[ev.Rank] || gone[ev.Rank] {
+				panic(fmt.Sprintf("tmk: crash of extra %d before joining or after departing", ev.Rank))
+			}
+			gone[ev.Rank] = true
+		default:
+			panic(fmt.Sprintf("tmk: unknown churn event kind %q", ev.Kind))
+		}
+	}
+}
+
+// MemberReport summarizes the membership layer's end state for a Result.
+type MemberReport struct {
+	Epoch  int32  // view epochs advanced (= fences executed)
+	Live   uint64 // final live bitmap
+	InRing uint64 // final ring bitmap
+	Moves  int    // entities whose placement moved off the static base
+	// ViewEpochs is each rank's final view epoch (−1 for departed ranks);
+	// the churn harness asserts every live rank converged.
+	ViewEpochs []int32
+}

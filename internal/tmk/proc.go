@@ -16,7 +16,8 @@ import (
 type Proc struct {
 	cluster *Cluster
 	rank    int
-	n       int
+	n       int // total ranks (compute + standby extras): VC width, peers
+	w       int // compute ranks: app partitioning, barriers, static placement
 	sp      *sim.Proc
 	tr      substrate.Transport
 	cpu     CPUParams
@@ -46,6 +47,12 @@ type Proc struct {
 	appStart sim.Time
 	appEnd   sim.Time
 
+	// Elastic-membership view (see membership.go): epoch-stamped live and
+	// ring bitmaps, pushed at fences and adopted from heartbeat frames.
+	viewEpoch  int32
+	viewLive   uint64
+	viewInRing uint64
+
 	// Crash model (see crash.go / checkpoint.go).
 	gen           int    // process generation (0 = original, ≥1 = restarted)
 	resumeEpoch   int    // EpochLoop skips epochs below this after restore
@@ -57,8 +64,9 @@ type Proc struct {
 // Rank returns this process's rank.
 func (tp *Proc) Rank() int { return tp.rank }
 
-// NProcs returns the number of processes in the run.
-func (tp *Proc) NProcs() int { return tp.n }
+// NProcs returns the number of compute processes the application is
+// partitioned over (standby extras from the membership layer excluded).
+func (tp *Proc) NProcs() int { return tp.w }
 
 // Sim returns the underlying simulated process (for Compute/Now).
 func (tp *Proc) Sim() *sim.Proc { return tp.sp }
@@ -83,6 +91,7 @@ func newProc(c *Cluster, rank int, sp *sim.Proc, tr substrate.Transport, cpu CPU
 		cluster:       c,
 		rank:          rank,
 		n:             c.n,
+		w:             c.w,
 		sp:            sp,
 		tr:            tr,
 		cpu:           cpu,

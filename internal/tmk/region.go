@@ -85,17 +85,20 @@ func (tp *Proc) Distribute(r *Region) {
 }
 
 // AllocShared is the collective convenience used by SPMD applications:
-// every process calls it at the same point; rank 0 allocates and
-// distributes, everyone returns the same region.
+// every process calls it at the same point; the collective leader — the
+// ring-placed barrier root, rank 0 in a static cluster — allocates and
+// distributes, everyone returns the same region. The stall message names
+// the current leader from the ring view, not a hard-coded rank.
 func (tp *Proc) AllocShared(nbytes int) *Region {
-	if tp.rank == 0 {
+	leader := tp.barrierRoot()
+	if tp.rank == leader {
 		r := tp.Alloc(nbytes)
 		tp.Distribute(r)
 		return r
 	}
 	want := tp.expectRegion
 	tp.expectRegion++
-	tp.blockedOn = fmt.Sprintf("region %d (awaiting distribute from rank 0)", want)
+	tp.blockedOn = fmt.Sprintf("region %d (awaiting distribute from rank %d)", want, leader)
 	for tp.regions[want] == nil || (tp.homeBased && !tp.regions[want].committed) {
 		tp.sp.WaitOn(tp.regionCond)
 	}
@@ -129,8 +132,8 @@ func (tp *Proc) mapRegion(r *Region, owned bool) {
 		}
 		tp.pages[pg] = pm
 	}
-	if tp.rank == 0 && !owned {
-		// Rank 0 learned a region distributed by someone else.
+	if tp.rank == tp.barrierRoot() && !owned {
+		// The collective leader learned a region distributed by someone else.
 		tp.expectRegion = r.ID + 1
 	}
 	// Replay write notices from intervals learned before the region was

@@ -53,6 +53,21 @@ type Stats struct {
 	HomeFetches    int64 // read faults served by a one-sided home page read
 	HomeFetchBytes int64 // page bytes RDMA-read from homes
 
+	// Elastic-membership counters (zero unless Config.Membership.Enabled;
+	// DESIGN.md §14). Handoff counters are charged to the fence leader.
+	MemberJoins             int64 // ring admissions executed
+	MemberLeaves            int64 // ring departures executed
+	MemberCrashes           int64 // scheduled rank deaths executed
+	MemberPartialRecoveries int64 // crash recoveries that re-placed only the dead rank's entities
+	MemberDeadDetections    int64 // heartbeat detectors that found membership already converged
+	MemberHandoffLocks      int64 // lock managers shipped to a new owner
+	MemberHandoffPages      int64 // page homes shipped or rebuilt at a new owner
+	MemberHandoffRoots      int64 // barrier-root re-placements
+	MemberHandoffBytes      int64 // serialized handoff frame bytes
+	MemberDiffsReplayed     int64 // surviving diffs replayed into rebuilt home pages
+	MemberViewsHeard        int64 // membership views received on heartbeat frames
+	MemberViewAdopts        int64 // strictly newer views adopted from a heartbeat
+
 	LockWait    sim.Time
 	BarrierWait sim.Time
 	FaultTime   sim.Time

@@ -67,6 +67,17 @@ type (
 	// StallError is returned when a run stalls on unreachable peers
 	// without an armed crash model (e.g. transport retry exhaustion).
 	StallError = tmk.StallError
+	// MemberConfig arms the elastic-membership layer: protocol entities
+	// placed on a consistent-hashed ring of live ranks, standby extras
+	// joining/leaving at barrier fences with bounded handoff, and partial
+	// recovery of a crashed rank's entities with no generation restart.
+	MemberConfig = tmk.MemberConfig
+	// ChurnEvent is one scheduled membership transition ("join", "leave",
+	// or "crash" of a rank at a barrier crossing).
+	ChurnEvent = tmk.ChurnEvent
+	// MemberReport summarizes a run's membership outcome: final fence
+	// epoch, live/ring bitmaps, placement moves, per-rank view epochs.
+	MemberReport = tmk.MemberReport
 )
 
 // The two substrates the paper evaluates.
