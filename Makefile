@@ -6,11 +6,11 @@ GO       ?= go
 FUZZTIME ?= 5s
 BENCHDIR ?= .
 
-.PHONY: all check fmt vet build test race fuzz-smoke bench bench-diff bench-gate prof-smoke chaos-smoke crash-smoke churn-smoke rdma-smoke critical-smoke
+.PHONY: all check fmt vet build test race fuzz-smoke bench bench-diff bench-gate prof-smoke chaos-smoke crash-smoke churn-smoke rdma-smoke critical-smoke flow-smoke
 
 all: check
 
-check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke crash-smoke churn-smoke rdma-smoke critical-smoke bench bench-diff bench-gate
+check: fmt vet build test race fuzz-smoke prof-smoke chaos-smoke crash-smoke churn-smoke rdma-smoke critical-smoke flow-smoke bench bench-diff bench-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -36,6 +36,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDiffRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/tmk/
 	$(GO) test -run '^$$' -fuzz '^FuzzMemberFrame$$' -fuzztime $(FUZZTIME) ./internal/tmk/
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleAsyncFrame$$' -fuzztime $(FUZZTIME) ./internal/substrate/fastgm/
+	$(GO) test -run '^$$' -fuzz '^FuzzCreditFrame$$' -fuzztime $(FUZZTIME) ./internal/substrate/fastgm/
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleVerbFrame$$' -fuzztime $(FUZZTIME) ./internal/substrate/rdmagm/
 	$(GO) test -run '^$$' -fuzz '^FuzzHandleCompletion$$' -fuzztime $(FUZZTIME) ./internal/substrate/rdmagm/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeCtx$$' -fuzztime $(FUZZTIME) ./internal/trace/
@@ -86,6 +87,13 @@ rdma-smoke:
 # a removed row is a failure. Unlike bench-diff, violations exit nonzero.
 bench-gate:
 	$(GO) run ./cmd/bench -gate -out $(BENCHDIR)
+
+# Overload-resilience smoke: the 64-node incast storm on all three
+# substrates with credit flow control on — every frame delivered, the
+# pressure absorbed as sender-side credit stalls, zero parked frames /
+# socket drops / GM send timeouts / disabled ports (DESIGN.md §15).
+flow-smoke:
+	$(GO) run ./cmd/tmkrun -incast
 
 # Quick end-to-end run of the protocol-entity profiler (small sizes).
 prof-smoke:

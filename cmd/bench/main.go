@@ -1,7 +1,8 @@
 // Command bench runs the deterministic performance suites (E0 netperf,
 // E1 microbenchmarks, E2 application sweep, E3 one-sided vs two-sided
-// substrate comparison, churn membership cost) and writes each as a
-// machine-readable BENCH_<suite>.json (schema tmk-bench/1). The
+// substrate comparison, churn membership cost, flow overload-resilience
+// cost) and writes each as a machine-readable BENCH_<suite>.json
+// (schema tmk-bench/1). The
 // simulations are deterministic, so rerunning on the same tree
 // reproduces every file byte-identically — any diff between commits is a
 // real performance change, not noise.
@@ -23,7 +24,7 @@
 //
 // Usage:
 //
-//	bench [-suite all|e0|e1|e2|e3|churn] [-out DIR] [-diff] [-gate]
+//	bench [-suite all|e0|e1|e2|e3|churn|flow] [-out DIR] [-diff] [-gate]
 //	      [-gate-rel 0.02] [-gate-abs-ns 500] [-trace-cap N]
 package main
 
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	suite := flag.String("suite", "all", "which suite to run: e0, e1, e2, e3, churn, all")
+	suite := flag.String("suite", "all", "which suite to run: e0, e1, e2, e3, churn, flow, all")
 	out := flag.String("out", ".", "directory to write BENCH_<suite>.json into")
 	diff := flag.Bool("diff", false, "compare regenerated suites against the checked-in files in -out instead of writing")
 	gate := flag.Bool("gate", false, "regression gate: fail unless every regenerated row is within tolerance of the checked-in files in -out")

@@ -6,10 +6,12 @@
 // Usage:
 //
 //	tmkrun -app jacobi -nodes 16 -transport fastgm [-size 2] [-verify]
-//	       [-seed N] [-homeless] [-prof] [-prof-json profile.json] [-trace-cap N]
+//	       [-flow] [-hedge] [-seed N] [-homeless] [-prof]
+//	       [-prof-json profile.json] [-trace-cap N]
 //	tmkrun -chaos [-seed N] [-nodes 4]
 //	tmkrun -crash [-seed N] [-nodes 4]
 //	tmkrun -churn [-seed N] [-nodes 4]
+//	tmkrun -incast [-seed N] [-nodes 64]
 //
 // -prof attaches the protocol-entity profiler and prints the per-page /
 // per-lock / per-barrier attribution tables and the page×epoch heatmap,
@@ -38,6 +40,20 @@
 // four applications over all three substrates, verifying bit-correct
 // results, bounded partial recovery (no generation restart), converged
 // membership views, determinism, and zero-churn identity.
+//
+// -incast runs the overload-resilience storm: every peer blasts a burst
+// of largest-class frames at rank 0 while it is briefly masked, on all
+// three substrates with credit flow control on, asserting that every
+// frame is delivered and the pressure is absorbed as sender-side credit
+// stalls — zero parked frames, zero socket drops, zero GM send timeouts,
+// zero disabled ports. -nodes sets the storm's cluster size.
+//
+// -flow and -hedge arm the overload-resilience machinery on a normal
+// application run: -flow enables end-to-end credit flow control (plus
+// the read-fault admission limiter and barrier-epoch metadata GC on the
+// transports that support it stays opt-in via the library), -hedge
+// enables hedged re-issues of straggling remote requests. Both default
+// off; an armed run's statistics show the credit/hedge counters.
 package main
 
 import (
@@ -64,6 +80,9 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the chaos sweep (all apps × transports on a lossy fabric)")
 	crash := flag.Bool("crash", false, "run the crash-tolerance sweep (rank death: checkpoint/restart + coordinated abort)")
 	churn := flag.Bool("churn", false, "run the membership churn sweep (join/leave/crash at barrier fences, all apps × substrates)")
+	incast := flag.Bool("incast", false, "run the incast overload storm (N-1 senders blast rank 0, credit flow control on)")
+	flow := flag.Bool("flow", false, "enable end-to-end credit flow control on the run")
+	hedge := flag.Bool("hedge", false, "enable hedged re-issues of straggling remote requests")
 	profFlag := flag.Bool("prof", false, "attach the protocol-entity profiler and print its tables")
 	profJSON := flag.String("prof-json", "", "write the entity profile as JSON (implies -prof)")
 	traceCap := flag.Int("trace-cap", 0, "event ring capacity for the -prof breakdown (0 = default)")
@@ -114,6 +133,21 @@ func main() {
 		return
 	}
 
+	if *incast {
+		spec := harness.DefaultIncastSpec()
+		spec.Seed = *seed
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "nodes" {
+				spec.Nodes = *nodes
+			}
+		})
+		if err := harness.Incast(os.Stdout, spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var app apps.App
 	if *sizeIdx >= 0 {
 		ladder := harness.SizeLadder(*appName)
@@ -149,6 +183,8 @@ func main() {
 		if *homeless {
 			cfg.HomeBased = false
 		}
+		cfg.Flow.Enabled = *flow
+		cfg.Hedge.Enabled = *hedge
 	}
 	run := harness.RunApp
 	if *verify {

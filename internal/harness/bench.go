@@ -408,6 +408,7 @@ func BenchGens() []BenchGen {
 		{"e2", func() (*BenchSuite, error) { return BenchE2([]int{2, 4, 8}) }},
 		{"e3", BenchE3},
 		{"churn", BenchChurn},
+		{"flow", BenchFlow},
 	}
 }
 

@@ -97,8 +97,9 @@ func Chaos(w io.Writer, spec ChaosSpec) error {
 	fprintf(w, "Chaos sweep: %d nodes, seed %d, drop %.3f corrupt %.3f delay %.3f/%v, blackout →0 [%v,%v)\n\n",
 		spec.Nodes, spec.Seed, spec.Drop, spec.Corrupt, spec.DelayProb, spec.DelayMax,
 		spec.BlackoutFrom, spec.BlackoutTo)
-	fprintf(w, "%-8s %-7s %12s %7s %5s %6s %6s %7s %7s %5s\n",
-		"app", "tport", "time", "drop", "crc", "blkout", "retx", "gmretx", "resumes", "dups")
+	fprintf(w, "%-8s %-7s %12s %7s %5s %6s %6s %7s %7s %5s %6s %5s %5s\n",
+		"app", "tport", "time", "drop", "crc", "blkout", "retx", "gmretx", "resumes", "dups",
+		"parked", "sdrop", "stale")
 
 	for _, app := range chaosApps() {
 		for _, kind := range Transports {
@@ -107,10 +108,11 @@ func Chaos(w io.Writer, spec ChaosSpec) error {
 				return fmt.Errorf("chaos: %s/%s: %w", app.Name(), kind, err)
 			}
 			nf := res.NetFaults
-			fprintf(w, "%-8s %-7s %12v %7d %5d %6d %6d %7d %7d %5d\n",
+			fprintf(w, "%-8s %-7s %12v %7d %5d %6d %6d %7d %7d %5d %6d %5d %5d\n",
 				app.Name(), kind, res.ExecTime, nf.Dropped, nf.CRCDrops, nf.Blackout,
 				res.Transport.Retransmits, res.Transport.GMRetransmits,
-				res.Transport.PortResumes, res.Transport.DupRequests)
+				res.Transport.PortResumes, res.Transport.DupRequests,
+				res.ParkedFrames, res.SocketDrops, res.Transport.StaleReplies)
 
 			if faultsHit := nf.Dropped + nf.CRCDrops + nf.Blackout; faultsHit == 0 {
 				return fmt.Errorf("chaos: %s/%s: fault layer injected nothing (weak scenario)", app.Name(), kind)

@@ -94,8 +94,9 @@ func Churn(w io.Writer, spec ChurnSpec) error {
 	joins, leaves, crashes, epoch := spec.expect()
 	fprintf(w, "Churn sweep: %d nodes + %d standby, seed %d, %d events (%d join / %d leave / %d crash)\n\n",
 		spec.Nodes, spec.Extra, spec.Seed, len(spec.Schedule), joins, leaves, crashes)
-	fprintf(w, "%-8s %-7s %12s %6s %6s %6s %6s %6s %6s %6s %8s %7s\n",
-		"app", "tport", "time", "epoch", "joins", "leaves", "crash", "recov", "hlock", "hpage", "hbytes", "replay")
+	fprintf(w, "%-8s %-7s %12s %6s %6s %6s %6s %6s %6s %6s %8s %7s %6s %5s\n",
+		"app", "tport", "time", "epoch", "joins", "leaves", "crash", "recov", "hlock", "hpage", "hbytes", "replay",
+		"parked", "sdrop")
 
 	for _, app := range chaosApps() {
 		for _, kind := range AllTransports {
@@ -108,10 +109,11 @@ func Churn(w io.Writer, spec ChurnSpec) error {
 			if m == nil {
 				return fmt.Errorf("churn: %s/%s: no membership report", app.Name(), kind)
 			}
-			fprintf(w, "%-8s %-7s %12v %6d %6d %6d %6d %6d %6d %6d %8d %7d\n",
+			fprintf(w, "%-8s %-7s %12v %6d %6d %6d %6d %6d %6d %6d %8d %7d %6d %5d\n",
 				app.Name(), kind, res.ExecTime, m.Epoch,
 				st.MemberJoins, st.MemberLeaves, st.MemberCrashes, st.MemberPartialRecoveries,
-				st.MemberHandoffLocks, st.MemberHandoffPages, st.MemberHandoffBytes, st.MemberDiffsReplayed)
+				st.MemberHandoffLocks, st.MemberHandoffPages, st.MemberHandoffBytes, st.MemberDiffsReplayed,
+				res.ParkedFrames, res.SocketDrops)
 
 			// Invariant 2: the crash stayed a partial recovery.
 			if res.Crash != nil {

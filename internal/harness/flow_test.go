@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+	"repro/internal/substrate"
+	"repro/internal/tmk"
+)
+
+// TestFlowOffBitIdentity holds the overload machinery to its inertness
+// contract: a configuration that carries the full flow / hedge /
+// admission / metadata-GC structure with every Enabled flag false — the
+// knobs plumbed straight into the substrate configs so their inert code
+// paths run — is bit-identical to a configuration without the knobs at
+// all, for every application, substrate, and cluster size.
+func TestFlowOffBitIdentity(t *testing.T) {
+	for _, app := range chaosApps() {
+		for _, kind := range AllTransports {
+			for _, n := range []int{2, 4, 8} {
+				base, err := RunApp(app, n, kind, func(cfg *tmk.Config) { cfg.Seed = 1 })
+				if err != nil {
+					t.Fatalf("%s/%s/n=%d base: %v", app.Name(), kind, n, err)
+				}
+				off, err := RunApp(app, n, kind, func(cfg *tmk.Config) {
+					cfg.Seed = 1
+					fl := substrate.FlowConfig{CreditTimeout: 100 * sim.Millisecond}
+					hd := substrate.HedgeConfig{MinDeadline: sim.Millisecond, LatencyScale: 2}
+					cfg.UDP.Flow, cfg.UDP.Hedge = fl, hd
+					cfg.Fast.Flow, cfg.Fast.Hedge = fl, hd
+					cfg.RDMA.Fast.Flow, cfg.RDMA.Fast.Hedge = fl, hd
+					cfg.Admission = tmk.AdmissionConfig{MaxOutstanding: 2, HighWater: 1}
+					cfg.MetaGC = tmk.MetaGCConfig{HighWater: 1}
+				})
+				if err != nil {
+					t.Fatalf("%s/%s/n=%d off: %v", app.Name(), kind, n, err)
+				}
+				if err := sameResult(base, off); err != nil {
+					t.Errorf("%s/%s/n=%d: disabled overload knobs perturbed the run: %v",
+						app.Name(), kind, n, err)
+				}
+			}
+		}
+	}
+}
+
+// TestHedgeUnderChaosDeterminism: flow control, hedging, and admission
+// control armed together on a lossy fabric. Hedged duplicates ride the
+// (origin, seq) duplicate filter, credit refreshes repair lost credit
+// frames, and the pressure EWMA reacts to retransmission noise — and the
+// whole stack must stay a deterministic function of the seed: the same
+// configuration twice is bit-identical, and every application still
+// verifies against its sequential reference.
+func TestHedgeUnderChaosDeterminism(t *testing.T) {
+	spec := DefaultChaosSpec()
+	mutate := func(cfg *tmk.Config) {
+		spec.Mutate(cfg)
+		cfg.Flow.Enabled = true
+		cfg.Hedge.Enabled = true
+		cfg.Admission.Enabled = true
+	}
+	var hedged, stalls int64
+	for _, app := range chaosApps() {
+		for _, kind := range AllTransports {
+			a, err := VerifiedRun(app, spec.Nodes, kind, mutate)
+			if err != nil {
+				t.Fatalf("%s/%s run A: %v", app.Name(), kind, err)
+			}
+			b, err := VerifiedRun(app, spec.Nodes, kind, mutate)
+			if err != nil {
+				t.Fatalf("%s/%s run B: %v", app.Name(), kind, err)
+			}
+			if err := sameResult(a, b); err != nil {
+				t.Errorf("%s/%s: flow+hedge under chaos not deterministic: %v", app.Name(), kind, err)
+			}
+			if a.DisabledPorts != 0 {
+				t.Errorf("%s/%s: %d GM ports left disabled", app.Name(), kind, a.DisabledPorts)
+			}
+			hedged += a.Transport.HedgedRequests
+			stalls += a.Transport.CreditStalls
+		}
+	}
+	if hedged == 0 {
+		t.Error("no hedged request fired anywhere in the chaos sweep; weak test")
+	}
+	if stalls == 0 {
+		t.Error("no credit stall anywhere in the chaos sweep; weak test")
+	}
+}
+
+// TestMetaGCBoundsMetadata: the plateau experiment. Without GC, protocol
+// metadata (retained diffs, interval records, write notices) grows with
+// run length — the GC-off ladder stops at 16 iterations because by 32 the
+// accumulated intervals overflow TreadMarks' 32 KB message cap outright.
+// With barrier-epoch GC armed the peak goes flat, the prune counters show
+// real collection, and the application still verifies bit-exact.
+//
+// The two ladders are offset deliberately: Jacobi's per-interval diffs
+// ramp for ~10 iterations before saturating at full-page size (the data
+// evolves toward every-word-changed), so the plateau only becomes visible
+// past that ramp. The GC-on ladder therefore starts where the GC-off one
+// ends.
+func TestMetaGCBoundsMetadata(t *testing.T) {
+	offLadder := []int{4, 8, 16}
+	onLadder := []int{16, 32, 64}
+	jacobi := func(iters int) *apps.Jacobi {
+		return &apps.Jacobi{N: 64, Iters: iters, CostPerPoint: 30 * sim.Nanosecond}
+	}
+	for _, kind := range []tmk.TransportKind{tmk.TransportUDPGM, tmk.TransportFastGM} {
+		var off, on []int64
+		var last tmk.Stats
+		for _, iters := range offLadder {
+			base, err := VerifiedRun(jacobi(iters), 4, kind, func(cfg *tmk.Config) { cfg.Seed = 1 })
+			if err != nil {
+				t.Fatalf("%s iters=%d base: %v", kind, iters, err)
+			}
+			off = append(off, base.Stats.MetaBytesPeak)
+			t.Logf("%s iters=%d: peak off=%d", kind, iters, base.Stats.MetaBytesPeak)
+		}
+		for _, iters := range onLadder {
+			gc, err := VerifiedRun(jacobi(iters), 4, kind, func(cfg *tmk.Config) {
+				cfg.Seed = 1
+				cfg.MetaGC = tmk.MetaGCConfig{Enabled: true, HighWater: 8 << 10}
+			})
+			if err != nil {
+				t.Fatalf("%s iters=%d gc: %v", kind, iters, err)
+			}
+			on = append(on, gc.Stats.MetaBytesPeak)
+			last = gc.Stats
+			t.Logf("%s iters=%d: peak on=%d (epochs=%d diffs=%d ivs=%d notices=%d)",
+				kind, iters, gc.Stats.MetaBytesPeak, gc.Stats.GCEpochs,
+				gc.Stats.GCDiffsPruned, gc.Stats.GCIntervalsPruned, gc.Stats.GCNoticesPruned)
+		}
+		// Unbounded growth without GC: quadrupling the iterations must at
+		// least double the metadata peak.
+		if off[2] < 2*off[0] {
+			t.Errorf("%s: GC-off metadata did not grow across the ladder: %v (weak scenario)", kind, off)
+		}
+		// Plateau with GC: quadrupling the iterations past the ramp moves
+		// the peak by at most 1/8 (measured: exactly flat).
+		if on[2] > on[0]*9/8 {
+			t.Errorf("%s: GC-on metadata kept growing: %v (ladder %v)", kind, on, onLadder)
+		}
+		// Contrast at the shared rung: GC holds the 16-iteration peak to a
+		// fraction of the unbounded baseline.
+		if 3*on[0] > off[2] {
+			t.Errorf("%s: GC-on peak %d not well under GC-off peak %d at iters=16", kind, on[0], off[2])
+		}
+		if last.GCEpochs == 0 || last.GCDiffsPruned == 0 ||
+			last.GCIntervalsPruned == 0 || last.GCNoticesPruned == 0 {
+			t.Errorf("%s: GC fired but pruned nothing: epochs=%d diffs=%d ivs=%d notices=%d",
+				kind, last.GCEpochs, last.GCDiffsPruned, last.GCIntervalsPruned, last.GCNoticesPruned)
+		}
+	}
+}
+
+// TestIncastStorm64 drives the acceptance scenario: the default 64-node
+// incast storm on all three substrates, every invariant enforced by the
+// driver itself.
+func TestIncastStorm64(t *testing.T) {
+	if err := Incast(io.Discard, DefaultIncastSpec()); err != nil {
+		t.Fatal(err)
+	}
+}

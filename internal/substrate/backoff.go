@@ -1,0 +1,28 @@
+package substrate
+
+import "repro/internal/sim"
+
+// Backoff is the shared exponential retransmission schedule used by all
+// three substrates (fastgm send retries, udpgm pending-table RTOs, rdmagm
+// verb retransmission). Attempt 1 waits Initial, attempt 2 waits
+// 2·Initial, and so on, saturating at Max. The same schedule used to be
+// re-implemented, slightly differently each time, in each transport;
+// keeping it here means a tuning change lands everywhere at once.
+type Backoff struct {
+	Initial sim.Time
+	Max     sim.Time
+}
+
+// Delay returns the wait before the given retry attempt (1-based).
+// Attempts ≤ 1 return Initial; once a doubling reaches or passes Max the
+// schedule stays pinned at Max.
+func (b Backoff) Delay(attempt int) sim.Time {
+	d := b.Initial
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= b.Max {
+			return b.Max
+		}
+	}
+	return d
+}

@@ -1,0 +1,64 @@
+package substrate
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBackoffSchedule pins the canonical 5ms→200ms fastgm schedule the
+// three substrates share: doubling per attempt, saturating at Max.
+func TestBackoffSchedule(t *testing.T) {
+	bo := Backoff{Initial: 5 * sim.Millisecond, Max: 200 * sim.Millisecond}
+	want := []sim.Time{
+		5 * sim.Millisecond,   // attempt 1
+		10 * sim.Millisecond,  // 2
+		20 * sim.Millisecond,  // 3
+		40 * sim.Millisecond,  // 4
+		80 * sim.Millisecond,  // 5
+		160 * sim.Millisecond, // 6
+		200 * sim.Millisecond, // 7: 320 clamps
+		200 * sim.Millisecond, // 8: stays pinned
+	}
+	for i, w := range want {
+		if got := bo.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestBackoffBoundaries covers the degenerate corners: attempt 0,
+// Initial already at/above Max, and an exact power-of-two landing on Max.
+func TestBackoffBoundaries(t *testing.T) {
+	bo := Backoff{Initial: 5 * sim.Millisecond, Max: 200 * sim.Millisecond}
+	if got := bo.Delay(0); got != 5*sim.Millisecond {
+		t.Errorf("Delay(0) = %v, want Initial", got)
+	}
+	if got := bo.Delay(-3); got != 5*sim.Millisecond {
+		t.Errorf("Delay(-3) = %v, want Initial", got)
+	}
+
+	// Initial == Max: every attempt is Max.
+	flat := Backoff{Initial: 50 * sim.Millisecond, Max: 50 * sim.Millisecond}
+	for a := 1; a <= 4; a++ {
+		if got := flat.Delay(a); got != 50*sim.Millisecond {
+			t.Errorf("flat Delay(%d) = %v, want 50ms", a, got)
+		}
+	}
+
+	// Exact power-of-two hit: 25ms → 50 → 100 → 200 == Max at attempt 4.
+	exact := Backoff{Initial: 25 * sim.Millisecond, Max: 200 * sim.Millisecond}
+	if got := exact.Delay(4); got != 200*sim.Millisecond {
+		t.Errorf("exact Delay(4) = %v, want 200ms", got)
+	}
+	if got := exact.Delay(5); got != 200*sim.Millisecond {
+		t.Errorf("exact Delay(5) = %v, want 200ms (pinned)", got)
+	}
+
+	// Overshoot past Max clamps to exactly Max, matching the historical
+	// udpgm incremental form (20ms → … → 640ms would overshoot 500ms).
+	udp := Backoff{Initial: 20 * sim.Millisecond, Max: 500 * sim.Millisecond}
+	if got := udp.Delay(6); got != 500*sim.Millisecond {
+		t.Errorf("udp Delay(6) = %v, want clamp to 500ms", got)
+	}
+}

@@ -119,6 +119,14 @@ type Config struct {
 	// Disabled (the zero value), the transport is bit-identical to the
 	// pre-liveness code.
 	Liveness substrate.LivenessConfig
+
+	// Flow enables sender-side credit flow control mirroring the async
+	// port's preposting schedule (flow.go); Hedge enables hedged
+	// re-issues of straggling calls past a latency-derived deadline.
+	// Both zero values are inert: the wire traffic is bit-identical with
+	// them disabled.
+	Flow  substrate.FlowConfig
+	Hedge substrate.HedgeConfig
 }
 
 // DefaultConfig returns the paper's adopted design: interrupt-driven

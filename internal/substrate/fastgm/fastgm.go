@@ -28,6 +28,11 @@ const (
 	frameCTS  byte = 3 // rendezvous clear-to-send
 	frameData byte = 4 // rendezvous bulk data (body = encoded msg.Message)
 	frameHB   byte = 5 // liveness heartbeat (no body, never retransmitted)
+	// frameCredit: flow-control credit return (flow.go). Body is a run of
+	// (class, count16) entries. Consumed at the NIC filter like
+	// heartbeats — it never occupies a host receive buffer — and emitted
+	// only with FlowConfig.Enabled, so a flow-off wire never carries one.
+	frameCredit byte = 6
 )
 
 // Transport is the FAST/GM substrate for one process.
@@ -67,6 +72,14 @@ type Transport struct {
 	// layer's epoch-stamped view exchange; substrate.MemberControl).
 	view substrate.ViewExchange
 
+	// Flow-control credit ledger (flow.go) and hedged-request state: the
+	// normalized hedge config plus an EWMA of observed reply latencies
+	// that derives each pending call's hedge deadline.
+	flow      flowState
+	hedge     substrate.HedgeConfig
+	hedgeOn   bool
+	hedgeEWMA sim.Time
+
 	// pending maps seq → outstanding call. Seq alone identifies a call
 	// (sequence numbers are unique per sender) and must, because forwarded
 	// requests are answered by a third node, not the rank we sent to.
@@ -86,6 +99,14 @@ type pendingCall struct {
 	done      bool
 	issued    sim.Time
 	completed sim.Time
+
+	// Hedge state (populated only with HedgeConfig.Enabled): the encoded
+	// request and its causal aux are stashed so a straggling call can be
+	// re-issued verbatim once, at hedgeAt, without re-encoding.
+	body    []byte
+	aux     []byte
+	hedged  bool
+	hedgeAt sim.Time
 }
 
 func (pc *pendingCall) Dst() int            { return pc.dst }
@@ -108,6 +129,9 @@ func New(node *gm.Node, rank, size int, cfg Config) *Transport {
 		pending:  make(map[uint32]*pendingCall),
 	}
 	t.live.init(t)
+	t.flow.init(t)
+	t.hedge = cfg.Hedge.Norm()
+	t.hedgeOn = cfg.Hedge.Enabled
 	return t
 }
 
@@ -209,6 +233,10 @@ func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
 	}
 
 	t.live.start()
+	t.flow.start()
+	if t.cfg.Liveness.Enabled || t.flow.enabled {
+		t.asyncPort.SetFilter(t.asyncNICFilter)
+	}
 
 	switch t.cfg.Scheme {
 	case AsyncInterrupt:
@@ -250,6 +278,7 @@ func (t *Transport) SetViewExchange(v substrate.ViewExchange) {
 // stop probing its closed port.
 func (t *Transport) ForgetPeer(peer int) {
 	t.live.markDeparted(peer)
+	t.flow.reset(peer)
 	t.dup.PurgeOrigin(int32(peer))
 	seqs := make([]uint32, 0, len(t.pending))
 	for seq, pc := range t.pending {
@@ -282,6 +311,38 @@ func (t *Transport) armTimer() {
 		s.After(t.cfg.TimerInterval, tick)
 	}
 	s.After(t.cfg.TimerInterval, tick)
+}
+
+// asyncNICFilter classifies async-port arrivals in NIC (scheduler)
+// context, shared by the liveness and flow layers: any frame refreshes
+// the peer's last-heard clock; heartbeat and credit frames are consumed
+// here — they never occupy a host receive buffer and are serviced even
+// while the host computes with asynchronous delivery masked. Everything
+// else flows to the host unchanged.
+func (t *Transport) asyncNICFilter(rv *gm.Recv) bool {
+	if t.cfg.Liveness.Enabled {
+		t.live.heard(int(rv.From))
+	}
+	if len(rv.Data) == 0 {
+		return false
+	}
+	switch rv.Data[0] {
+	case frameHB:
+		if !t.cfg.Liveness.Enabled {
+			return false
+		}
+		if t.view != nil && len(rv.Data) > 1 {
+			t.view.OnPeerView(int(rv.From), rv.Data[1:])
+		}
+		return true
+	case frameCredit:
+		if !t.flow.enabled {
+			return false
+		}
+		t.flow.onCreditFrame(rv)
+		return true
+	}
+	return false
 }
 
 // DisableAsync masks asynchronous request delivery.
@@ -338,6 +399,9 @@ func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
 		m, err := msg.Decode(body)
 		if err != nil {
 			t.rejectFrame(p, rv, "decode")
+			if tag == frameMsg {
+				t.flow.noteConsumed(int(rv.From), rv.Class)
+			}
 			return
 		}
 		if cz := p.Sim().Causal(); cz != nil {
@@ -349,6 +413,9 @@ func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
 		key := substrate.DupKey{Origin: m.ReplyTo, Seq: m.Seq}
 		if e, seen := t.dup.Lookup(key); seen {
 			t.dupRequest(p, rv, tag, m, e)
+			if tag == frameMsg {
+				t.flow.noteConsumed(int(rv.From), rv.Class)
+			}
 			return
 		}
 		t.dup.Insert(key)
@@ -358,8 +425,13 @@ func (t *Transport) handleAsyncFrame(p *sim.Proc, rv *gm.Recv) {
 			t.rv.finishReceive(p, t.asyncPort, rv.Buffer)
 		} else {
 			// Requests are processed in place (no copy); recycle the
-			// buffer after the handler consumed the decoded form.
+			// buffer after the handler consumed the decoded form. The
+			// credit owed to the sender returns at recycle time — the
+			// prepost slot, not handler completion, is what credits
+			// meter — so a masked or slow host holds its senders back
+			// exactly as long as its ring stays occupied.
 			t.asyncPort.ProvideReceiveBuffer(rv.Buffer)
+			t.flow.noteConsumed(int(rv.From), rv.Class)
 		}
 		start := p.Now()
 		t.handler(p, m)
@@ -408,8 +480,29 @@ func (t *Transport) CallBegin(p *sim.Proc, dst int, req *msg.Message) substrate.
 	pc := &pendingCall{dst: dst, seq: req.Seq, kind: req.Kind, issued: p.Now()}
 	t.pending[pc.seq] = pc
 	t.stats.RequestsSent++
-	t.transmit(p, dst, AsyncPort, frameMsg, req, t.reqEdge(p, dst, req))
+	if t.hedgeOn {
+		// Stash the encoded form so a straggling call can be re-issued
+		// verbatim; the deadline starts once the transmit (which may park
+		// on credits) has actually staged the frame.
+		aux := t.reqEdge(p, dst, req)
+		pc.body, pc.aux = req.Encode(), aux
+		t.transmitBody(p, dst, AsyncPort, frameMsg, req.Kind, pc.body, aux)
+		pc.hedgeAt = p.Now() + t.hedgeDelay()
+	} else {
+		t.transmit(p, dst, AsyncPort, frameMsg, req, t.reqEdge(p, dst, req))
+	}
 	return pc
+}
+
+// hedgeDelay derives the hedge deadline from the EWMA of observed reply
+// latencies — the causal-trace view of what a healthy call costs —
+// floored by the configured minimum.
+func (t *Transport) hedgeDelay() sim.Time {
+	d := sim.Time(float64(t.hedgeEWMA) * t.hedge.LatencyScale)
+	if d < t.hedge.MinDeadline {
+		d = t.hedge.MinDeadline
+	}
+	return d
 }
 
 // reqEdge records the send half of an outbound request in the causal DAG
@@ -441,8 +534,18 @@ func (t *Transport) Collect(p *sim.Proc, pending []substrate.Pending) []*msg.Mes
 	}
 	for t.unresolved(pending) > 0 {
 		var rv *gm.Recv
+		deadline := sim.Time(0) // 0 = wait without bound
 		if t.cfg.Liveness.Enabled {
-			if rv = t.syncPort.WaitRecvUntil(p, p.Now()+t.live.cfg.Interval); rv == nil {
+			deadline = p.Now() + t.live.cfg.Interval
+		}
+		if t.hedgeOn {
+			if hd, ok := t.nextHedgeDeadline(pending); ok && (deadline == 0 || hd < deadline) {
+				deadline = hd
+			}
+		}
+		if deadline > 0 {
+			if rv = t.syncPort.WaitRecvUntil(p, deadline); rv == nil {
+				t.maybeHedge(p, pending)
 				continue
 			}
 		} else {
@@ -475,6 +578,14 @@ func (t *Transport) Collect(p *sim.Proc, pending []substrate.Pending) []*msg.Mes
 		}
 		t.stats.RepliesRecvd++
 		t.stats.ReplyWaitTime += pc.completed - pc.issued
+		if t.hedgeOn {
+			rtt := pc.completed - pc.issued
+			if t.hedgeEWMA == 0 {
+				t.hedgeEWMA = rtt
+			} else {
+				t.hedgeEWMA = (3*t.hedgeEWMA + rtt) / 4
+			}
+		}
 		if tr := p.Sim().Tracer(); tr != nil {
 			tr.Emit(trace.Event{T: int64(pc.issued), Dur: int64(pc.completed - pc.issued),
 				Layer: trace.LayerSubstrate, Kind: "call:" + pc.kind.String(),
@@ -486,6 +597,48 @@ func (t *Transport) Collect(p *sim.Proc, pending []substrate.Pending) []*msg.Mes
 		out[i] = pd.(*pendingCall).reply
 	}
 	return out
+}
+
+// nextHedgeDeadline returns the earliest hedge deadline among the
+// still-unhedged outstanding calls, if any.
+func (t *Transport) nextHedgeDeadline(pending []substrate.Pending) (sim.Time, bool) {
+	var min sim.Time
+	found := false
+	for _, pd := range pending {
+		pc := pd.(*pendingCall)
+		if pc.done || pc.hedged || pc.body == nil {
+			continue
+		}
+		if !found || pc.hedgeAt < min {
+			min = pc.hedgeAt
+		}
+		found = true
+	}
+	return min, found
+}
+
+// maybeHedge re-issues, at most once each, every outstanding call whose
+// hedge deadline has passed. The duplicate is end-to-end safe: the
+// receiver deduplicates on (origin,seq) and re-sends its cached reply,
+// and whichever copy of the reply loses the race is absorbed as a
+// StaleReply in this loop.
+func (t *Transport) maybeHedge(p *sim.Proc, pending []substrate.Pending) {
+	now := p.Now()
+	for _, pd := range pending {
+		pc := pd.(*pendingCall)
+		if pc.done || pc.hedged || pc.body == nil || now < pc.hedgeAt {
+			continue
+		}
+		pc.hedged = true
+		t.stats.HedgedRequests++
+		if tr := p.Sim().Tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(now), Layer: trace.LayerSubstrate,
+				Kind: "hedge:" + pc.kind.String(), Proc: p.ID(), Peer: pc.dst,
+				Bytes: len(pc.body)})
+			tr.Metrics().Counter(trace.LayerSubstrate, "hedged.requests").Inc(1)
+		}
+		t.transmitBody(p, pc.dst, AsyncPort, frameMsg, pc.kind, pc.body, pc.aux)
+	}
 }
 
 // unresolved counts the still-outstanding entries, first giving up on
@@ -633,6 +786,14 @@ func (t *Transport) transmitBody(p *sim.Proc, dst, dstPort int, tag byte, kind m
 	if t.cfg.Rendezvous && class >= t.cfg.RendezvousClass {
 		t.rv.sendLarge(p, dst, dstPort, body, aux)
 		return
+	}
+	// Credited sends: request frames on the async port (replies ride the
+	// sync port's outstanding-calls provisioning; rendezvous large sends
+	// are flow-controlled by RTS/CTS above; heartbeats and credit frames
+	// never pass through here). Acquire before taking a send buffer so a
+	// parked sender holds no pool resources.
+	if t.flow.enabled && dstPort == AsyncPort && tag == frameMsg {
+		t.flow.acquire(p, dst, class)
 	}
 	buf := t.takeSendBuffer(p, class)
 	buf.Bytes()[0] = tag

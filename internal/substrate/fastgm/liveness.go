@@ -78,19 +78,9 @@ func (lv *livenessState) start() {
 	// spirit): arrival refreshes the peer's last-heard clock and delivers
 	// the piggybacked membership view even while the host computes with
 	// asynchronous delivery masked — a multi-millisecond diff flush must
-	// not make live peers look silent. Probe frames are consumed at the
-	// NIC and never occupy a host receive buffer; every other frame still
-	// refreshes the clock at arrival and flows to the host unchanged.
-	t.asyncPort.SetFilter(func(rv *gm.Recv) bool {
-		lv.heard(int(rv.From))
-		if len(rv.Data) == 0 || rv.Data[0] != frameHB {
-			return false
-		}
-		if t.view != nil && len(rv.Data) > 1 {
-			t.view.OnPeerView(int(rv.From), rv.Data[1:])
-		}
-		return true
-	})
+	// not make live peers look silent. The async-port classifier itself
+	// lives on the Transport (asyncNICFilter) because the flow-control
+	// layer shares it for credit frames.
 	t.syncPort.SetFilter(func(rv *gm.Recv) bool {
 		lv.heard(int(rv.From))
 		return false
@@ -203,6 +193,7 @@ func (lv *livenessState) declareDead(peer int, kind string, attempts int) {
 		tr.Metrics().Counter(trace.LayerSubstrate, "peers.dead").Inc(1)
 	}
 	t.abandonStagedTo(peer)
+	t.flow.reset(peer)
 	if lv.onDead != nil {
 		lv.onDead(peer, err)
 	}
@@ -241,6 +232,17 @@ func (t *Transport) DeclarePeerDead(rank int, kind string, attempts int) {
 // NoteHeard refreshes rank's last-heard clock (any frame counts,
 // including frames received by a layered substrate on its own ports).
 func (t *Transport) NoteHeard(rank int) { t.live.heard(rank) }
+
+// HeardWithin reports whether any frame from rank arrived in the last d.
+// Exported for layered substrates whose give-up decisions want silence as
+// corroboration: retry exhaustion against a peer that is still audibly
+// alive is congestion, not death.
+func (t *Transport) HeardWithin(rank int, d sim.Time) bool {
+	if rank < 0 || rank >= len(t.live.lastHeard) {
+		return false
+	}
+	return t.proc.Sim().Now()-t.live.lastHeard[rank] <= d
+}
 
 // Halted reports whether Halt has torn this transport down.
 func (t *Transport) Halted() bool { return t.halted }

@@ -82,14 +82,7 @@ func (t *Transport) onSendFailure(ps *pendingSend, st gm.SendStatus) {
 
 // retryBackoff returns the delay before the attempts-th retransmission.
 func (t *Transport) retryBackoff(attempts int) sim.Time {
-	d := t.cfg.RetryBackoff
-	for i := 1; i < attempts; i++ {
-		d *= 2
-		if d >= t.cfg.RetryBackoffMax {
-			return t.cfg.RetryBackoffMax
-		}
-	}
-	return d
+	return substrate.Backoff{Initial: t.cfg.RetryBackoff, Max: t.cfg.RetryBackoffMax}.Delay(attempts)
 }
 
 // scheduleRetransmit re-sends ps's frame after the backoff, deferring

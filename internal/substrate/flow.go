@@ -1,0 +1,78 @@
+package substrate
+
+import "repro/internal/sim"
+
+// FlowConfig enables proactive, credit-based flow control. Each sender
+// tracks per-peer, per-size-class send credits that mirror the
+// receiver's receive-buffer preposting schedule (fastgm/rdmagm) or
+// kernel socket buffering (udpgm). A send with no credit parks locally
+// on a condition variable — counted in Stats.CreditStalls — instead of
+// launching into an exhausted prepost ring and starting GM's 3 s
+// resend-timeout → port-disable countdown. Credits are replenished by
+// explicit credit-return frames from the receiver once it has recycled
+// the buffer the frame occupied.
+//
+// The config must be uniform across the cluster: a receiver only emits
+// credit returns when its own FlowConfig is enabled, so a mixed cluster
+// would wedge flow-controlled senders. The zero value is inert — with
+// Enabled false no credit state is kept, no frames are emitted, and the
+// wire traffic is bit-identical to a build without this file.
+type FlowConfig struct {
+	Enabled bool
+	// CreditTimeout is the optimistic-refresh interval: a sender that has
+	// been parked on an exhausted credit for this long restores one credit
+	// on its own (Stats.CreditRefills), so a lost credit-return frame can
+	// degrade throughput but can never wedge the cluster. Zero selects
+	// DefaultCreditTimeout.
+	CreditTimeout sim.Time
+}
+
+// HedgeConfig enables hedged straggler requests: a pending call whose
+// reply has not arrived by a deadline derived from observed reply
+// latency is re-issued once to the same destination
+// (Stats.HedgedRequests). The duplicate is safe end to end: receivers
+// deduplicate on (origin,seq) and answer idempotently from the reply
+// cache, and a late first reply is absorbed as a StaleReply. The zero
+// value is inert.
+type HedgeConfig struct {
+	Enabled bool
+	// MinDeadline floors the hedge deadline so cold starts (no latency
+	// history yet) and ultra-fast replies don't hedge spuriously. Zero
+	// selects DefaultHedgeMinDeadline.
+	MinDeadline sim.Time
+	// LatencyScale multiplies the EWMA of observed reply latencies to form
+	// the deadline; zero selects DefaultHedgeLatencyScale.
+	LatencyScale float64
+}
+
+// Default flow/hedge parameters. The 500 ms credit refresh sits well
+// under GM's 3 s resend timeout (a refresh-trickled frame that parks at
+// a stalled receiver is serviced long before the sender's port would be
+// disabled) but far above a healthy round trip, so refills only fire
+// when a credit return was genuinely lost or the receiver is wedged —
+// refilling faster would just re-create the incast storm the credits
+// exist to prevent.
+const (
+	DefaultCreditTimeout     = 500 * sim.Millisecond
+	DefaultHedgeMinDeadline  = 500 * sim.Microsecond
+	DefaultHedgeLatencyScale = 4.0
+)
+
+// Norm returns the config with defaults filled in.
+func (fc FlowConfig) Norm() FlowConfig {
+	if fc.CreditTimeout <= 0 {
+		fc.CreditTimeout = DefaultCreditTimeout
+	}
+	return fc
+}
+
+// Norm returns the config with defaults filled in.
+func (hc HedgeConfig) Norm() HedgeConfig {
+	if hc.MinDeadline <= 0 {
+		hc.MinDeadline = DefaultHedgeMinDeadline
+	}
+	if hc.LatencyScale <= 0 {
+		hc.LatencyScale = DefaultHedgeLatencyScale
+	}
+	return hc
+}

@@ -54,7 +54,13 @@ func DefaultConfig() Config {
 		SendQueueDepth: 16,
 		MaxVerbRetries: 16,
 		VerbTimeout:    5 * sim.Millisecond,
-		VerbTimeoutMax: 200 * sim.Millisecond,
+		// The full backoff schedule must outlast GM's 3 s resend timeout:
+		// a frame lost on a faulty fabric pins its send buffer (and, past
+		// the prepost ring, its receiver slot) until that timeout frees
+		// them, so a retry budget shorter than the pinning horizon turns
+		// one bad stall into a false peer death. 16 attempts at 5 ms
+		// doubling to 500 ms total ≈ 5.1 s.
+		VerbTimeoutMax: 500 * sim.Millisecond,
 		DupCacheSize:   1024,
 	}
 }

@@ -48,6 +48,12 @@ const (
 // buffer or token (kernel context cannot block).
 const compRetry = 50 * sim.Microsecond
 
+// verbFlowWindow is the per-QP outstanding-verb cap when end-to-end flow
+// control (Config.Fast.Flow) is enabled: small enough that n−1 initiators
+// incasting at one target cannot overrun its verb ring, large enough to
+// keep the wire pipelined for a single initiator.
+const verbFlowWindow = 4
+
 // Transport is the RDMA/GM substrate for one process.
 type Transport struct {
 	*fastgm.Transport
@@ -66,6 +72,7 @@ type Transport struct {
 	windows map[int32][]byte
 
 	sendPool  map[int][]*gm.Buffer // class → free registered send buffers
+	compPool  map[int][]*gm.Buffer // class → firmware completion staging buffers
 	sendCond  *sim.Cond
 	tokenCond *sim.Cond
 	resuming  map[*gm.Port]bool
@@ -113,6 +120,7 @@ func New(node *gm.Node, rank, size int, cfg Config) *Transport {
 		size:      size,
 		windows:   make(map[int32][]byte),
 		sendPool:  make(map[int][]*gm.Buffer),
+		compPool:  make(map[int][]*gm.Buffer),
 		resuming:  make(map[*gm.Port]bool),
 		vdup:      substrate.NewDupCache(cfg.DupCacheSize),
 		verbs:     make(map[uint32]*pendingVerb),
@@ -162,7 +170,7 @@ func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
 			t.cqPort.ProvideReceiveBuffer(mem.SubBuffer(i*gm.ClassCapacity(c), c))
 		}
 	}
-	// Registered send pool for verb descriptors and completion entries.
+	// Registered send pool for verb descriptors.
 	for c := params.MinClass; c <= params.MaxClass; c++ {
 		count := 2
 		if c <= t.rcfg.Fast.SmallClassMax {
@@ -171,6 +179,22 @@ func (t *Transport) Start(p *sim.Proc, h substrate.Handler) {
 		mem := t.node.Register(p, count*gm.ClassCapacity(c))
 		for i := 0; i < count; i++ {
 			t.sendPool[c] = append(t.sendPool[c], mem.SubBuffer(i*gm.ClassCapacity(c), c))
+		}
+	}
+	// Completion entries ship from the firmware's own staging pool, pinned
+	// at boot like the kernel pools — never from the verb send pool. The
+	// separation is load-bearing under loss: a lost data-verb frame pins
+	// its buffer for GM's full resend timeout, and if completions competed
+	// for those buffers a burst of losses would silence the completion
+	// channel exactly when the initiator's retry clock is running.
+	for c := params.MinClass; c <= params.MaxClass; c++ {
+		count := 2
+		if c <= t.rcfg.Fast.SmallClassMax {
+			count = 4
+		}
+		mem := t.node.RegisterAtBoot(count * gm.ClassCapacity(c))
+		for i := 0; i < count; i++ {
+			t.compPool[c] = append(t.compPool[c], mem.SubBuffer(i*gm.ClassCapacity(c), c))
 		}
 	}
 
@@ -281,13 +305,38 @@ func (t *Transport) post(p *sim.Proc, dst int, vf *verbFrame) substrate.PendingV
 			n, t.node.System().Params().MaxMessage()))
 	}
 	// QP flow control: a full send queue reaps completions until a slot
-	// frees (or every outstanding verb toward a dead peer resolves).
-	for t.qpDepth[dst] >= t.rcfg.SendQueueDepth {
+	// frees (or every outstanding verb toward a dead peer resolves). With
+	// end-to-end flow control on, the window per QP tightens to
+	// verbFlowWindow well under the ring depth: a verb is only "done" once
+	// the target NIC serviced it, so a small completion-clocked window is
+	// the one-sided analogue of the two-sided credit ledger — an incast of
+	// Puts self-paces at the initiators instead of flooding the target's
+	// verb ring. Stalls on the tightened window are counted as credit
+	// stalls so the overload shows up in the same place on every substrate.
+	depth := t.rcfg.SendQueueDepth
+	flowOn := t.rcfg.Fast.Flow.Enabled
+	if flowOn && depth > verbFlowWindow {
+		depth = verbFlowWindow
+	}
+	for t.qpDepth[dst] >= depth {
 		if t.reapDead() {
 			continue
 		}
-		if t.qpDepth[dst] < t.rcfg.SendQueueDepth {
+		if t.qpDepth[dst] < depth {
 			break
+		}
+		if flowOn && t.qpDepth[dst] < t.rcfg.SendQueueDepth {
+			// Only the tightened window is blocking us, not the ring itself.
+			t.Stats().CreditStalls++
+			if tr := p.Sim().Tracer(); tr != nil {
+				tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
+					Kind: "credit-stall", Proc: p.ID(), Peer: dst, Bytes: verbFrameLen(vf)})
+				tr.Metrics().Counter(trace.LayerSubstrate, "credit.stalls").Inc(1)
+			}
+			start := p.Now()
+			t.reapOne(p)
+			t.Stats().CreditWaitTime += p.Now() - start
+			continue
 		}
 		t.reapOne(p)
 	}
@@ -357,14 +406,7 @@ func (t *Transport) verbSendCompletion(buf *gm.Buffer, class, dst int) gm.SendCa
 
 // armVerbTimer schedules the next completion-timeout check for pv.
 func (t *Transport) armVerbTimer(pv *pendingVerb) {
-	d := t.rcfg.VerbTimeout
-	for i := 0; i < pv.attempts; i++ {
-		d *= 2
-		if d >= t.rcfg.VerbTimeoutMax {
-			d = t.rcfg.VerbTimeoutMax
-			break
-		}
-	}
+	d := substrate.Backoff{Initial: t.rcfg.VerbTimeout, Max: t.rcfg.VerbTimeoutMax}.Delay(pv.attempts + 1)
 	t.proc.Sim().After(d, func() { t.verbTick(pv) })
 }
 
@@ -380,8 +422,26 @@ func (t *Transport) verbTick(pv *pendingVerb) {
 		return
 	}
 	if pv.attempts >= t.rcfg.MaxVerbRetries {
-		t.abandonVerb(pv, "verb-retry-exhausted")
-		return
+		// Retry exhaustion alone does not prove death. Under loss the
+		// target's completion channel can starve for seconds — a few lost
+		// completion frames pin its send buffers for GM's full resend
+		// timeout — while its two-sided retransmissions keep arriving here
+		// and refreshing lastHeard. A peer we can still hear is congested,
+		// not dead: extend the budget at max backoff and let the GM timeout
+		// free the far side. Only silence for the grace window corroborates.
+		grace := t.node.System().Params().ResendTimeout
+		if t.rcfg.Fast.Liveness.Enabled {
+			grace = t.rcfg.Fast.Liveness.Norm().Deadline()
+		}
+		if !t.HeardWithin(pv.dst, grace) {
+			t.abandonVerb(pv, "verb-retry-exhausted")
+			return
+		}
+		// Hand back one attempt and fall through to the retransmit below:
+		// the budget holds at the cap, every extension retries at the
+		// maximum backoff, and the silence check above re-runs each tick.
+		t.Stats().VerbRetryExtensions++
+		pv.attempts--
 	}
 	// Only a frame actually handed to GM consumes retry budget. A stall —
 	// port disabled, no tokens, pool dry — re-arms without spending it:
@@ -707,18 +767,17 @@ func (t *Transport) sendCompletion(dst int, comp, aux []byte) {
 		return
 	}
 	class := t.node.System().Params().ClassFor(len(comp))
-	bufs := t.sendPool[class]
+	bufs := t.compPool[class]
 	if len(bufs) == 0 {
 		t.proc.Sim().After(compRetry, func() { t.sendCompletion(dst, comp, aux) })
 		return
 	}
 	buf := bufs[len(bufs)-1]
-	t.sendPool[class] = bufs[:len(bufs)-1]
+	t.compPool[class] = bufs[:len(bufs)-1]
 	copy(buf.Bytes(), comp)
 	err := t.cqPort.SendFromKernelAux(myrinet.NodeID(dst), CQPort, buf, len(comp), aux,
 		func(st gm.SendStatus) {
-			t.sendPool[class] = append(t.sendPool[class], buf)
-			t.sendCond.Broadcast()
+			t.compPool[class] = append(t.compPool[class], buf)
 			t.tokenCond.Broadcast()
 			if st != gm.SendOK && !t.rdmaHalted {
 				t.Stats().GMSendFailures++
@@ -726,8 +785,7 @@ func (t *Transport) sendCompletion(dst int, comp, aux []byte) {
 			}
 		})
 	if err != nil {
-		t.sendPool[class] = append(t.sendPool[class], buf)
-		t.sendCond.Broadcast()
+		t.compPool[class] = append(t.compPool[class], buf)
 		if err == gm.ErrPortDisabled {
 			t.ensureResume(t.cqPort)
 		}

@@ -244,20 +244,30 @@ type Stats struct {
 	HeartbeatsSent    int64 // liveness probes transmitted
 	PeersDeclaredDead int64 // peers this process declared dead
 
+	// Flow-control / hedging counters (all zero unless FlowConfig.Enabled
+	// or HedgeConfig.Enabled).
+	CreditStalls       int64 // sends parked locally waiting for a peer credit
+	CreditReturnsSent  int64 // explicit credit-return frames shipped
+	CreditReturnsRecvd int64 // credit-return frames consumed
+	CreditRefills      int64 // credits restored by the optimistic refresh timer
+	HedgedRequests     int64 // straggler requests re-issued past the hedge deadline
+
 	// One-sided verb counters (all zero unless the transport implements
 	// OneSided and the protocol posts verbs).
-	OneSidedPuts      int64 // Put verbs posted
-	OneSidedGets      int64 // Get verbs posted
-	OneSidedFetchAdds int64 // FetchAdd verbs posted
-	OneSidedBytesPut  int64 // payload bytes written by Put verbs
-	OneSidedBytesGot  int64 // payload bytes read by Get verbs
-	VerbRetransmits   int64 // verb frames retransmitted after loss/failure
-	StaleCompletions  int64 // completions for verbs already resolved
-	VerbsAbandoned    int64 // verbs given up on a dead target
-	WindowFaults      int64 // verbs rejected by the target's bounds check
+	OneSidedPuts        int64 // Put verbs posted
+	OneSidedGets        int64 // Get verbs posted
+	OneSidedFetchAdds   int64 // FetchAdd verbs posted
+	OneSidedBytesPut    int64 // payload bytes written by Put verbs
+	OneSidedBytesGot    int64 // payload bytes read by Get verbs
+	VerbRetransmits     int64 // verb frames retransmitted after loss/failure
+	StaleCompletions    int64 // completions for verbs already resolved
+	VerbsAbandoned      int64 // verbs given up on a dead target
+	VerbRetryExtensions int64 // retry budgets extended because the peer is audibly alive
+	WindowFaults        int64 // verbs rejected by the target's bounds check
 
 	ReplyWaitTime  sim.Time
 	RequestService sim.Time
+	CreditWaitTime sim.Time // virtual time spent parked on exhausted credits
 }
 
 // Add accumulates other into s for cluster-wide totals (every field, by

@@ -1,0 +1,142 @@
+package udpgm
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Flow control over Sockets-GM: the unbounded resource here is not a
+// prepost ring but the receiver's per-sender request socket buffer
+// (SO_RCVBUF) — an incast of request datagrams overflows it and the
+// kernel silently drops (StackStats.DatagramsDrop), costing a full
+// retransmission timeout per loss. The sender therefore keeps a per-peer
+// byte window mirroring that buffer: CallBegin/Send debit the datagram's
+// size and park (Stats.CreditStalls) when the window is exhausted;
+// the receiver returns a msg.KCredit datagram — Page carries the freed
+// byte count — for every request it drains, which the SIGIO dispatcher
+// intercepts below the duplicate filter to replenish the window.
+// Retransmissions and forwards ride debt-free (their copies are credited
+// by the receiver anyway, and the window is clamped at the budget), and
+// a lost credit datagram is repaired by the optimistic refresh.
+
+// flowInit sizes the ledger; called from New.
+func (t *Transport) flowInit() {
+	t.flowOn = t.cfg.Flow.Enabled
+	t.flowCfg = t.cfg.Flow.Norm()
+	t.hedgeOn = t.cfg.Hedge.Enabled
+	t.hedgeCfg = t.cfg.Hedge.Norm()
+	if !t.flowOn {
+		return
+	}
+	t.flowBudget = t.stack.Params().RecvBufDefault
+	t.flowCredit = make([]int, t.size)
+	t.flowRefreshArmed = make([]bool, t.size)
+	for i := range t.flowCredit {
+		t.flowCredit[i] = t.flowBudget
+	}
+	t.flowCond = sim.NewCond(fmt.Sprintf("udpgm:%d:credits", t.rank))
+}
+
+// flowAcquire debits n bytes of window toward dst, parking until the
+// receiver has drained enough earlier datagrams. SIGIO stays serviceable
+// while parked (interrupts wake WaitOn), so the KCredit intercept and
+// the refresh timer both unblock us; a caller parked with SIGIO masked
+// is still bounded by the refresh.
+func (t *Transport) flowAcquire(p *sim.Proc, dst, n int) {
+	if !t.flowOn || dst == t.rank {
+		return
+	}
+	for t.flowCredit[dst] < n {
+		if t.halted || t.dead[dst] {
+			return
+		}
+		t.stats.CreditStalls++
+		if tr := p.Sim().Tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(p.Now()), Layer: trace.LayerSubstrate,
+				Kind: "credit-stall", Proc: p.ID(), Peer: dst, Bytes: n})
+			tr.Metrics().Counter(trace.LayerSubstrate, "credit.stalls").Inc(1)
+		}
+		t.flowArmRefresh(dst)
+		start := p.Now()
+		p.WaitOn(t.flowCond)
+		t.stats.CreditWaitTime += p.Now() - start
+	}
+	t.flowCredit[dst] -= n
+}
+
+// flowRelease credits n drained bytes back toward peer, clamped at the
+// budget so duplicate credits (retransmitted requests are credited per
+// copy) can never oversubscribe the receiver's buffer.
+func (t *Transport) flowRelease(peer, n int) {
+	if !t.flowOn || peer < 0 || peer >= t.size || n <= 0 {
+		return
+	}
+	t.flowCredit[peer] += n
+	if t.flowCredit[peer] > t.flowBudget {
+		t.flowCredit[peer] = t.flowBudget
+	}
+	t.flowCond.Broadcast()
+}
+
+// flowArmRefresh schedules the optimistic refresh for an exhausted
+// window: after CreditTimeout one datagram's worth of window returns on
+// its own, so a lost KCredit degrades throughput instead of wedging.
+func (t *Transport) flowArmRefresh(dst int) {
+	if t.flowRefreshArmed[dst] {
+		return
+	}
+	t.flowRefreshArmed[dst] = true
+	t.proc.Sim().After(t.flowCfg.CreditTimeout, func() {
+		t.flowRefreshArmed[dst] = false
+		if t.halted {
+			t.flowCond.Broadcast()
+			return
+		}
+		max := t.stack.Params().MaxDatagram
+		if t.flowCredit[dst] < max {
+			t.flowCredit[dst] += max
+			if t.flowCredit[dst] > t.flowBudget {
+				t.flowCredit[dst] = t.flowBudget
+			}
+			t.stats.CreditRefills++
+			t.flowCond.Broadcast()
+		}
+	})
+}
+
+// flowForget restores the full window toward a departed or dead peer and
+// wakes any sender parked on it so the acquire loop observes the dead
+// flag and bails.
+func (t *Transport) flowForget(peer int) {
+	if !t.flowOn || peer < 0 || peer >= t.size {
+		return
+	}
+	t.flowCredit[peer] = t.flowBudget
+	t.flowCond.Broadcast()
+}
+
+// sendCredit ships the credit return for a drained request datagram of n
+// bytes back to its sender, on the request path so the peer's SIGIO
+// dispatcher intercepts it even while parked.
+func (t *Transport) sendCredit(p *sim.Proc, peer, n int) {
+	if peer < 0 || peer >= t.size || peer == t.rank || t.dead[peer] {
+		return
+	}
+	cr := &msg.Message{Kind: msg.KCredit, From: int32(t.rank),
+		ReplyTo: int32(t.rank), Page: int32(n)}
+	t.send(p, peer, reqPortBase+t.rank, cr.Encode(), nil)
+	t.stats.CreditReturnsSent++
+}
+
+// hedgeDelay derives the hedge deadline from the EWMA of observed reply
+// latencies, floored by the configured minimum.
+func (t *Transport) hedgeDelay() sim.Time {
+	d := sim.Time(float64(t.hedgeEWMA) * t.hedgeCfg.LatencyScale)
+	if d < t.hedgeCfg.MinDeadline {
+		d = t.hedgeCfg.MinDeadline
+	}
+	return d
+}

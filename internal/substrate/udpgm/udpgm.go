@@ -43,6 +43,14 @@ type Config struct {
 	// request path plus silence-based death detection. Disabled (the zero
 	// value), the transport is bit-identical to the pre-liveness code.
 	Liveness substrate.LivenessConfig
+
+	// Flow enables sender-side byte-window flow control mirroring the
+	// receiver's request socket buffer (flow.go); Hedge enables hedged
+	// re-issues of straggling calls past a latency-derived deadline. Both
+	// zero values are inert: the wire traffic is bit-identical with them
+	// disabled.
+	Flow  substrate.FlowConfig
+	Hedge substrate.HedgeConfig
 }
 
 // DefaultConfig mirrors TreadMarks' retransmission behaviour.
@@ -106,6 +114,19 @@ type Transport struct {
 	// PageData field and is delivered from every heartbeat received (the
 	// membership layer's view exchange; substrate.MemberControl).
 	view substrate.ViewExchange
+
+	// Flow-control and hedging state (flow.go): per-peer send windows in
+	// bytes with an optimistic refresh per exhausted peer, and the EWMA of
+	// reply latencies that derives the hedge deadline.
+	flowOn           bool
+	flowCfg          substrate.FlowConfig
+	flowBudget       int
+	flowCredit       []int
+	flowRefreshArmed []bool
+	flowCond         *sim.Cond
+	hedgeOn          bool
+	hedgeCfg         substrate.HedgeConfig
+	hedgeEWMA        sim.Time
 }
 
 // New creates the transport for process rank of size over the node's
@@ -125,6 +146,7 @@ func New(stack *sockets.Stack, rank, size int, cfg Config) *Transport {
 	t.liveCfg.Enabled = cfg.Liveness.Enabled
 	t.lastHeard = make([]sim.Time, size)
 	t.dead = make([]bool, size)
+	t.flowInit()
 	return t
 }
 
@@ -200,6 +222,7 @@ func (t *Transport) ForgetPeer(peer int) {
 	if peer >= 0 && peer < len(t.dead) && peer != t.rank {
 		t.dead[peer] = true
 	}
+	t.flowForget(peer)
 	t.dup.PurgeOrigin(int32(peer))
 	seqs := make([]uint32, 0, len(t.pending))
 	for seq, pc := range t.pending {
@@ -284,6 +307,7 @@ func (t *Transport) declareDead(peer int, kind string, attempts int) {
 		return
 	}
 	t.dead[peer] = true
+	t.flowForget(peer)
 	t.stats.PeersDeclaredDead++
 	err := &substrate.PeerUnreachableError{Rank: t.rank, Peer: peer, Attempts: attempts, Kind: kind}
 	if t.failure == nil {
@@ -317,6 +341,9 @@ func (t *Transport) Halt() {
 	}
 	t.halted = true
 	t.liveStopped = true
+	if t.flowCond != nil {
+		t.flowCond.Broadcast()
+	}
 	for _, sk := range t.reqIn {
 		if sk != nil {
 			sk.ForceClose()
@@ -384,6 +411,20 @@ func (t *Transport) dispatchRequest(p *sim.Proc, raw, aux []byte) {
 		}
 		return
 	}
+	if m.Kind == msg.KCredit {
+		// Credit return: the peer drained Page bytes of requests we sent it.
+		// Intercepted before the duplicate filter (credits share Seq 0) and
+		// never handed to the DSM handler; without flow control enabled no
+		// peer emits these, so the branch is dead on the stock wire.
+		t.stats.CreditReturnsRecvd++
+		t.flowRelease(int(m.From), int(m.Page))
+		return
+	}
+	if t.flowOn {
+		// Every drained request datagram freed its bytes in our socket
+		// buffer; return them to the sender's window.
+		t.sendCredit(p, int(m.From), len(raw))
+	}
 	if cz := p.Sim().Causal(); cz != nil {
 		// Arrival before the duplicate filter: retransmitted copies carry
 		// the same span, so Arrive stays idempotent across the resends.
@@ -433,6 +474,12 @@ type pendingCall struct {
 	attempts  int      // retransmissions so far
 	rto       sim.Time // current backoff interval
 	deadline  sim.Time // next retransmit time
+
+	// hedgePending marks a call whose next deadline is the hedge deadline
+	// (earlier than rto): on expiry the request is re-issued once without
+	// consuming a retry attempt, then the normal retransmission clock
+	// resumes from the original issue time.
+	hedgePending bool
 }
 
 func (pc *pendingCall) Dst() int            { return pc.dst }
@@ -473,10 +520,20 @@ func (t *Transport) CallBegin(p *sim.Proc, dst int, req *msg.Message) substrate.
 		t.giveUpPending(p, pc, "peer-dead", 0)
 		return pc
 	}
+	t.flowAcquire(p, dst, len(pc.data))
 	t.stats.RequestsSent++
 	t.stats.BytesSent += int64(len(pc.data))
 	t.send(p, dst, reqPortBase+t.rank, pc.data, pc.aux)
 	pc.deadline = p.Now() + pc.rto
+	if t.hedgeOn {
+		// Hedge only when the latency-derived deadline undercuts the
+		// retransmission clock; otherwise the normal rto path is already
+		// the faster recovery.
+		if hd := t.hedgeDelay(); hd < pc.rto {
+			pc.hedgePending = true
+			pc.deadline = p.Now() + hd
+		}
+	}
 	return pc
 }
 
@@ -535,6 +592,28 @@ func (t *Transport) Collect(p *sim.Proc, pending []substrate.Pending) []*msg.Mes
 				if pc.done || pc.deadline > now {
 					continue
 				}
+				if pc.hedgePending {
+					// Straggler past the hedge deadline: re-issue once (the
+					// duplicate cache answers both copies idempotently) and
+					// fall back to the normal retransmission clock, anchored
+					// at the original issue time so the hedge never delays
+					// the real retransmit.
+					pc.hedgePending = false
+					t.stats.HedgedRequests++
+					if tr := p.Sim().Tracer(); tr != nil {
+						tr.Emit(trace.Event{T: int64(now), Layer: trace.LayerSubstrate,
+							Kind: "hedge:" + pc.kind.String(), Proc: p.ID(), Peer: pc.dst, Bytes: len(pc.data)})
+						tr.Metrics().Counter(trace.LayerSubstrate, "hedged.requests").Inc(1)
+					}
+					t.stats.RequestsSent++
+					t.stats.BytesSent += int64(len(pc.data))
+					t.send(p, pc.dst, reqPortBase+t.rank, pc.data, pc.aux)
+					pc.deadline = pc.issued + pc.rto
+					if pc.deadline <= now {
+						pc.deadline = now + pc.rto
+					}
+					continue
+				}
 				if pc.attempts >= t.cfg.MaxRetries {
 					t.giveUpPending(p, pc, "retry-exhausted", t.cfg.MaxRetries+1)
 					continue
@@ -549,9 +628,7 @@ func (t *Transport) Collect(p *sim.Proc, pending []substrate.Pending) []*msg.Mes
 				t.stats.RequestsSent++
 				t.stats.BytesSent += int64(len(pc.data))
 				t.send(p, pc.dst, reqPortBase+t.rank, pc.data, pc.aux)
-				if pc.rto *= 2; pc.rto > t.cfg.RetransmitMax {
-					pc.rto = t.cfg.RetransmitMax
-				}
+				pc.rto = substrate.Backoff{Initial: t.cfg.RetransmitInitial, Max: t.cfg.RetransmitMax}.Delay(pc.attempts + 1)
 				pc.deadline = p.Now() + pc.rto
 			}
 			continue
@@ -578,6 +655,14 @@ func (t *Transport) Collect(p *sim.Proc, pending []substrate.Pending) []*msg.Mes
 		}
 		t.stats.RepliesRecvd++
 		t.stats.ReplyWaitTime += pc.completed - pc.issued
+		if t.hedgeOn {
+			rtt := pc.completed - pc.issued
+			if t.hedgeEWMA == 0 {
+				t.hedgeEWMA = rtt
+			} else {
+				t.hedgeEWMA = (3*t.hedgeEWMA + rtt) / 4
+			}
+		}
 		if tr := p.Sim().Tracer(); tr != nil {
 			tr.Emit(trace.Event{T: int64(pc.issued), Dur: int64(pc.completed - pc.issued),
 				Layer: trace.LayerSubstrate, Kind: "call:" + pc.kind.String(),
@@ -701,6 +786,10 @@ func (t *Transport) Forward(p *sim.Proc, dst int, req *msg.Message) {
 }
 
 // Send implements substrate.Transport: one-shot request, no reply.
+// One-way datagrams land in the same per-sender request socket buffer as
+// calls, so they draw on the same credit window — an uncredited one-way
+// storm could overflow the receiver and be lost with no retransmission
+// clock to recover it.
 func (t *Transport) Send(p *sim.Proc, dst int, req *msg.Message) {
 	t.seq++
 	req.Seq = t.seq
@@ -708,6 +797,7 @@ func (t *Transport) Send(p *sim.Proc, dst int, req *msg.Message) {
 	req.ReplyTo = int32(t.rank)
 	data := req.Encode()
 	aux := t.reqEdge(p, dst, req, len(data))
+	t.flowAcquire(p, dst, len(data))
 	t.stats.RequestsSent++
 	t.stats.BytesSent += int64(len(data))
 	t.send(p, dst, reqPortBase+t.rank, data, aux)

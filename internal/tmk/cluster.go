@@ -85,6 +85,24 @@ type Config struct {
 	// rows run it side by side with the default).
 	SerialDiffFetch bool
 
+	// Flow, when enabled, arms end-to-end credit flow control in whichever
+	// substrate the run uses (NewCluster copies it into the UDP, Fast, and
+	// RDMA configs); Hedge likewise arms hedged re-issues of straggling
+	// calls. Both zero values are inert — the run is bit-identical to one
+	// without them (DESIGN.md §15).
+	Flow  substrate.FlowConfig
+	Hedge substrate.HedgeConfig
+
+	// Admission bounds the read-fault path's outstanding fetches and
+	// degrades to serial diff fetch under sustained substrate pressure
+	// (DESIGN.md §15.2). Zero value: inert.
+	Admission AdmissionConfig
+
+	// MetaGC bounds protocol metadata (write notices, retained diffs,
+	// interval records) with TreadMarks-style garbage collection at
+	// full-barrier epochs (DESIGN.md §15.4). Zero value: inert.
+	MetaGC MetaGCConfig
+
 	// Membership enables the elastic-membership layer (DESIGN.md §14):
 	// protocol entities are placed on a consistent-hashed ring of live
 	// ranks, standby extras can join/leave at barrier fences with bounded
@@ -92,6 +110,64 @@ type Config struct {
 	// restored while the run continues. The zero value — and Enabled with
 	// no extras and no schedule — is bit-identical to a run without it.
 	Membership MemberConfig
+}
+
+// AdmissionConfig tunes read-fault admission control: the scatter width
+// is capped at MaxOutstanding calls per wave, and a pressure EWMA of the
+// substrate's stall counters degrades the fault path to serial diff
+// fetch (the Config.SerialDiffFetch machinery) past HighWater, recovering
+// once it decays below LowWater.
+type AdmissionConfig struct {
+	Enabled bool
+	// MaxOutstanding caps concurrently outstanding diff fetches per read
+	// fault (0 = 8). Faults needing more scatter in waves.
+	MaxOutstanding int
+	// HighWater is the pressure-EWMA threshold (substrate credit stalls +
+	// retransmits per fault) that trips serial degradation (0 = 8);
+	// LowWater is the recovery threshold (0 = 1).
+	HighWater int
+	LowWater  int
+}
+
+// norm fills defaults.
+func (ac AdmissionConfig) norm() AdmissionConfig {
+	if ac.MaxOutstanding <= 0 {
+		ac.MaxOutstanding = 8
+	}
+	if ac.HighWater <= 0 {
+		ac.HighWater = 8
+	}
+	if ac.LowWater <= 0 {
+		ac.LowWater = 1
+	}
+	return ac
+}
+
+// MetaGCConfig tunes barrier-epoch metadata garbage collection: every
+// barrier arrival piggybacks the rank's metadata gauge (bytes of retained
+// diffs, interval records, and write notices); when the cluster maximum
+// crosses HighWater the root orders a GC epoch in the releases — each
+// rank validates its page copies, a nested fence confirms everyone is
+// covered, and all metadata up to the barrier vector clock is pruned. The
+// trigger then re-arms once the gauge decays below LowWater.
+type MetaGCConfig struct {
+	Enabled bool
+	// HighWater is the per-rank metadata-bytes gauge that triggers a GC
+	// epoch at the next barrier (0 = 1 MiB); LowWater re-arms the trigger
+	// (0 = HighWater/2).
+	HighWater int64
+	LowWater  int64
+}
+
+// norm fills defaults.
+func (mc MetaGCConfig) norm() MetaGCConfig {
+	if mc.HighWater <= 0 {
+		mc.HighWater = 1 << 20
+	}
+	if mc.LowWater <= 0 {
+		mc.LowWater = mc.HighWater / 2
+	}
+	return mc
 }
 
 // DefaultConfig returns a calibrated n-process configuration. The
@@ -154,6 +230,16 @@ type Result struct {
 	// zero on any successful run: every send timeout must have been
 	// answered by a resume (the chaos harness's residual-damage invariant).
 	DisabledPorts int
+	// ParkedFrames sums GM frames that arrived with no prepost buffer
+	// across all ports — the countdown toward a port disable that credit
+	// flow control exists to prevent.
+	ParkedFrames int64
+	// PortTimeouts sums parked frames that expired into a sender-visible
+	// send timeout (each one disabled a port until resumed).
+	PortTimeouts int64
+	// SocketDrops sums kernel datagram drops from receive-buffer overflow
+	// across all socket stacks (udpgm's overload signal).
+	SocketDrops int64
 	// NetFaults reports what the fault-injection fabric actually did.
 	NetFaults myrinet.FaultStats
 	// Crash is the watchdog's post-mortem when a rank died (nil
@@ -181,6 +267,28 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	if cfg.HomeBased && cfg.Transport != TransportRDMAGM {
 		panic(fmt.Sprintf("tmk: HomeBased requires a one-sided transport, got %q", cfg.Transport))
+	}
+	if cfg.MetaGC.Enabled && cfg.Membership.Enabled {
+		// GC prunes on the assumption that every rank holding metadata
+		// crosses the fence; standby extras never do.
+		panic("tmk: MetaGC is incompatible with Membership (standby extras cross no barriers)")
+	}
+	if cfg.MetaGC.Enabled && cfg.HomeBased {
+		// HLRC already bounds metadata its own way: diffs are flushed to
+		// homes at interval close and never retained by the writer.
+		panic("tmk: MetaGC is incompatible with HomeBased (no retained diffs to collect)")
+	}
+	if cfg.Flow.Enabled {
+		fl := cfg.Flow.Norm()
+		cfg.UDP.Flow = fl
+		cfg.Fast.Flow = fl
+		cfg.RDMA.Fast.Flow = fl
+	}
+	if cfg.Hedge.Enabled {
+		hd := cfg.Hedge.Norm()
+		cfg.UDP.Hedge = hd
+		cfg.Fast.Hedge = hd
+		cfg.RDMA.Fast.Hedge = hd
 	}
 	if cfg.Crash.Enabled {
 		if cfg.Crash.Rank < 0 || cfg.Crash.Rank >= cfg.Procs {
@@ -387,10 +495,18 @@ func (c *Cluster) Run(app func(tp *Proc)) (*Result, error) {
 			res.MaxPinnedBytes = mp
 		}
 		for id := gm.MapperPort + 1; id < gm.NumPorts; id++ {
-			if port := node.Port(id); port != nil && !port.Enabled() {
-				res.DisabledPorts++
+			if port := node.Port(id); port != nil {
+				if !port.Enabled() {
+					res.DisabledPorts++
+				}
+				ps := port.Stats()
+				res.ParkedFrames += ps.Parked
+				res.PortTimeouts += ps.Timeouts
 			}
 		}
+	}
+	for _, st := range c.stacks {
+		res.SocketDrops += st.Stats().DatagramsDrop
 	}
 	res.NetFaults = c.fabric.FaultStats()
 	res.Crash = c.crash.report

@@ -26,9 +26,15 @@ func (tp *Proc) readFault(pm *pageMeta) {
 		// the page fetch + per-writer diff chase (home.go).
 		tp.homeReadFault(pm)
 	} else {
+		before := tp.pressureSignal()
 		for {
 			if !pm.haveCopy {
-				if tp.cluster.cfg.SerialDiffFetch {
+				wide := tp.admission.Enabled &&
+					len(tp.missingRanges(pm)) >= tp.admission.MaxOutstanding
+				if tp.serialFetch() || wide {
+					// Wide faults under admission control skip the combined
+					// page+diff scatter: the page fetch goes alone and the
+					// diff chase below runs in width-capped waves.
 					tp.fetchPage(pm)
 				} else {
 					tp.fetchPageAndDiffs(pm)
@@ -41,6 +47,7 @@ func (tp *Proc) readFault(pm *pageMeta) {
 			}
 			tp.fetchDiffs(pm, missing)
 		}
+		tp.notePressure(tp.pressureSignal() - before)
 	}
 	if pm.state == pageInvalid {
 		if pm.twin != nil {
@@ -164,15 +171,76 @@ func (tp *Proc) fetchPage(pm *pageMeta) {
 // (the measured baseline).
 func (tp *Proc) fetchDiffs(pm *pageMeta, ranges []msg.DiffRange) {
 	var all []msg.Diff
-	if tp.cluster.cfg.SerialDiffFetch {
+	switch {
+	case tp.serialFetch():
 		for _, dr := range ranges {
 			pending := tp.beginDiffFetches(pm, []msg.DiffRange{dr})
 			all = append(all, tp.gatherDiffs(pm, pending)...)
 		}
-	} else {
+	case tp.admission.Enabled && len(ranges) > tp.admission.MaxOutstanding:
+		// Admission control: a wide fault (many writers owing diffs)
+		// scatters in width-capped waves instead of all at once, so one
+		// rank's fault storm cannot monopolize every peer's request ring.
+		// Each range targets a distinct writer (missingRanges emits one
+		// per writer), so chunking ranges chunks outstanding calls.
+		tp.stats.AdmissionWaves++
+		w := tp.admission.MaxOutstanding
+		for i := 0; i < len(ranges); i += w {
+			j := i + w
+			if j > len(ranges) {
+				j = len(ranges)
+			}
+			pending := tp.beginDiffFetches(pm, ranges[i:j])
+			all = append(all, tp.gatherDiffs(pm, pending)...)
+		}
+	default:
 		all = tp.gatherDiffs(pm, tp.beginDiffFetches(pm, ranges))
 	}
 	tp.applyDiffs(pm, all)
+}
+
+// serialFetch reports whether the read-fault path must run one blocking
+// call at a time: configured statically (SerialDiffFetch) or degraded
+// dynamically by admission control under sustained substrate pressure.
+func (tp *Proc) serialFetch() bool {
+	return tp.cluster.cfg.SerialDiffFetch || tp.degraded
+}
+
+// pressureSignal is the monotone substrate overload gauge admission
+// control differentiates across a fault: credit stalls (flow control on)
+// plus retransmits (loss or overflow, flow control off).
+func (tp *Proc) pressureSignal() int64 {
+	st := tp.tr.Stats()
+	return st.CreditStalls + st.Retransmits
+}
+
+// notePressure folds one fault's overload delta into the pressure EWMA
+// and moves the degradation state machine: past HighWater the fault path
+// falls back to serial diff fetch (graceful degradation — slower but
+// one-outstanding-call gentle), and once pressure decays below LowWater
+// the scatter-gather path is restored.
+func (tp *Proc) notePressure(delta int64) {
+	if !tp.admission.Enabled {
+		return
+	}
+	tp.pressure = (3*tp.pressure + float64(delta)) / 4
+	switch {
+	case !tp.degraded && tp.pressure >= float64(tp.admission.HighWater):
+		tp.degraded = true
+		tp.stats.AdmissionFallbacks++
+		if tr := tp.tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(tp.sp.Now()), Layer: trace.LayerTMK,
+				Kind: "admission-fallback", Proc: tp.sp.ID(), Peer: -1})
+			tr.Metrics().Counter(trace.LayerTMK, "admission.fallbacks").Inc(1)
+		}
+	case tp.degraded && tp.pressure <= float64(tp.admission.LowWater):
+		tp.degraded = false
+		tp.stats.AdmissionRecoveries++
+		if tr := tp.tracer(); tr != nil {
+			tr.Emit(trace.Event{T: int64(tp.sp.Now()), Layer: trace.LayerTMK,
+				Kind: "admission-recover", Proc: tp.sp.ID(), Peer: -1})
+		}
+	}
 }
 
 // beginDiffFetches scatters the diff requests: one batched KDiffReq per

@@ -1,0 +1,125 @@
+package tmk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Metadata garbage collection (DESIGN.md §15.4). TreadMarks' protocol
+// metadata — retained diffs, interval records, and write notices — grows
+// without bound on a long run: every interval a rank closes pins its
+// diffs until every other rank has incorporated them, and nothing in the
+// base protocol ever confirms that. The paper's TreadMarks inherits the
+// original system's barrier-time GC, reproduced here:
+//
+//  1. Every barrier arrival piggybacks the rank's metadata gauge in the
+//     message's fixed Page field (zero wire bytes; zero with GC off).
+//  2. The root — armed/HighWater/LowWater hysteresis in barrierState —
+//     orders a GC epoch by piggybacking the decision on the releases, so
+//     the cluster decides uniformly at a full barrier.
+//  3. Each rank validates every page copy it holds: all missing diffs
+//     are fetched now, while their writers still retain them.
+//  4. A nested fence (gcBarrier, guarded by Proc.inGC against recursion)
+//     confirms every rank is covered before anyone prunes.
+//  5. Everything up to the barrier vector clock V is pruned: own diffs
+//     with ts ≤ V[self], interval records with ts ≤ V[proc], and write
+//     notices ≤ V — except that a page this rank holds no copy of keeps
+//     its latest writer's newest notice as the fetch hint. That hinted
+//     fetch is safe post-GC: every copy-holding rank validated in step 3,
+//     so any full-page reply covers everything pruned.
+//
+// The nested fence is what makes step 5 sound: without it a fast rank
+// could prune diffs a slow rank's step-3 validation still needs.
+
+// gcBarrier is the reserved id of the nested GC fence (one below the
+// implicit shutdown barrier).
+const gcBarrier = finalBarrier - 1
+
+// intervalRecBytes approximates one interval record's footprint for the
+// metadata gauge: fixed header plus the vector clock and page list.
+func intervalRecBytes(rec *intervalRec) int64 {
+	return int64(16 + 4*len(rec.vc) + 4*len(rec.pages))
+}
+
+// metaGauge measures this rank's protocol metadata in bytes: retained
+// diff payloads, interval records, and write notices.
+func (tp *Proc) metaGauge() int64 {
+	var total int64
+	for _, d := range tp.myDiffs {
+		total += int64(len(d))
+	}
+	tp.store.all(func(rec *intervalRec) {
+		total += intervalRecBytes(rec)
+	})
+	for _, pm := range tp.pages {
+		for _, lst := range pm.notices {
+			total += int64(4 * len(lst))
+		}
+	}
+	return total
+}
+
+// runMetaGC executes one GC epoch; called at the tail of a barrier whose
+// release carried the root's GC order. All compute ranks run it for the
+// same crossing, so the nested fence lines up cluster-wide.
+func (tp *Proc) runMetaGC() {
+	tp.inGC = true
+	defer func() { tp.inGC = false }()
+	start := tp.sp.Now()
+	tp.stats.GCEpochs++
+
+	// Step 3: validate every held copy in page-id order (determinism).
+	ids := make([]int32, 0, len(tp.pages))
+	for id := range tp.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		pm := tp.pages[id]
+		if !pm.haveCopy {
+			continue
+		}
+		validated := false
+		for {
+			missing := tp.missingRanges(pm)
+			if len(missing) == 0 {
+				break
+			}
+			validated = true
+			tp.fetchDiffs(pm, missing)
+		}
+		if validated {
+			tp.stats.GCValidations++
+		}
+	}
+
+	// Step 4: nobody prunes until everybody is covered.
+	tp.Barrier(gcBarrier)
+
+	// Step 5: prune through the barrier vector clock.
+	v := tp.lastBarrierVC
+	for k := range tp.myDiffs {
+		if k.ts <= v[tp.rank] {
+			delete(tp.myDiffs, k)
+			tp.stats.GCDiffsPruned++
+		}
+	}
+	tp.stats.GCIntervalsPruned += int64(tp.store.pruneThrough(v))
+	for _, id := range ids {
+		pm := tp.pages[id]
+		pruned, err := pm.pruneNotices(v)
+		if err != nil {
+			panic(fmt.Sprintf("tmk: rank %d: GC page %d: %v", tp.rank, id, err))
+		}
+		tp.stats.GCNoticesPruned += int64(pruned)
+	}
+
+	if tr := tp.tracer(); tr != nil {
+		tr.Emit(trace.Event{T: int64(start), Dur: int64(tp.sp.Now() - start),
+			Layer: trace.LayerTMK, Kind: "meta-gc", Proc: tp.sp.ID(), Peer: -1,
+			Bytes: int(tp.metaGauge())})
+		tr.Metrics().Counter(trace.LayerTMK, "gc.epochs").Inc(1)
+	}
+}

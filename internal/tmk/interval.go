@@ -87,6 +87,28 @@ func (s *intervalStore) since(v VC) []*intervalRec {
 	return out
 }
 
+// pruneThrough discards every record with ts ≤ v[proc] (metadata GC:
+// after a full barrier at vector clock v, no rank can ever request
+// intervals that old again) and returns how many were dropped.
+func (s *intervalStore) pruneThrough(v VC) int {
+	pruned := 0
+	for q, lst := range s.byProc {
+		if q >= len(v) {
+			continue
+		}
+		cut := sort.Search(len(lst), func(i int) bool { return lst[i].ts > v[q] })
+		if cut == 0 {
+			continue
+		}
+		for _, rec := range lst[:cut] {
+			delete(s.index[q], rec.ts)
+		}
+		pruned += cut
+		s.byProc[q] = append([]*intervalRec(nil), lst[cut:]...)
+	}
+	return pruned
+}
+
 func sortIntervals(recs []*intervalRec) {
 	sort.Slice(recs, func(i, j int) bool {
 		si, sj := recs[i].vc.Sum(), recs[j].vc.Sum()

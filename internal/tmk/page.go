@@ -1,6 +1,9 @@
 package tmk
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 type pageState uint8
 
@@ -75,6 +78,45 @@ func (pm *pageMeta) isMissingAny(self int) bool {
 		}
 	}
 	return false
+}
+
+// pruneNotices discards write notices with ts ≤ v[q] (metadata GC). On
+// a page this rank holds a copy of, validation has already covered them
+// all — pruning an uncovered notice is a protocol error. On a page with
+// no copy here, the latest writer's newest pre-v notice survives as the
+// fetch hint: a later fault still finds a rank that certainly holds a
+// copy, and that copy — validated before anyone pruned — covers every
+// pruned notice, so the hint never turns into a diff request for a
+// discarded diff.
+func (pm *pageMeta) pruneNotices(v VC) (int, error) {
+	hint := -1
+	if !pm.haveCopy {
+		hint = pm.lastWriterHint(-1)
+	}
+	pruned := 0
+	for q, lst := range pm.notices {
+		if q >= len(v) {
+			continue
+		}
+		cut := sort.Search(len(lst), func(i int) bool { return lst[i] > v[q] })
+		if cut == 0 {
+			continue
+		}
+		if pm.haveCopy && lst[cut-1] > pm.cover[q] {
+			return pruned, fmt.Errorf("pruning uncovered notice from %d ts %d (cover %d)",
+				q, lst[cut-1], pm.cover[q])
+		}
+		keep := cut
+		if q == hint {
+			keep = cut - 1
+		}
+		if keep == 0 {
+			continue
+		}
+		pruned += keep
+		pm.notices[q] = append([]int32(nil), lst[keep:]...)
+	}
+	return pruned, nil
 }
 
 // lastWriterHint returns the process with the most recent known write

@@ -53,6 +53,15 @@ type Proc struct {
 	viewLive   uint64
 	viewInRing uint64
 
+	// Overload resilience (see gc.go / fault.go): admission pressure EWMA
+	// with the degraded-to-serial flag, and the metadata-GC in-progress
+	// guard that keeps the nested GC fence from recursing.
+	admission AdmissionConfig
+	metaGC    MetaGCConfig
+	pressure  float64
+	degraded  bool
+	inGC      bool
+
 	// Crash model (see crash.go / checkpoint.go).
 	gen           int    // process generation (0 = original, ≥1 = restarted)
 	resumeEpoch   int    // EpochLoop skips epochs below this after restore
@@ -106,6 +115,11 @@ func newProc(c *Cluster, rank int, sp *sim.Proc, tr substrate.Transport, cpu CPU
 		regionCond:    sim.NewCond(fmt.Sprintf("tmk:%d:region", rank)),
 		barrier:       barrierState{cond: sim.NewCond(fmt.Sprintf("tmk:%d:barrier", rank))},
 	}
+	tp.admission = c.cfg.Admission.norm()
+	tp.admission.Enabled = c.cfg.Admission.Enabled
+	tp.metaGC = c.cfg.MetaGC.norm()
+	tp.metaGC.Enabled = c.cfg.MetaGC.Enabled
+	tp.barrier.gcArmed = true
 	if c.cfg.HomeBased {
 		os, ok := tr.(substrate.OneSided)
 		if !ok {

@@ -68,6 +68,18 @@ type Stats struct {
 	MemberViewsHeard        int64 // membership views received on heartbeat frames
 	MemberViewAdopts        int64 // strictly newer views adopted from a heartbeat
 
+	// Overload-resilience counters (DESIGN.md §15; zero unless
+	// Config.Admission / Config.MetaGC are enabled).
+	AdmissionWaves      int64 // read faults whose scatter was split into width-capped waves
+	AdmissionFallbacks  int64 // degradations to serial diff fetch under pressure
+	AdmissionRecoveries int64 // returns to scatter-gather after pressure cleared
+	GCEpochs            int64 // metadata GC epochs executed
+	GCValidations       int64 // pages brought current during GC validation
+	GCDiffsPruned       int64 // retained diffs discarded by GC
+	GCIntervalsPruned   int64 // interval records discarded by GC
+	GCNoticesPruned     int64 // write notices discarded by GC
+	MetaBytesPeak       int64 // per-rank metadata gauge high-water (summed across ranks by Add)
+
 	LockWait    sim.Time
 	BarrierWait sim.Time
 	FaultTime   sim.Time

@@ -29,6 +29,7 @@ package treadmarks
 
 import (
 	"repro/internal/sim"
+	"repro/internal/substrate"
 	"repro/internal/tmk"
 )
 
@@ -78,6 +79,19 @@ type (
 	// MemberReport summarizes a run's membership outcome: final fence
 	// epoch, live/ring bitmaps, placement moves, per-rank view epochs.
 	MemberReport = tmk.MemberReport
+	// FlowConfig arms end-to-end credit flow control on the substrate:
+	// senders park locally on exhausted per-peer credits instead of
+	// launching into GM's resend-timeout → port-disable countdown.
+	FlowConfig = substrate.FlowConfig
+	// HedgeConfig arms hedged re-issues of straggling remote requests
+	// (deduplicated end to end, so determinism is preserved).
+	HedgeConfig = substrate.HedgeConfig
+	// AdmissionConfig arms read-fault admission control: bounded diff
+	// fetch scatter, degrading to serial fetch under substrate pressure.
+	AdmissionConfig = tmk.AdmissionConfig
+	// MetaGCConfig arms barrier-epoch garbage collection of protocol
+	// metadata (retained diffs, interval records, write notices).
+	MetaGCConfig = tmk.MetaGCConfig
 )
 
 // The two substrates the paper evaluates.
